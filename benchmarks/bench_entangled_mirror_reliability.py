@@ -1,0 +1,34 @@
+"""Section IV-B1: 5-year reliability of entangled mirrors vs plain mirroring."""
+
+from __future__ import annotations
+
+from repro.analysis.reliability import five_year_comparison
+from repro.simulation.metrics import format_table
+
+TRIALS = 600
+
+
+def test_entangled_mirror_five_year_reliability(benchmark, print_tables):
+    results = benchmark.pedantic(
+        five_year_comparison, kwargs={"drive_pairs": 10, "trials": TRIALS, "seed": 3},
+        rounds=1, iterations=1,
+    )
+    mirroring = results["mirroring"]
+    open_chain = results["entangled-open"]
+    closed_chain = results["entangled-closed"]
+
+    # Expected shape (paper: ~90% / ~98% reduction in loss probability).
+    assert mirroring.loss_probability > 0
+    assert open_chain.loss_probability <= mirroring.loss_probability
+    assert closed_chain.loss_probability <= open_chain.loss_probability
+
+    rows = [
+        {
+            "layout": result.layout,
+            "loss probability (5y)": round(result.loss_probability, 4),
+            "reduction vs mirroring": f"{result.improvement_over(mirroring):.0%}",
+        }
+        for result in results.values()
+    ]
+    if print_tables:
+        print(f"\nEntangled mirror 5-year reliability ({TRIALS} trials)\n" + format_table(rows))

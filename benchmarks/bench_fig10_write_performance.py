@@ -1,0 +1,29 @@
+"""Figure 10: full-write parallelism for p > s versus s = p."""
+
+from __future__ import annotations
+
+from repro.analysis.write_performance import compare_settings, figure10_comparison
+from repro.simulation.metrics import format_table
+
+
+def test_fig10_sealed_buckets(benchmark, print_tables):
+    points = benchmark(figure10_comparison, 60)
+    unequal, equal = points
+    # Paper's message: s = p seals every bucket at arrival; p > s cannot.
+    assert equal.sealed_fraction == 1.0
+    assert unequal.sealed_fraction < 1.0
+    if print_tables:
+        print("\nFig. 10 - sealed buckets\n" + format_table([p.as_row() for p in points]))
+
+
+def test_fig10_sweep_over_p(benchmark, print_tables):
+    """Extension: sealing fraction for a sweep of p at fixed alpha = 3, s = 5."""
+    points = benchmark(compare_settings, 3, 5, [5, 6, 8, 10, 15], 60)
+    fractions = [point.sealed_fraction for point in points]
+    assert fractions[0] == 1.0
+    # Paper's claim is qualitative: only s = p seals every bucket at arrival;
+    # any p > s defers a non-zero fraction (the exact fraction is not monotone
+    # in p because the wrap-around distance p // s changes in steps).
+    assert all(fraction < 1.0 for fraction in fractions[1:])
+    if print_tables:
+        print("\nFig. 10 (sweep) - sealing vs p\n" + format_table([p.as_row() for p in points]))

@@ -1,0 +1,40 @@
+"""Figure 11: data blocks the decoder failed to repair, per scheme and disaster size."""
+
+from __future__ import annotations
+
+from repro.simulation.experiments import data_loss_experiment
+from repro.simulation.metrics import format_table
+
+
+def _by_scheme(rows, disaster):
+    return {row["scheme"]: row["data loss (blocks)"] for row in rows if row["disaster (%)"] == disaster}
+
+
+def test_fig11_data_loss(benchmark, experiment_config, print_tables):
+    rows = benchmark.pedantic(
+        data_loss_experiment, args=(experiment_config,), rounds=1, iterations=1
+    )
+
+    # Shape assertions from the paper's discussion of Fig. 11.
+    at30 = _by_scheme(rows, 30)
+    at50 = _by_scheme(rows, 50)
+    slack = experiment_config.data_blocks // 1000
+    # AE(3,2,5) outperforms RS(4,12) although both add 300% storage.
+    assert at50["AE(3,2,5)"] <= at50["RS(4,12)"] + slack
+    # AE(2,2,5) excels compared with 3-way replication (same storage budget).
+    assert at30["AE(2,2,5)"] < at30["3-way replication"]
+    assert at50["AE(2,2,5)"] < at50["3-way replication"]
+    # AE(1) loses roughly an order of magnitude more than RS(5,5) on small
+    # disasters but the gap narrows in large ones.
+    at10 = _by_scheme(rows, 10)
+    assert at10["AE(1,-,-)"] > at10["RS(5,5)"]
+    assert at50["AE(1,-,-)"] < 3 * at50["RS(5,5)"]
+    # RS quality declines with disaster size relative to replication.
+    assert at10["RS(5,5)"] <= at10["3-way replication"]
+    assert at50["RS(5,5)"] > at50["3-way replication"]
+
+    if print_tables:
+        print(
+            f"\nFig. 11 - data loss after repairs ({experiment_config.data_blocks} data blocks)\n"
+            + format_table(rows)
+        )

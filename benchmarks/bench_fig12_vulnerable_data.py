@@ -1,0 +1,38 @@
+"""Figure 12: data blocks left without redundancy under minimal maintenance."""
+
+from __future__ import annotations
+
+from repro.simulation.experiments import vulnerable_data_experiment
+from repro.simulation.metrics import format_table
+
+
+def _by_scheme(rows, disaster):
+    return {
+        row["scheme"]: row["vulnerable data (blocks)"]
+        for row in rows
+        if row["disaster (%)"] == disaster
+    }
+
+
+def test_fig12_vulnerable_data(benchmark, experiment_config, print_tables):
+    rows = benchmark.pedantic(
+        vulnerable_data_experiment, args=(experiment_config,), rounds=1, iterations=1
+    )
+
+    at30 = _by_scheme(rows, 30)
+    at50 = _by_scheme(rows, 50)
+    # RS codes with thin margins leave a large share of the data unprotected
+    # under minimal maintenance; AE codes with alpha >= 2 keep most blocks
+    # protected (each block carries its own parities).
+    assert at30["RS(10,4)"] > at30["AE(3,2,5)"]
+    assert at30["RS(8,2)"] > at30["AE(2,2,5)"]
+    assert at50["RS(10,4)"] > at50["AE(3,2,5)"]
+    # RS(4,12) is the only RS setting comparable to the AE protection levels.
+    assert at30["RS(4,12)"] < at30["RS(10,4)"]
+    assert at50["RS(4,12)"] <= at50["AE(2,2,5)"]
+
+    if print_tables:
+        print(
+            f"\nFig. 12 - blocks without redundancy ({experiment_config.data_blocks} data blocks)\n"
+            + format_table(rows)
+        )

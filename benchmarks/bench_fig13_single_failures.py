@@ -1,0 +1,34 @@
+"""Figure 13: what part of the repairs are single-failure repairs?"""
+
+from __future__ import annotations
+
+from repro.simulation.experiments import single_failure_experiment
+from repro.simulation.metrics import format_table
+
+
+def test_fig13_single_failures(benchmark, experiment_config, print_tables):
+    rows = benchmark.pedantic(
+        single_failure_experiment, args=(experiment_config,), rounds=1, iterations=1
+    )
+    by_scheme = {}
+    for row in rows:
+        by_scheme.setdefault(row["scheme"], {})[row["disaster (%)"]] = row[
+            "single failures (% of repairs)"
+        ]
+
+    # AE codes repair the vast majority of lost data blocks in the first
+    # round with plain two-block single-failure repairs.
+    for scheme in ("AE(2,2,5)", "AE(3,2,5)"):
+        assert by_scheme[scheme][10] > 80
+        assert by_scheme[scheme][50] > 40
+    # Higher alpha means more blocks are fixed in the first round.
+    assert by_scheme["AE(3,2,5)"][30] >= by_scheme["AE(2,2,5)"][30] - 1
+    # For RS(4,12) the share of (expensive) single-failure repairs shrinks as
+    # disasters grow, which is when RS repair amortises best.
+    assert by_scheme["RS(4,12)"][10] > by_scheme["RS(4,12)"][50]
+
+    if print_tables:
+        print(
+            f"\nFig. 13 - single failure repairs ({experiment_config.data_blocks} data blocks)\n"
+            + format_table(rows)
+        )

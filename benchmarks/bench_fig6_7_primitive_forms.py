@@ -1,0 +1,41 @@
+"""Figures 6 and 7: primitive and complex minimal-erasure forms."""
+
+from __future__ import annotations
+
+from repro.analysis.erasure_patterns import (
+    is_minimal_erasure,
+    primitive_form_one,
+    primitive_form_two,
+)
+from repro.analysis.fault_tolerance import complex_form_catalogue
+from repro.core.parameters import AEParameters
+from repro.simulation.metrics import format_table
+
+
+def test_fig6_primitive_forms(benchmark, print_tables):
+    """Fig. 6: the two primitive forms of single entanglements (sizes 3 and 6)."""
+
+    def build_and_validate():
+        params = AEParameters.single()
+        form_one = primitive_form_one()
+        form_two = primitive_form_two(gap=4)
+        assert is_minimal_erasure(form_one, params)
+        assert is_minimal_erasure(form_two, params)
+        return form_one.size, form_two.size
+
+    sizes = benchmark(build_and_validate)
+    assert sizes == (3, 6)
+    if print_tables:
+        print(f"\nFig. 6 - primitive forms: |ME(2)| = {sizes[0]} (form I), {sizes[1]} (form II)")
+
+
+def test_fig7_complex_forms(benchmark, print_tables):
+    """Fig. 7: complex forms A-D found by the exhaustive pattern search."""
+    rows = benchmark(complex_form_catalogue, "search")
+    values = {row["setting"]: row["|ME(2)|"] for row in rows}
+    assert values["AE(2,1,1)"] == 4
+    assert values["AE(3,1,1)"] == 5
+    assert values["AE(3,1,4)"] == 8
+    assert values["AE(3,4,4)"] == 14
+    if print_tables:
+        print("\nFig. 7 - complex forms\n" + format_table(rows))

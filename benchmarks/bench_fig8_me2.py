@@ -1,0 +1,37 @@
+"""Figure 8: |ME(2)| as a function of p for four code settings.
+
+The paper's message: |ME(2)| grows with both s and p, and is minimal when
+s = p.  The benchmark regenerates the four curves with the exhaustive pattern
+search and cross-checks them against the closed-form family sizes.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.fault_tolerance import FIGURE8_P_RANGE, FIGURE8_SETTINGS, me2_family_size, me_curves
+from repro.core.parameters import AEParameters
+from repro.simulation.metrics import format_table
+
+
+def test_fig8_me2_curves(benchmark, print_tables):
+    curves = benchmark.pedantic(
+        me_curves, args=(2,), kwargs={"method": "search"}, rounds=1, iterations=1
+    )
+    rows = [row for curve in curves for row in curve.as_rows()]
+    by_setting = {curve.label(): curve.points for curve in curves}
+
+    # Shape assertions (paper, Fig. 8): monotone growth with p, and the search
+    # agrees with the chain-family sizes 2 + p + (alpha - 1) * s.
+    for (alpha, s) in FIGURE8_SETTINGS:
+        points = by_setting[f"AE({alpha},{s},p)"]
+        values = [size for p, size in sorted(points.items()) if size is not None]
+        assert values == sorted(values)
+        for p, size in points.items():
+            if size is None:
+                continue
+            assert size == me2_family_size(AEParameters(alpha, s, p))
+    # Larger s gives larger patterns at equal p (fault tolerance grows with s).
+    assert by_setting["AE(3,3,p)"][4] > by_setting["AE(3,2,p)"][4]
+    assert by_setting["AE(2,3,p)"][4] > by_setting["AE(2,2,p)"][4]
+
+    if print_tables:
+        print("\nFig. 8 - |ME(2)| vs p\n" + format_table(rows))

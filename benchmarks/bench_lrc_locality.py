@@ -1,0 +1,93 @@
+"""Ablation bench: locality / repair-cost trade-off of AE vs LRC vs RS.
+
+The paper argues RS(4,12) is the only RS setting whose locality approaches
+AE's fixed two-block repairs and that it beats "locally repairable codes like
+the HDFS-Xorbas implementation".  This bench puts the three families side by
+side: single-failure repair reads, storage overhead and encoding throughput.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.codes.lrc import LocalReconstructionCode, azure_lrc, xorbas_lrc
+from repro.codes.reed_solomon import ReedSolomonCode
+from repro.core.parameters import AEParameters
+from repro.simulation.metrics import format_table
+
+BLOCK_SIZE = 16 * 1024
+
+
+def locality_rows():
+    rows = []
+    for params in (AEParameters.single(), AEParameters.double(2, 5), AEParameters.triple(2, 5)):
+        rows.append(
+            {
+                "scheme": params.spec(),
+                "additional storage (%)": params.alpha * 100.0,
+                "single-failure reads": params.single_failure_cost,
+            }
+        )
+    for code in (xorbas_lrc(), azure_lrc(), LocalReconstructionCode(12, 4, 2)):
+        rows.append(
+            {
+                "scheme": code.name,
+                "additional storage (%)": round(code.storage_overhead * 100.0, 1),
+                "single-failure reads": code.single_failure_cost,
+            }
+        )
+    for k, m in ((10, 4), (4, 12)):
+        code = ReedSolomonCode(k, m)
+        rows.append(
+            {
+                "scheme": code.name,
+                "additional storage (%)": round(code.storage_overhead * 100.0, 1),
+                "single-failure reads": code.single_failure_cost,
+            }
+        )
+    return rows
+
+
+def test_locality_table(benchmark, print_tables):
+    rows = benchmark(locality_rows)
+    by_scheme = {row["scheme"]: row for row in rows}
+    # AE repairs with 2 reads; LRC with k/l; RS with k.  The ordering must hold.
+    assert (
+        by_scheme["AE(3,2,5)"]["single-failure reads"]
+        < by_scheme["LRC(10,2,4)"]["single-failure reads"]
+        < by_scheme["RS(10,4)"]["single-failure reads"]
+    )
+    if print_tables:
+        print("\nLocality / storage trade-off\n" + format_table(rows))
+
+
+def test_lrc_encode_throughput(benchmark):
+    """Encoding throughput of the LRC baseline (GF(2^8) globals dominate)."""
+    code = azure_lrc()
+    rng = np.random.default_rng(5)
+    stripe = [rng.integers(0, 256, size=BLOCK_SIZE, dtype=np.uint8) for _ in range(code.k)]
+    parities = benchmark(code.encode, stripe)
+    assert len(parities) == code.m
+
+
+def test_lrc_local_repair_beats_global_decode(benchmark, print_tables):
+    """A single data failure is repaired from the local group only."""
+    code = azure_lrc()
+    rng = np.random.default_rng(6)
+    stripe = [rng.integers(0, 256, size=BLOCK_SIZE, dtype=np.uint8) for _ in range(code.k)]
+    parities = code.encode(stripe)
+    available = {index: payload for index, payload in enumerate(stripe)}
+    available.update({code.k + index: payload for index, payload in enumerate(parities)})
+    del available[3]
+
+    def local_repair():
+        positions = code.local_repair_positions(3)
+        needed = {pos: available[pos] for pos in positions}
+        needed_full = dict(available)
+        return code.repair(3, needed_full), len(positions)
+
+    repaired, reads = benchmark(local_repair)
+    assert np.array_equal(repaired, stripe[3])
+    assert reads == code.group_size
+    if print_tables:
+        print(f"\nLRC local repair of one block reads {reads} blocks (RS would read {code.k})")

@@ -1,0 +1,19 @@
+"""Section V-C "Block Placements": placement skew of random placement."""
+
+from __future__ import annotations
+
+from repro.simulation.experiments import placement_balance_report
+from repro.simulation.metrics import format_table
+
+
+def test_placement_balance(benchmark, experiment_config, print_tables):
+    rows = benchmark.pedantic(
+        placement_balance_report, args=(experiment_config,), rounds=1, iterations=1
+    )
+    rs_row = rows[0]
+    # With n = 100 locations only a minority of RS(10,4) stripes spread their
+    # 14 blocks over 14 distinct locations (the paper reports 38,429/100,000).
+    spread_fraction = rs_row["stripes fully spread"] / rs_row["stripes"]
+    assert 0.30 < spread_fraction < 0.48
+    if print_tables:
+        print("\nPlacement balance (random placement, n = 100)\n" + format_table(rows))

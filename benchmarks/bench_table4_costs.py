@@ -1,0 +1,20 @@
+"""Table IV: additional storage and single-failure repair cost per scheme."""
+
+from __future__ import annotations
+
+from repro.simulation.experiments import costs_table
+from repro.simulation.metrics import format_table
+
+
+def test_table4_scheme_costs(benchmark, print_tables):
+    rows = benchmark(costs_table)
+    table = {row["scheme"]: row for row in rows}
+    # Sanity of the regenerated table (the paper's Table IV rows).
+    assert table["RS(10,4)"]["additional storage (%)"] == 40.0
+    assert table["RS(8,2)"]["additional storage (%)"] == 25.0
+    assert table["RS(5,5)"]["additional storage (%)"] == 100.0
+    assert table["RS(4,12)"]["additional storage (%)"] == 300.0
+    assert table["AE(1,-,-)"]["single-failure repair (blocks read)"] == 2
+    assert table["AE(3,2,5)"]["single-failure repair (blocks read)"] == 2
+    if print_tables:
+        print("\nTable IV - redundancy scheme costs\n" + format_table(rows))

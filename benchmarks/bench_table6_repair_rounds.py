@@ -1,0 +1,28 @@
+"""Table VI: number of repair rounds needed by the AE decoder per disaster size."""
+
+from __future__ import annotations
+
+from repro.simulation.experiments import repair_rounds_experiment
+from repro.simulation.metrics import format_table
+
+
+def test_table6_repair_rounds(benchmark, experiment_config, print_tables):
+    rows = benchmark.pedantic(
+        repair_rounds_experiment, args=(experiment_config,), rounds=1, iterations=1
+    )
+    by_code = {row["code"]: row for row in rows}
+
+    # Rounds grow with disaster size for every setting (paper, Table VI).
+    for code, row in by_code.items():
+        assert row["10%"] <= row["30%"] <= row["50%"] + 1
+        assert 1 <= row["10%"] <= 15
+        assert row["50%"] <= 60
+    # AE(3,2,5) needs no more rounds than AE(2,2,5) on the largest disasters
+    # (more strands give the decoder more ways to make progress per round).
+    assert by_code["AE(3,2,5)"]["50%"] <= by_code["AE(2,2,5)"]["50%"]
+
+    if print_tables:
+        print(
+            f"\nTable VI - repair rounds ({experiment_config.data_blocks} data blocks)\n"
+            + format_table(rows)
+        )

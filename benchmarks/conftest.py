@@ -1,0 +1,33 @@
+"""Shared configuration for the benchmark harnesses.
+
+Every benchmark regenerates one table or figure of the paper.  The disaster
+simulations default to a reduced scale (``REPRO_BENCH_BLOCKS`` data blocks,
+100,000 by default) so the whole suite runs in minutes; set the environment
+variable ``REPRO_BENCH_BLOCKS=1000000`` to reproduce the paper's full scale.
+
+Each benchmark prints the regenerated table after timing it, so running
+``pytest benchmarks/ --benchmark-only -s`` shows the reproduced numbers.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.simulation.experiments import ExperimentConfig
+
+
+def bench_blocks() -> int:
+    return int(os.environ.get("REPRO_BENCH_BLOCKS", "100000"))
+
+
+@pytest.fixture(scope="session")
+def experiment_config() -> ExperimentConfig:
+    """Configuration used by the disaster-recovery benchmarks."""
+    return ExperimentConfig.quick(bench_blocks())
+
+
+@pytest.fixture(scope="session")
+def print_tables() -> bool:
+    return os.environ.get("REPRO_BENCH_QUIET", "") == ""

@@ -1,0 +1,10 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+The project metadata lives in ``pyproject.toml``; this file only enables the
+legacy ``pip install -e .`` code path (setuptools ``develop``) on machines
+where PEP 660 editable installs are unavailable because ``wheel`` is missing.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,80 @@
+"""repro -- a reproduction of *Alpha Entanglement Codes* (DSN 2018).
+
+The package implements the AE(alpha, s, p) family of entanglement codes and
+everything needed to evaluate them the way the paper does: baseline codes
+(Reed-Solomon, replication), a storage cluster substrate with failure
+injection, the entangled-storage-system use cases (geo-replicated backup and
+RAID-AE), the minimal-erasure fault-tolerance analysis and a vectorised
+disaster-recovery simulator.
+
+Quickstart::
+
+    from repro import AEParameters, Entangler
+
+    code = AEParameters.triple(s=2, p=5)      # AE(3,2,5), the 5-HEC setting
+    encoder = Entangler(code, block_size=4096)
+    encoded, length = encoder.encode_bytes(b"some archive content")
+
+See ``examples/quickstart.py`` for a complete encode / damage / repair cycle.
+"""
+
+from repro.core import (
+    AEParameters,
+    Block,
+    BlockId,
+    DataId,
+    Decoder,
+    EncodedBlock,
+    Entangler,
+    HelicalLattice,
+    IterativeRepairer,
+    NodeCategory,
+    ParityId,
+    RepairReport,
+    StrandClass,
+    StrandId,
+)
+from repro.exceptions import (
+    BlockSizeMismatchError,
+    BlockUnavailableError,
+    DecodingError,
+    IntegrityError,
+    InvalidParametersError,
+    LatticeBoundsError,
+    PlacementError,
+    RepairFailedError,
+    ReproError,
+    StorageFullError,
+    UnknownBlockError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AEParameters",
+    "Block",
+    "BlockId",
+    "BlockSizeMismatchError",
+    "BlockUnavailableError",
+    "DataId",
+    "Decoder",
+    "DecodingError",
+    "EncodedBlock",
+    "Entangler",
+    "HelicalLattice",
+    "IntegrityError",
+    "InvalidParametersError",
+    "IterativeRepairer",
+    "LatticeBoundsError",
+    "NodeCategory",
+    "ParityId",
+    "PlacementError",
+    "RepairFailedError",
+    "RepairReport",
+    "ReproError",
+    "StorageFullError",
+    "StrandClass",
+    "StrandId",
+    "UnknownBlockError",
+    "__version__",
+]

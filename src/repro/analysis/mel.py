@@ -1,0 +1,442 @@
+"""Minimal Erasures List (MEL) over a generic GF(2) Tanner-graph model.
+
+The paper's fault-tolerance methodology (Section V-A) is a variation of two
+earlier studies on irregular XOR-based codes:
+
+* Wylie & Swaminathan, *Determining fault tolerance of XOR-based erasure codes
+  efficiently* (DSN'07) -- the Minimal Erasures List, the enumeration of every
+  irreducible erasure pattern a flat XOR code cannot tolerate;
+* Greenan, Miller & Wylie, *Reliability of XOR-based erasure codes on
+  heterogeneous devices* (DSN'08) -- the fault-tolerance vector derived from
+  the MEL.
+
+This module implements both for *any* systematic XOR code expressed as a
+:class:`TannerGraph` (data symbols plus parity symbols, each parity being the
+XOR of a subset of the data symbols).  Two constructions are provided:
+
+* :func:`TannerGraph.from_flat_code` wraps a :class:`repro.codes.flat_xor.FlatXorCode`;
+* :func:`ae_window_graph` flattens a finite window of an AE(alpha, s, p)
+  helical lattice into the equivalent flat XOR code (each parity ``p_{i,j}``
+  equals the XOR of all data blocks behind it on its strand, because strands
+  start from a virtual zero parity).
+
+The second construction is the library's independent cross-check of the
+minimal-erasure search in :mod:`repro.analysis.erasure_patterns`: both
+approaches must report the same irrecoverability verdict for any erasure
+pattern inside the window, and the exhaustive MEL search provides ground
+truth for the |ME(x)| sizes reported in Figures 6-9.
+
+Complexity note: the exact MEL is exponential in the erasure size; callers
+bound the search with ``max_size`` (patterns larger than the bound are simply
+not enumerated, exactly like the paper restricts itself to "the most relevant
+patterns").
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.codes.flat_xor import FlatXorCode
+from repro.core.parameters import AEParameters, StrandClass
+from repro.core.rules import input_index
+from repro.exceptions import InvalidParametersError
+
+__all__ = [
+    "TannerGraph",
+    "MinimalErasure",
+    "MinimalErasuresList",
+    "FaultToleranceVector",
+    "ae_window_graph",
+    "ae_window_flat_code",
+    "gf2_rank",
+    "gf2_solvable",
+]
+
+
+# ----------------------------------------------------------------------
+# GF(2) linear algebra helpers
+# ----------------------------------------------------------------------
+def gf2_rank(matrix: np.ndarray) -> int:
+    """Rank of a 0/1 matrix over GF(2) by Gaussian elimination."""
+    work = np.array(matrix, dtype=np.uint8, copy=True) & 1
+    if work.size == 0:
+        return 0
+    rows, cols = work.shape
+    rank = 0
+    pivot_row = 0
+    for col in range(cols):
+        if pivot_row >= rows:
+            break
+        pivot = None
+        for row in range(pivot_row, rows):
+            if work[row, col]:
+                pivot = row
+                break
+        if pivot is None:
+            continue
+        if pivot != pivot_row:
+            work[[pivot_row, pivot]] = work[[pivot, pivot_row]]
+        eliminate = work[:, col].astype(bool).copy()
+        eliminate[pivot_row] = False
+        work[eliminate] ^= work[pivot_row]
+        pivot_row += 1
+        rank += 1
+    return rank
+
+
+def gf2_solvable(matrix: np.ndarray, target: np.ndarray) -> bool:
+    """True when ``target`` lies in the row space of ``matrix`` over GF(2)."""
+    matrix = np.atleast_2d(np.asarray(matrix, dtype=np.uint8)) & 1
+    target = np.asarray(target, dtype=np.uint8).reshape(1, -1) & 1
+    if matrix.shape[0] == 0:
+        return not target.any()
+    base_rank = gf2_rank(matrix)
+    extended = np.vstack([matrix, target])
+    return gf2_rank(extended) == base_rank
+
+
+# ----------------------------------------------------------------------
+# Tanner graph model
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class TannerGraph:
+    """Systematic XOR code: ``k`` data symbols and one equation per parity.
+
+    Symbol positions follow the :class:`~repro.codes.base.StripeCode`
+    convention: ``0 .. k-1`` are data symbols, ``k .. k+m-1`` are parity
+    symbols.  ``equations[j]`` is the (frozen) set of data positions XORed to
+    produce parity ``j``.
+    """
+
+    k: int
+    equations: Tuple[FrozenSet[int], ...]
+    labels: Tuple[str, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        if self.k < 1:
+            raise InvalidParametersError("a Tanner graph needs at least one data symbol")
+        for equation in self.equations:
+            bad = [position for position in equation if position < 0 or position >= self.k]
+            if bad:
+                raise InvalidParametersError(
+                    f"parity equation references non-data positions {bad}"
+                )
+        if self.labels and len(self.labels) != self.n:
+            raise InvalidParametersError(
+                f"expected {self.n} symbol labels, got {len(self.labels)}"
+            )
+
+    # ------------------------------------------------------------------
+    # Shape
+    # ------------------------------------------------------------------
+    @property
+    def m(self) -> int:
+        """Number of parity symbols."""
+        return len(self.equations)
+
+    @property
+    def n(self) -> int:
+        """Total number of symbols (data + parity)."""
+        return self.k + self.m
+
+    def label(self, position: int) -> str:
+        """Human readable name of a symbol position."""
+        if self.labels:
+            return self.labels[position]
+        if position < self.k:
+            return f"d{position}"
+        return f"p{position - self.k}"
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_flat_code(cls, code: FlatXorCode) -> "TannerGraph":
+        """Wrap a :class:`FlatXorCode` (same position convention)."""
+        return cls(k=code.k, equations=tuple(frozenset(eq) for eq in code.equations))
+
+    def to_flat_code(self) -> FlatXorCode:
+        """Materialise the graph as an encodable/decodable flat XOR code."""
+        return FlatXorCode(self.k, [sorted(equation) for equation in self.equations])
+
+    # ------------------------------------------------------------------
+    # Generator matrix and erasure analysis
+    # ------------------------------------------------------------------
+    def generator_matrix(self) -> np.ndarray:
+        """The ``n x k`` systematic generator matrix over GF(2)."""
+        matrix = np.zeros((self.n, self.k), dtype=np.uint8)
+        matrix[: self.k] = np.eye(self.k, dtype=np.uint8)
+        for parity_index, equation in enumerate(self.equations):
+            for position in equation:
+                matrix[self.k + parity_index, position] = 1
+        return matrix
+
+    def lost_data(self, erased: Iterable[int]) -> List[int]:
+        """Data positions that cannot be recovered when ``erased`` is lost.
+
+        A data symbol is recoverable iff its unit vector lies in the GF(2) row
+        space spanned by the surviving symbols (maximum-likelihood erasure
+        decoding; strictly stronger than the peeling decoder, matching the
+        MEL definition).
+        """
+        erased_set = set(int(position) for position in erased)
+        for position in erased_set:
+            if position < 0 or position >= self.n:
+                raise InvalidParametersError(
+                    f"erased position {position} outside 0..{self.n - 1}"
+                )
+        generator = self.generator_matrix()
+        surviving = np.array(
+            [row for position, row in enumerate(generator) if position not in erased_set],
+            dtype=np.uint8,
+        ).reshape(-1, self.k)
+        lost: List[int] = []
+        for data_position in sorted(p for p in erased_set if p < self.k):
+            unit = np.zeros(self.k, dtype=np.uint8)
+            unit[data_position] = 1
+            if not gf2_solvable(surviving, unit):
+                lost.append(data_position)
+        return lost
+
+    def is_irrecoverable(self, erased: Iterable[int]) -> bool:
+        """True when the erasure pattern loses at least one data symbol."""
+        return bool(self.lost_data(erased))
+
+    def is_minimal_erasure(self, erased: Iterable[int]) -> bool:
+        """True when ``erased`` is irrecoverable but no proper subset is.
+
+        This is the paper's irreducibility notion: removing any single block
+        from the pattern allows the decoder to recover at least one of the
+        previously lost blocks (in fact, for XOR codes, removing one element
+        of a minimal erasure makes the whole pattern recoverable).
+        """
+        erased_set = frozenset(int(position) for position in erased)
+        if not self.is_irrecoverable(erased_set):
+            return False
+        for position in erased_set:
+            if self.is_irrecoverable(erased_set - {position}):
+                return False
+        return True
+
+    # ------------------------------------------------------------------
+    # MEL enumeration
+    # ------------------------------------------------------------------
+    def minimal_erasures(
+        self, max_size: int, max_data_loss: Optional[int] = None
+    ) -> "MinimalErasuresList":
+        """Enumerate every minimal erasure of size at most ``max_size``.
+
+        ``max_data_loss`` optionally restricts the enumeration to patterns
+        that lose at most that many data symbols (the paper's ME(x) study
+        fixes ``x`` and asks for the smallest pattern).
+        """
+        if max_size < 1:
+            raise InvalidParametersError("max_size must be at least 1")
+        found: List[MinimalErasure] = []
+        seen: Set[FrozenSet[int]] = set()
+        positions = range(self.n)
+        for size in range(1, max_size + 1):
+            for combo in itertools.combinations(positions, size):
+                candidate = frozenset(combo)
+                if candidate in seen:
+                    continue
+                # Skip candidates that contain an already-found minimal erasure:
+                # they are irrecoverable but not minimal.
+                if any(previous.erased < candidate for previous in found):
+                    continue
+                lost = self.lost_data(candidate)
+                if not lost:
+                    continue
+                if not self.is_minimal_erasure(candidate):
+                    continue
+                if max_data_loss is not None and len(lost) > max_data_loss:
+                    continue
+                seen.add(candidate)
+                found.append(
+                    MinimalErasure(erased=candidate, lost_data=tuple(sorted(lost)))
+                )
+        return MinimalErasuresList(graph=self, max_size=max_size, erasures=tuple(found))
+
+
+# ----------------------------------------------------------------------
+# MEL containers and derived metrics
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class MinimalErasure:
+    """One irreducible erasure pattern and the data symbols it loses."""
+
+    erased: FrozenSet[int]
+    lost_data: Tuple[int, ...]
+
+    @property
+    def size(self) -> int:
+        return len(self.erased)
+
+    @property
+    def data_loss(self) -> int:
+        return len(self.lost_data)
+
+    def describe(self, graph: TannerGraph) -> str:
+        erased = ", ".join(graph.label(position) for position in sorted(self.erased))
+        lost = ", ".join(graph.label(position) for position in self.lost_data)
+        return f"{{{erased}}} loses {{{lost}}}"
+
+
+@dataclass(frozen=True)
+class MinimalErasuresList:
+    """The MEL of a code, bounded by a maximum pattern size."""
+
+    graph: TannerGraph
+    max_size: int
+    erasures: Tuple[MinimalErasure, ...]
+
+    def __len__(self) -> int:
+        return len(self.erasures)
+
+    def __iter__(self) -> Iterator[MinimalErasure]:
+        return iter(self.erasures)
+
+    def of_size(self, size: int) -> List[MinimalErasure]:
+        """Minimal erasures with exactly ``size`` erased symbols."""
+        return [erasure for erasure in self.erasures if erasure.size == size]
+
+    def smallest(self) -> Optional[MinimalErasure]:
+        """The smallest minimal erasure found (``None`` if the list is empty)."""
+        if not self.erasures:
+            return None
+        return min(self.erasures, key=lambda erasure: (erasure.size, erasure.data_loss))
+
+    def minimal_erasure_size(self, data_loss: int) -> Optional[int]:
+        """|ME(x)|: size of the smallest pattern losing exactly ``data_loss`` data symbols.
+
+        Returns ``None`` when no such pattern exists within ``max_size`` --
+        i.e. |ME(x)| is a lower bound witness, not an impossibility proof.
+        """
+        candidates = [
+            erasure.size for erasure in self.erasures if erasure.data_loss == data_loss
+        ]
+        return min(candidates) if candidates else None
+
+    def size_histogram(self) -> Dict[int, int]:
+        """Number of minimal erasures per pattern size (the MEL vector)."""
+        histogram: Dict[int, int] = {}
+        for erasure in self.erasures:
+            histogram[erasure.size] = histogram.get(erasure.size, 0) + 1
+        return dict(sorted(histogram.items()))
+
+    def fault_tolerance_vector(self, max_failures: Optional[int] = None) -> "FaultToleranceVector":
+        """Greenan-style fault-tolerance vector derived from the MEL.
+
+        Entry ``f`` is the probability that ``f`` erasures chosen uniformly at
+        random (without replacement among all ``n`` symbols) are irrecoverable,
+        i.e. contain at least one minimal erasure.  The computation enumerates
+        ``f``-subsets exactly, so it is intended for the small codes the ME
+        study targets.
+        """
+        limit = max_failures if max_failures is not None else self.max_size
+        limit = min(limit, self.graph.n)
+        counts: Dict[int, int] = {}
+        totals: Dict[int, int] = {}
+        positions = range(self.graph.n)
+        minimal_sets = [erasure.erased for erasure in self.erasures]
+        for failures in range(limit + 1):
+            total = 0
+            bad = 0
+            for combo in itertools.combinations(positions, failures):
+                total += 1
+                combo_set = frozenset(combo)
+                if any(minimal <= combo_set for minimal in minimal_sets):
+                    bad += 1
+            counts[failures] = bad
+            totals[failures] = total
+        return FaultToleranceVector(
+            irrecoverable_counts=counts, total_counts=totals, symbols=self.graph.n
+        )
+
+
+@dataclass(frozen=True)
+class FaultToleranceVector:
+    """Probability of data loss conditioned on the number of failed symbols."""
+
+    irrecoverable_counts: Dict[int, int]
+    total_counts: Dict[int, int]
+    symbols: int
+
+    def probability(self, failures: int) -> float:
+        """P(data loss | exactly ``failures`` random symbol erasures)."""
+        total = self.total_counts.get(failures, 0)
+        if not total:
+            return 0.0
+        return self.irrecoverable_counts.get(failures, 0) / total
+
+    def hamming_distance(self) -> int:
+        """Smallest number of erasures that can cause data loss.
+
+        For an MDS (k, m) code this equals ``m + 1``; irregular codes are
+        usually judged by how slowly :meth:`probability` grows past this point.
+        """
+        for failures in sorted(self.total_counts):
+            if self.irrecoverable_counts.get(failures, 0):
+                return failures
+        return self.symbols + 1
+
+    def as_rows(self) -> List[Dict[str, object]]:
+        return [
+            {
+                "failures": failures,
+                "irrecoverable patterns": self.irrecoverable_counts.get(failures, 0),
+                "total patterns": self.total_counts.get(failures, 0),
+                "P(data loss)": round(self.probability(failures), 6),
+            }
+            for failures in sorted(self.total_counts)
+        ]
+
+
+# ----------------------------------------------------------------------
+# AE lattice window flattening
+# ----------------------------------------------------------------------
+def _strand_support(
+    creator: int, strand_class: StrandClass, params: AEParameters
+) -> FrozenSet[int]:
+    """Data nodes whose XOR equals parity ``p_{creator, *}`` on ``strand_class``.
+
+    Strands start with a virtual zero parity, so unrolling the recursion
+    ``p_{i,j} = d_i XOR p_{h,i}`` yields the XOR of every data node from the
+    strand's first node up to ``creator``.
+    """
+    support: Set[int] = set()
+    current = creator
+    while current >= 1:
+        support.add(current)
+        current = input_index(current, strand_class, params)
+    return frozenset(support)
+
+
+def ae_window_graph(params: AEParameters, nodes: int) -> TannerGraph:
+    """Flatten the first ``nodes`` positions of an AE lattice into a Tanner graph.
+
+    Data symbol ``i - 1`` (0-based) corresponds to lattice node ``d_i``; every
+    parity created by a node inside the window becomes one XOR equation over
+    the window's data nodes.  Edges leaving the window are included (their
+    creator is inside), edges entering from outside do not exist because the
+    window starts at the beginning of the lattice.
+    """
+    if nodes < 1:
+        raise InvalidParametersError("the window must contain at least one node")
+    equations: List[FrozenSet[int]] = []
+    labels: List[str] = [f"d{index}" for index in range(1, nodes + 1)]
+    for creator in range(1, nodes + 1):
+        for strand_class in params.strand_classes:
+            support = _strand_support(creator, strand_class, params)
+            equations.append(frozenset(position - 1 for position in support))
+            labels.append(f"p[{creator},{strand_class.value}]")
+    return TannerGraph(k=nodes, equations=tuple(equations), labels=tuple(labels))
+
+
+def ae_window_flat_code(params: AEParameters, nodes: int) -> FlatXorCode:
+    """The flattened AE window as an encodable :class:`FlatXorCode`."""
+    return ae_window_graph(params, nodes).to_flat_code()

@@ -1,0 +1,91 @@
+"""Write-performance analysis: the s = p vs p > s comparison of Fig. 10.
+
+The sealed-bucket simulator lives in :mod:`repro.core.buckets`; this module
+adds the comparison/reporting layer: given an ``alpha`` and an ``s`` it
+contrasts the sealing behaviour across ``p`` values, estimates the memory a
+writer needs for full-writes and summarises the trade-off the paper draws
+(``s = p`` maximises write parallelism; ``p > s`` buys fault tolerance at the
+price of deferred or partial writes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.buckets import WriteScheduler, WriteScheduleReport
+from repro.core.parameters import AEParameters
+from repro.exceptions import InvalidParametersError
+
+
+@dataclass
+class WritePerformancePoint:
+    """Sealing behaviour of one AE(alpha, s, p) setting."""
+
+    params: AEParameters
+    sealed_fraction: float
+    deferred_parities_per_column: float
+    strand_head_memory_blocks: int
+    window_memory_blocks: int
+
+    def as_row(self) -> Dict[str, object]:
+        return {
+            "setting": self.params.spec(),
+            "buckets sealed at arrival": f"{self.sealed_fraction:.0%}",
+            "deferred parities / column": round(self.deferred_parities_per_column, 2),
+            "strand-head memory (blocks)": self.strand_head_memory_blocks,
+            "window memory (blocks)": self.window_memory_blocks,
+        }
+
+
+def evaluate_setting(
+    params: AEParameters, columns: int = 60, window_columns: int = 1
+) -> WritePerformancePoint:
+    """Run the sealed-bucket simulation for one setting and summarise it."""
+    report: WriteScheduleReport = WriteScheduler(params, window_columns).simulate(columns)
+    columns_counted = max(report.columns - (params.p // params.s + 1), 1)
+    return WritePerformancePoint(
+        params=params,
+        sealed_fraction=report.sealed_fraction,
+        deferred_parities_per_column=report.deferred_parities / columns_counted,
+        strand_head_memory_blocks=params.strand_count,
+        window_memory_blocks=report.memory_requirement_blocks(),
+    )
+
+
+def compare_settings(
+    alpha: int,
+    s: int,
+    p_values: Sequence[int],
+    columns: int = 60,
+    window_columns: int = 1,
+) -> List[WritePerformancePoint]:
+    """Fig. 10 style comparison: same alpha and s, varying p."""
+    if alpha < 1 or s < 1:
+        raise InvalidParametersError("alpha and s must be positive")
+    points: List[WritePerformancePoint] = []
+    for p in p_values:
+        if p < s:
+            continue
+        params = AEParameters(alpha, s, p)
+        points.append(evaluate_setting(params, columns=columns, window_columns=window_columns))
+    return points
+
+
+def figure10_comparison(columns: int = 60) -> List[WritePerformancePoint]:
+    """The two settings drawn in Fig. 10: AE(3,5,10) (p > s) and AE(3,10,10) (s = p).
+
+    The figure's message is qualitative: with ``s = p`` every bucket of a
+    column can be sealed with parities computed in the previous time step;
+    with ``p > s`` the wrap-around strands pull inputs from ``p / s`` columns
+    back, so a fraction of the buckets has to wait or be written partially.
+    """
+    return [
+        evaluate_setting(AEParameters(3, 5, 10), columns=columns),
+        evaluate_setting(AEParameters(3, 10, 10), columns=columns),
+    ]
+
+
+def full_write_memory(params: AEParameters) -> int:
+    """Parities a writer holds for full-writes: one per strand, O(N) overall."""
+    return params.strand_count

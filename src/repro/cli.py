@@ -1,0 +1,202 @@
+"""Command line entry point: ``repro-experiments``.
+
+Runs the paper's experiments and prints the resulting tables.  Examples::
+
+    repro-experiments --list
+    repro-experiments fig11 --blocks 200000
+    repro-experiments all --paper-scale
+    repro-experiments fig8 --method family
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List
+
+from repro.analysis.fault_tolerance import complex_form_catalogue, me_curves
+from repro.analysis.markov import five_year_loss_table
+from repro.analysis.reliability import five_year_comparison
+from repro.analysis.repair_cost import single_failure_table
+from repro.analysis.write_performance import figure10_comparison
+from repro.core.parameters import AEParameters
+from repro.simulation.churn import ChurnConfig, compare_schemes_under_churn
+from repro.simulation.traces import p2p_session_trace
+from repro.simulation.experiments import (
+    ExperimentConfig,
+    costs_table,
+    data_loss_experiment,
+    placement_balance_report,
+    repair_rounds_experiment,
+    single_failure_experiment,
+    vulnerable_data_experiment,
+)
+from repro.simulation.metrics import format_table
+
+
+def _config_from_args(args: argparse.Namespace) -> ExperimentConfig:
+    if args.paper_scale:
+        return ExperimentConfig.paper_scale()
+    return ExperimentConfig.quick(args.blocks)
+
+
+def _run_fig8(args: argparse.Namespace) -> str:
+    curves = me_curves(2, method=args.method)
+    rows = [row for curve in curves for row in curve.as_rows()]
+    return format_table(rows)
+
+
+def _run_fig9(args: argparse.Namespace) -> str:
+    curves = me_curves(4, method=args.method)
+    rows = [row for curve in curves for row in curve.as_rows()]
+    return format_table(rows)
+
+
+def _run_fig6_7(args: argparse.Namespace) -> str:
+    return format_table(complex_form_catalogue(method=args.method))
+
+
+def _run_fig10(args: argparse.Namespace) -> str:
+    return format_table([point.as_row() for point in figure10_comparison()])
+
+
+def _run_fig11(args: argparse.Namespace) -> str:
+    return format_table(data_loss_experiment(_config_from_args(args)))
+
+
+def _run_fig12(args: argparse.Namespace) -> str:
+    return format_table(vulnerable_data_experiment(_config_from_args(args)))
+
+
+def _run_fig13(args: argparse.Namespace) -> str:
+    return format_table(single_failure_experiment(_config_from_args(args)))
+
+
+def _run_table4(args: argparse.Namespace) -> str:
+    return format_table(costs_table())
+
+
+def _run_table6(args: argparse.Namespace) -> str:
+    return format_table(repair_rounds_experiment(_config_from_args(args)))
+
+
+def _run_placement(args: argparse.Namespace) -> str:
+    return format_table(placement_balance_report(_config_from_args(args)))
+
+
+def _run_reliability(args: argparse.Namespace) -> str:
+    results = five_year_comparison(trials=args.trials)
+    rows = [
+        {
+            "layout": result.layout,
+            "drives": result.drives,
+            "loss probability (5y)": round(result.loss_probability, 4),
+        }
+        for result in results.values()
+    ]
+    return format_table(rows)
+
+
+def _run_repair_cost(args: argparse.Namespace) -> str:
+    from repro.simulation.metrics import PAPER_SCHEMES
+
+    return format_table(single_failure_table(PAPER_SCHEMES, block_size=4096))
+
+
+def _run_markov(args: argparse.Namespace) -> str:
+    return format_table(five_year_loss_table())
+
+
+def _run_churn(args: argparse.Namespace) -> str:
+    trace = p2p_session_trace(
+        40, 240.0, mean_session_hours=18.0, mean_downtime_hours=6.0, seed=17
+    )
+    schemes = [
+        AEParameters.single(),
+        AEParameters.double(2, 5),
+        AEParameters.triple(2, 5),
+        (8, 2),
+        (5, 5),
+        2,
+        3,
+    ]
+    config = ChurnConfig(data_blocks=min(args.blocks, 20_000), sample_every_hours=12.0)
+    return format_table(compare_schemes_under_churn(trace, schemes, config))
+
+
+EXPERIMENTS: Dict[str, Callable[[argparse.Namespace], str]] = {
+    "fig6-7": _run_fig6_7,
+    "fig8": _run_fig8,
+    "fig9": _run_fig9,
+    "fig10": _run_fig10,
+    "fig11": _run_fig11,
+    "fig12": _run_fig12,
+    "fig13": _run_fig13,
+    "table4": _run_table4,
+    "table6": _run_table6,
+    "placement": _run_placement,
+    "reliability": _run_reliability,
+    "repair-cost": _run_repair_cost,
+    "markov": _run_markov,
+    "churn": _run_churn,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate the tables and figures of the Alpha Entanglement Codes paper.",
+    )
+    parser.add_argument(
+        "experiment",
+        nargs="?",
+        default="all",
+        help="experiment id (fig6-7, fig8, ..., table6) or 'all'",
+    )
+    parser.add_argument("--list", action="store_true", help="list available experiments")
+    parser.add_argument(
+        "--blocks",
+        type=int,
+        default=100_000,
+        help="number of data blocks for the disaster simulations (default 100k)",
+    )
+    parser.add_argument(
+        "--paper-scale",
+        action="store_true",
+        help="use the paper's full scale (1,000,000 data blocks)",
+    )
+    parser.add_argument(
+        "--method",
+        choices=["search", "family"],
+        default="search",
+        help="ME computation method for fig6-7/fig8/fig9",
+    )
+    parser.add_argument(
+        "--trials", type=int, default=1000, help="Monte-Carlo trials for the reliability run"
+    )
+    return parser
+
+
+def main(argv: List[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.list:
+        for name in sorted(EXPERIMENTS):
+            print(name)
+        return 0
+    if args.experiment == "all":
+        for name in EXPERIMENTS:
+            print(f"== {name} ==")
+            print(EXPERIMENTS[name](args))
+            print()
+        return 0
+    if args.experiment not in EXPERIMENTS:
+        parser.error(
+            f"unknown experiment {args.experiment!r}; use --list to see the options"
+        )
+    print(EXPERIMENTS[args.experiment](args))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

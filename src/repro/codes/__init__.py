@@ -1,0 +1,60 @@
+"""Baseline redundancy schemes used in the paper's evaluation.
+
+The subpackage implements the codes AE is compared against: systematic
+Reed-Solomon over GF(2^8), n-way replication and flat XOR codes, all behind
+the common :class:`repro.codes.base.StripeCode` interface.
+"""
+
+from repro.codes.base import CodeCosts, StripeCode
+from repro.codes.flat_xor import FlatXorCode, geo_xor_code, mirrored_pairs_code, raid5_code
+from repro.codes.lrc import LocalReconstructionCode, azure_lrc, xorbas_lrc
+from repro.codes.gf256 import (
+    gf_add,
+    gf_div,
+    gf_inverse,
+    gf_matmul,
+    gf_matrix_inverse,
+    gf_mul,
+    gf_mul_bytes,
+    gf_pow,
+    vandermonde_matrix,
+)
+from repro.codes.reed_solomon import (
+    PAPER_RS_SETTINGS,
+    ReedSolomonCode,
+    paper_rs_codes,
+    systematic_encoding_matrix,
+)
+from repro.codes.replication import (
+    PAPER_REPLICATION_FACTORS,
+    ReplicationCode,
+    paper_replication_codes,
+)
+
+__all__ = [
+    "CodeCosts",
+    "FlatXorCode",
+    "LocalReconstructionCode",
+    "PAPER_REPLICATION_FACTORS",
+    "PAPER_RS_SETTINGS",
+    "ReedSolomonCode",
+    "ReplicationCode",
+    "StripeCode",
+    "azure_lrc",
+    "geo_xor_code",
+    "gf_add",
+    "gf_div",
+    "gf_inverse",
+    "gf_matmul",
+    "gf_matrix_inverse",
+    "gf_mul",
+    "gf_mul_bytes",
+    "gf_pow",
+    "mirrored_pairs_code",
+    "paper_replication_codes",
+    "paper_rs_codes",
+    "raid5_code",
+    "systematic_encoding_matrix",
+    "vandermonde_matrix",
+    "xorbas_lrc",
+]

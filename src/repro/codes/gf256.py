@@ -1,0 +1,185 @@
+"""Arithmetic over the Galois field GF(2^8).
+
+Reed-Solomon codes operate over a finite field; storage systems almost always
+use GF(2^8) because a field element fits in one byte.  This module implements
+the field with the common primitive polynomial ``x^8 + x^4 + x^3 + x^2 + 1``
+(0x11d) using exp/log tables, plus the vectorised kernels (numpy) and the
+dense linear algebra (matrix multiplication and inversion) needed by the
+systematic Reed-Solomon encoder and decoder.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.exceptions import DecodingError
+
+#: Primitive polynomial used to generate the field.
+PRIMITIVE_POLYNOMIAL = 0x11D
+#: Number of field elements.
+FIELD_SIZE = 256
+#: Order of the multiplicative group.
+GROUP_ORDER = FIELD_SIZE - 1
+
+
+def _build_tables() -> tuple:
+    exp = np.zeros(2 * GROUP_ORDER, dtype=np.uint8)
+    log = np.zeros(FIELD_SIZE, dtype=np.int32)
+    value = 1
+    for power in range(GROUP_ORDER):
+        exp[power] = value
+        log[value] = power
+        value <<= 1
+        if value & 0x100:
+            value ^= PRIMITIVE_POLYNOMIAL
+    # Duplicate the exp table so that exp[a + b] never needs a modulo.
+    exp[GROUP_ORDER : 2 * GROUP_ORDER] = exp[:GROUP_ORDER]
+    return exp, log
+
+
+EXP_TABLE, LOG_TABLE = _build_tables()
+
+
+def gf_add(a: int, b: int) -> int:
+    """Addition in GF(2^8) is XOR."""
+    return (a ^ b) & 0xFF
+
+
+def gf_sub(a: int, b: int) -> int:
+    """Subtraction equals addition in a field of characteristic 2."""
+    return (a ^ b) & 0xFF
+
+
+def gf_mul(a: int, b: int) -> int:
+    """Multiply two field elements."""
+    if a == 0 or b == 0:
+        return 0
+    return int(EXP_TABLE[int(LOG_TABLE[a]) + int(LOG_TABLE[b])])
+
+
+def gf_div(a: int, b: int) -> int:
+    """Divide ``a`` by ``b``; division by zero is an error."""
+    if b == 0:
+        raise ZeroDivisionError("division by zero in GF(2^8)")
+    if a == 0:
+        return 0
+    return int(EXP_TABLE[int(LOG_TABLE[a]) - int(LOG_TABLE[b]) + GROUP_ORDER])
+
+
+def gf_pow(a: int, exponent: int) -> int:
+    """Raise ``a`` to an integer power."""
+    if exponent == 0:
+        return 1
+    if a == 0:
+        return 0
+    power = (int(LOG_TABLE[a]) * exponent) % GROUP_ORDER
+    return int(EXP_TABLE[power])
+
+
+def gf_inverse(a: int) -> int:
+    """Multiplicative inverse of ``a``."""
+    if a == 0:
+        raise ZeroDivisionError("zero has no multiplicative inverse")
+    return int(EXP_TABLE[GROUP_ORDER - int(LOG_TABLE[a])])
+
+
+def gf_mul_bytes(scalar: int, data: np.ndarray) -> np.ndarray:
+    """Multiply every byte of ``data`` by ``scalar`` (vectorised)."""
+    data = np.asarray(data, dtype=np.uint8)
+    if scalar == 0:
+        return np.zeros_like(data)
+    if scalar == 1:
+        return data.copy()
+    log_scalar = int(LOG_TABLE[scalar])
+    result = np.zeros_like(data)
+    nonzero = data != 0
+    result[nonzero] = EXP_TABLE[LOG_TABLE[data[nonzero]] + log_scalar]
+    return result
+
+
+def gf_mul_add_bytes(accumulator: np.ndarray, scalar: int, data: np.ndarray) -> np.ndarray:
+    """``accumulator ^= scalar * data`` in place; returns the accumulator."""
+    if scalar != 0:
+        np.bitwise_xor(accumulator, gf_mul_bytes(scalar, data), out=accumulator)
+    return accumulator
+
+
+def gf_matmul(left: np.ndarray, right: np.ndarray) -> np.ndarray:
+    """Matrix multiplication over GF(2^8) (dense, small matrices)."""
+    left = np.asarray(left, dtype=np.uint8)
+    right = np.asarray(right, dtype=np.uint8)
+    if left.shape[1] != right.shape[0]:
+        raise DecodingError(
+            f"incompatible matrix shapes {left.shape} x {right.shape}"
+        )
+    rows, inner = left.shape
+    cols = right.shape[1]
+    result = np.zeros((rows, cols), dtype=np.uint8)
+    for r in range(rows):
+        for c in range(cols):
+            acc = 0
+            for t in range(inner):
+                acc ^= gf_mul(int(left[r, t]), int(right[t, c]))
+            result[r, c] = acc
+    return result
+
+
+def gf_matrix_inverse(matrix: np.ndarray) -> np.ndarray:
+    """Invert a square matrix over GF(2^8) by Gauss-Jordan elimination."""
+    matrix = np.asarray(matrix, dtype=np.uint8)
+    size = matrix.shape[0]
+    if matrix.shape != (size, size):
+        raise DecodingError(f"matrix of shape {matrix.shape} is not square")
+    work = matrix.astype(np.int32)
+    identity = np.eye(size, dtype=np.int32)
+    augmented = np.concatenate([work, identity], axis=1)
+    for column in range(size):
+        pivot_row = None
+        for row in range(column, size):
+            if augmented[row, column] != 0:
+                pivot_row = row
+                break
+        if pivot_row is None:
+            raise DecodingError("matrix is singular over GF(2^8)")
+        if pivot_row != column:
+            augmented[[column, pivot_row]] = augmented[[pivot_row, column]]
+        pivot = int(augmented[column, column])
+        pivot_inv = gf_inverse(pivot)
+        for col in range(2 * size):
+            augmented[column, col] = gf_mul(int(augmented[column, col]), pivot_inv)
+        for row in range(size):
+            if row == column:
+                continue
+            factor = int(augmented[row, column])
+            if factor == 0:
+                continue
+            for col in range(2 * size):
+                augmented[row, col] ^= gf_mul(factor, int(augmented[column, col]))
+    return augmented[:, size:].astype(np.uint8)
+
+
+def vandermonde_matrix(rows: int, cols: int) -> np.ndarray:
+    """Vandermonde matrix ``V[r, c] = r^c`` over GF(2^8).
+
+    Any ``cols`` rows of this matrix are linearly independent as long as
+    ``rows <= 255``, which is the property Reed-Solomon relies on.
+    """
+    if rows > GROUP_ORDER:
+        raise DecodingError(
+            f"a GF(2^8) Vandermonde matrix supports at most {GROUP_ORDER} rows"
+        )
+    matrix = np.zeros((rows, cols), dtype=np.uint8)
+    for r in range(rows):
+        for c in range(cols):
+            matrix[r, c] = gf_pow(r + 1, c)
+    return matrix
+
+
+def gf_dot_bytes(coefficients: Sequence[int], payloads: Sequence[np.ndarray], size: int) -> np.ndarray:
+    """Linear combination ``sum_i coefficients[i] * payloads[i]`` over GF(2^8)."""
+    result = np.zeros(size, dtype=np.uint8)
+    for coefficient, payload in zip(coefficients, payloads):
+        gf_mul_add_bytes(result, int(coefficient), np.asarray(payload, dtype=np.uint8))
+    return result

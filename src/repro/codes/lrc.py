@@ -1,0 +1,297 @@
+"""Local Reconstruction Codes (LRC), the locality-aware baseline.
+
+The paper repeatedly contrasts AE codes with "optimal locally repairable
+codes" (Section II and Section V-C3: RS(4,12) is "superior to other locally
+repairable codes like the HDFS-Xorbas implementation").  To make that
+comparison concrete the library ships an Azure-style Local Reconstruction
+Code, LRC(k, l, r):
+
+* the ``k`` data blocks are split into ``l`` equally sized local groups;
+* each group gets one *local parity* (the XOR of its members);
+* ``r`` *global parities* are Reed-Solomon style linear combinations of all
+  ``k`` data blocks over GF(2^8).
+
+A single data-block failure is repaired from its local group -- ``k / l``
+reads instead of ``k`` -- while up to ``r + 1`` arbitrary failures remain
+decodable through the global parities (and many, but not all, larger
+patterns; LRC is not MDS).  This gives the benchmark suite a third point on
+the locality/storage trade-off curve between RS (no locality) and AE codes
+(locality 2 by construction).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.codes.base import StripeCode
+from repro.codes.gf256 import gf_dot_bytes, gf_inverse, gf_mul, gf_mul_bytes, gf_pow
+from repro.core.xor import Payload, xor_many
+from repro.exceptions import DecodingError, InvalidParametersError
+
+__all__ = ["LocalReconstructionCode", "azure_lrc", "xorbas_lrc"]
+
+
+class LocalReconstructionCode(StripeCode):
+    """Systematic LRC(k, l, r) over GF(2^8).
+
+    Stripe layout (positions): ``0 .. k-1`` data, ``k .. k+l-1`` local
+    parities (one per group, in group order), ``k+l .. k+l+r-1`` global
+    parities.
+    """
+
+    def __init__(self, k: int, local_groups: int, global_parities: int) -> None:
+        if k < 2:
+            raise InvalidParametersError("LRC requires at least two data blocks")
+        if local_groups < 1 or k % local_groups != 0:
+            raise InvalidParametersError(
+                f"the number of local groups ({local_groups}) must divide k ({k})"
+            )
+        if global_parities < 1:
+            raise InvalidParametersError("LRC requires at least one global parity")
+        if k + local_groups + global_parities > 255:
+            raise InvalidParametersError("LRC over GF(2^8) supports at most 255 blocks")
+        super().__init__(k, local_groups + global_parities)
+        self._local_groups = local_groups
+        self._global_parities = global_parities
+        self._group_size = k // local_groups
+        self._matrix = self._build_matrix()
+
+    # ------------------------------------------------------------------
+    # Shape
+    # ------------------------------------------------------------------
+    @property
+    def name(self) -> str:
+        return f"LRC({self.k},{self._local_groups},{self._global_parities})"
+
+    @property
+    def local_groups(self) -> int:
+        """Number of local groups (and local parities)."""
+        return self._local_groups
+
+    @property
+    def global_parities(self) -> int:
+        """Number of global parities."""
+        return self._global_parities
+
+    @property
+    def group_size(self) -> int:
+        """Data blocks per local group."""
+        return self._group_size
+
+    @property
+    def single_failure_cost(self) -> int:
+        """A data-block failure is repaired from its local group: ``k / l`` reads."""
+        return self._group_size
+
+    def group_of(self, data_position: int) -> int:
+        """Local group index of a data position."""
+        if not 0 <= data_position < self.k:
+            raise InvalidParametersError(f"data position {data_position} outside 0..{self.k - 1}")
+        return data_position // self._group_size
+
+    def group_members(self, group: int) -> range:
+        """Data positions belonging to ``group``."""
+        if not 0 <= group < self._local_groups:
+            raise InvalidParametersError(f"group {group} outside 0..{self._local_groups - 1}")
+        start = group * self._group_size
+        return range(start, start + self._group_size)
+
+    def local_parity_position(self, group: int) -> int:
+        """Stripe position of the local parity protecting ``group``."""
+        if not 0 <= group < self._local_groups:
+            raise InvalidParametersError(f"group {group} outside 0..{self._local_groups - 1}")
+        return self.k + group
+
+    # ------------------------------------------------------------------
+    # Encoding
+    # ------------------------------------------------------------------
+    def _build_matrix(self) -> np.ndarray:
+        """The ``n x k`` generator matrix: identity, local XOR rows, global rows."""
+        matrix = np.zeros((self.n, self.k), dtype=np.uint8)
+        matrix[: self.k] = np.eye(self.k, dtype=np.uint8)
+        for group in range(self._local_groups):
+            for position in self.group_members(group):
+                matrix[self.k + group, position] = 1
+        for parity in range(self._global_parities):
+            # Rows of a Vandermonde-style matrix, offset so that the generator
+            # points differ from the ones implicitly used by the local rows.
+            for position in range(self.k):
+                matrix[self.k + self._local_groups + parity, position] = gf_pow(
+                    position + 2, parity + 1
+                )
+        return matrix
+
+    @property
+    def encoding_matrix(self) -> np.ndarray:
+        """The full ``n x k`` generator matrix (read-only copy)."""
+        return self._matrix.copy()
+
+    def encode(self, data_blocks: Sequence[Payload]) -> List[Payload]:
+        payloads = self._normalise_stripe(data_blocks)
+        size = payloads[0].size if payloads else 0
+        parities: List[Payload] = []
+        for group in range(self._local_groups):
+            parities.append(xor_many([payloads[pos] for pos in self.group_members(group)]))
+        for parity in range(self._global_parities):
+            row = self._matrix[self.k + self._local_groups + parity]
+            parities.append(gf_dot_bytes(row, payloads, size))
+        return parities
+
+    # ------------------------------------------------------------------
+    # Decoding
+    # ------------------------------------------------------------------
+    def decode(self, available: Dict[int, Payload]) -> List[Payload]:
+        """Recover the data blocks by GF(2^8) elimination over the available rows.
+
+        Unlike MDS codes, no fixed "any k blocks" rule applies; the decoder
+        succeeds exactly when the generator rows of the available blocks span
+        the data space.
+        """
+        if not available:
+            raise DecodingError(f"{self.name}: no blocks available")
+        positions = sorted(position for position in available if 0 <= position < self.n)
+        if not positions:
+            raise DecodingError(f"{self.name}: no valid stripe positions available")
+        payloads = [np.asarray(available[pos], dtype=np.uint8) for pos in positions]
+        sizes = {payload.size for payload in payloads}
+        if len(sizes) != 1:
+            raise DecodingError("available blocks do not share a single size")
+        size = sizes.pop()
+        rows = self._matrix[positions, :].astype(np.int32)
+        values = [payload.copy() for payload in payloads]
+        solution = _solve_gf256(rows, values, self.k, size)
+        if solution is None:
+            missing = [pos for pos in range(self.k) if pos not in available]
+            raise DecodingError(
+                f"{self.name}: available blocks do not determine data positions {missing}"
+            )
+        return solution
+
+    def can_decode(self, available_positions: Sequence[int]) -> bool:
+        """True when the available generator rows span the data space."""
+        positions = sorted(
+            {int(position) for position in available_positions if 0 <= position < self.n}
+        )
+        if len(positions) < self.k:
+            return False
+        rows = self._matrix[positions, :].astype(np.int32)
+        return _gf256_rank(rows) == self.k
+
+    # ------------------------------------------------------------------
+    # Repair helpers
+    # ------------------------------------------------------------------
+    def local_repair_positions(self, position: int) -> List[int]:
+        """Blocks read for the cheap, local repair of ``position``.
+
+        Data blocks and local parities are repaired from their local group;
+        global parities require a full decode (all data positions).
+        """
+        if position < self.k:
+            group = self.group_of(position)
+            others = [pos for pos in self.group_members(group) if pos != position]
+            return others + [self.local_parity_position(group)]
+        if position < self.k + self._local_groups:
+            group = position - self.k
+            return list(self.group_members(group))
+        return list(range(self.k))
+
+    def repair_cost(self, position: int) -> int:
+        """Number of blocks read by the cheapest repair of ``position``."""
+        return len(self.local_repair_positions(position))
+
+
+# ----------------------------------------------------------------------
+# GF(2^8) elimination helpers (rectangular systems)
+# ----------------------------------------------------------------------
+def _gf256_rank(rows: np.ndarray) -> int:
+    """Rank over GF(2^8) of a rectangular coefficient matrix."""
+    work = rows.astype(np.int32).copy()
+    n_rows, n_cols = work.shape
+    rank = 0
+    pivot_row = 0
+    for col in range(n_cols):
+        pivot = None
+        for row in range(pivot_row, n_rows):
+            if work[row, col] != 0:
+                pivot = row
+                break
+        if pivot is None:
+            continue
+        if pivot != pivot_row:
+            work[[pivot_row, pivot]] = work[[pivot, pivot_row]]
+        inv = gf_inverse(int(work[pivot_row, col]))
+        for c in range(n_cols):
+            work[pivot_row, c] = gf_mul(int(work[pivot_row, c]), inv)
+        for row in range(n_rows):
+            if row == pivot_row:
+                continue
+            factor = int(work[row, col])
+            if factor == 0:
+                continue
+            for c in range(n_cols):
+                work[row, c] ^= gf_mul(factor, int(work[pivot_row, c]))
+        pivot_row += 1
+        rank += 1
+        if rank == n_cols:
+            break
+    return rank
+
+
+def _solve_gf256(
+    rows: np.ndarray, values: List[np.ndarray], unknowns: int, size: int
+) -> List[Payload] | None:
+    """Solve ``rows @ x = values`` over GF(2^8) for the ``unknowns`` data payloads.
+
+    Returns ``None`` when the system does not determine every unknown.
+    """
+    work = rows.astype(np.int32).copy()
+    payloads = [value.astype(np.uint8).copy() for value in values]
+    n_rows = work.shape[0]
+    pivot_of_column: Dict[int, int] = {}
+    pivot_row = 0
+    for col in range(unknowns):
+        pivot = None
+        for row in range(pivot_row, n_rows):
+            if work[row, col] != 0:
+                pivot = row
+                break
+        if pivot is None:
+            continue
+        if pivot != pivot_row:
+            work[[pivot_row, pivot]] = work[[pivot, pivot_row]]
+            payloads[pivot_row], payloads[pivot] = payloads[pivot], payloads[pivot_row]
+        inv = gf_inverse(int(work[pivot_row, col]))
+        for c in range(unknowns):
+            work[pivot_row, c] = gf_mul(int(work[pivot_row, c]), inv)
+        payloads[pivot_row] = gf_mul_bytes(inv, payloads[pivot_row])
+        for row in range(n_rows):
+            if row == pivot_row:
+                continue
+            factor = int(work[row, col])
+            if factor == 0:
+                continue
+            for c in range(unknowns):
+                work[row, c] ^= gf_mul(factor, int(work[pivot_row, c]))
+            np.bitwise_xor(
+                payloads[row], gf_mul_bytes(factor, payloads[pivot_row]), out=payloads[row]
+            )
+        pivot_of_column[col] = pivot_row
+        pivot_row += 1
+    if len(pivot_of_column) < unknowns:
+        return None
+    return [payloads[pivot_of_column[col]][:size] for col in range(unknowns)]
+
+
+# ----------------------------------------------------------------------
+# Named configurations
+# ----------------------------------------------------------------------
+def azure_lrc() -> LocalReconstructionCode:
+    """The LRC(12, 2, 2) configuration of Windows Azure Storage."""
+    return LocalReconstructionCode(12, 2, 2)
+
+
+def xorbas_lrc() -> LocalReconstructionCode:
+    """The HDFS-Xorbas configuration: RS(10, 4) plus local parities, LRC(10, 2, 4)."""
+    return LocalReconstructionCode(10, 2, 4)

@@ -1,0 +1,70 @@
+"""n-way replication, the simplest redundancy scheme.
+
+Replication creates ``n`` parallel recovery paths of one block each
+(paper, Fig. 1).  It is used in the evaluation as the upper envelope of
+storage overhead: the paper compares against 2-, 3- and 4-way replication,
+capping additional storage at 300%.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.codes.base import StripeCode
+from repro.core.xor import Payload, as_payload
+from repro.exceptions import DecodingError, InvalidParametersError
+
+
+class ReplicationCode(StripeCode):
+    """``n``-way replication expressed as a (1, n-1) stripe code.
+
+    The stripe holds a single data block at position 0 and ``n - 1`` verbatim
+    copies at positions 1..n-1.
+    """
+
+    def __init__(self, copies: int) -> None:
+        if copies < 2:
+            raise InvalidParametersError("replication requires at least 2 copies")
+        super().__init__(1, copies - 1)
+        self._copies = copies
+
+    @property
+    def copies(self) -> int:
+        """Total number of stored copies, including the original."""
+        return self._copies
+
+    @property
+    def name(self) -> str:
+        return f"{self._copies}-way replication"
+
+    @property
+    def single_failure_cost(self) -> int:
+        """Repairing a lost copy reads one surviving copy."""
+        return 1
+
+    def encode(self, data_blocks: Sequence[Payload]) -> List[Payload]:
+        payloads = self._normalise_stripe(data_blocks)
+        original = payloads[0]
+        return [original.copy() for _ in range(self.m)]
+
+    def decode(self, available: Dict[int, Payload]) -> List[Payload]:
+        if not available:
+            raise DecodingError("all replicas are unavailable")
+        first_position = sorted(available)[0]
+        return [as_payload(available[first_position]).copy()]
+
+    def can_decode(self, available_positions: Sequence[int]) -> bool:
+        return len(set(available_positions)) >= 1
+
+    def tolerated_failures(self) -> int:
+        """Arbitrary failures tolerated: all but one copy may disappear."""
+        return self._copies - 1
+
+
+#: Replication factors evaluated in the paper (up to 300% additional storage).
+PAPER_REPLICATION_FACTORS = (2, 3, 4)
+
+
+def paper_replication_codes() -> List[ReplicationCode]:
+    """The replication settings plotted in Figs. 11 and 12."""
+    return [ReplicationCode(copies) for copies in PAPER_REPLICATION_FACTORS]

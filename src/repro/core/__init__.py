@@ -1,0 +1,124 @@
+"""Core implementation of alpha entanglement codes AE(alpha, s, p).
+
+This subpackage contains the paper's primary contribution: the helical
+lattice model, the entanglement rules of Tables I and II, the streaming
+encoder, the repair decoder, and the code extensions (sealed-bucket write
+scheduling, puncturing, dynamic parameter upgrades and the anti-tampering
+analysis).
+"""
+
+from repro.core.blocks import (
+    Block,
+    BlockId,
+    DataId,
+    EncodedBlock,
+    ParityId,
+    is_data,
+    is_parity,
+    join_blocks,
+    split_into_blocks,
+)
+from repro.core.buckets import WriteScheduler, WriteScheduleReport, compare_write_parallelism
+from repro.core.decoder import (
+    Decoder,
+    IterativeRepairer,
+    RepairReport,
+    RepairRound,
+)
+from repro.core.dynamic import (
+    AlphaUpgrader,
+    EpochHistory,
+    UpgradePlan,
+    plan_alpha_upgrade,
+    upgrade_alpha,
+)
+from repro.core.encoder import Entangler, encode_file_payloads, latest_strand_creators
+from repro.core.lattice import DataRepairOption, HelicalLattice, ParityRepairOption
+from repro.core.parameters import AEParameters, NodeCategory, StrandClass
+from repro.core.position import (
+    LatticePosition,
+    node_at,
+    node_category,
+    node_column,
+    node_row,
+)
+from repro.core.puncturing import (
+    PuncturedCode,
+    no_puncturing,
+    puncture_periodic,
+    puncture_rate,
+    puncture_strand_class,
+)
+from repro.core.rules import input_index, output_index, rule_table
+from repro.core.strands import (
+    StrandHeadRegistry,
+    StrandId,
+    all_strands,
+    strand_of,
+    strands_of,
+    walk_backward,
+    walk_forward,
+)
+from repro.core.tamper import TamperCost, average_tamper_cost, tamper_cost
+from repro.core.xor import as_payload, payload_to_bytes, xor_many, xor_payloads, zero_payload
+
+__all__ = [
+    "AEParameters",
+    "AlphaUpgrader",
+    "Block",
+    "BlockId",
+    "DataId",
+    "DataRepairOption",
+    "Decoder",
+    "EncodedBlock",
+    "Entangler",
+    "EpochHistory",
+    "HelicalLattice",
+    "IterativeRepairer",
+    "LatticePosition",
+    "NodeCategory",
+    "ParityId",
+    "ParityRepairOption",
+    "PuncturedCode",
+    "RepairReport",
+    "RepairRound",
+    "StrandClass",
+    "StrandHeadRegistry",
+    "StrandId",
+    "TamperCost",
+    "UpgradePlan",
+    "WriteScheduleReport",
+    "WriteScheduler",
+    "all_strands",
+    "as_payload",
+    "average_tamper_cost",
+    "compare_write_parallelism",
+    "encode_file_payloads",
+    "input_index",
+    "is_data",
+    "is_parity",
+    "join_blocks",
+    "latest_strand_creators",
+    "no_puncturing",
+    "node_at",
+    "node_category",
+    "node_column",
+    "node_row",
+    "output_index",
+    "payload_to_bytes",
+    "plan_alpha_upgrade",
+    "puncture_periodic",
+    "puncture_rate",
+    "puncture_strand_class",
+    "rule_table",
+    "split_into_blocks",
+    "strand_of",
+    "strands_of",
+    "tamper_cost",
+    "upgrade_alpha",
+    "walk_backward",
+    "walk_forward",
+    "xor_many",
+    "xor_payloads",
+    "zero_payload",
+]

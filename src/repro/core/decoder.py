@@ -1,0 +1,279 @@
+"""The entanglement decoder: single-block repair and multi-round global repair.
+
+Repair primitives (paper, Sec. III-B and IV-A):
+
+* a missing **data block** ``d_i`` is rebuilt from a *pp-tuple*: the two
+  adjacent parities of any of its ``alpha`` strands,
+  ``d_i = p_{h,i} XOR p_{i,j}`` (at a strand start the input parity is the
+  virtual zero block, so ``d_i = p_{i,j}``);
+* a missing **parity block** ``p_{i,j}`` is rebuilt from a *dp-tuple*: an
+  incident data block plus the adjacent parity on the same strand,
+  ``p_{i,j} = d_i XOR p_{h,i}`` or ``p_{i,j} = d_j XOR p_{j,k}``.
+
+When the blocks needed by a repair are themselves missing, the decoder can
+recurse along the strand (the concentric paths of Fig. 2) up to a configurable
+depth, or iterate global repair rounds: blocks repaired in one round become
+available for the next (Sec. V-C4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.core.blocks import Block, BlockId, DataId, ParityId, is_data
+from repro.core.lattice import HelicalLattice
+from repro.core.xor import Payload, as_payload, xor_payloads, zero_payload
+from repro.exceptions import RepairFailedError
+
+#: A block source returns the payload of a block or ``None`` when unavailable.
+BlockSource = Callable[[BlockId], Optional[Payload]]
+
+DEFAULT_RECURSION_DEPTH = 6
+
+
+class Decoder:
+    """Repairs individual blocks against a :data:`BlockSource`."""
+
+    def __init__(
+        self,
+        lattice: HelicalLattice,
+        source: BlockSource,
+        block_size: int,
+        max_depth: int = DEFAULT_RECURSION_DEPTH,
+    ) -> None:
+        self._lattice = lattice
+        self._source = source
+        self._block_size = block_size
+        self._max_depth = max_depth
+
+    # ------------------------------------------------------------------
+    # Fetch-or-repair entry points
+    # ------------------------------------------------------------------
+    def get(self, block_id: BlockId) -> Payload:
+        """Return the payload of ``block_id``, repairing it if necessary."""
+        payload = self._source(block_id)
+        if payload is not None:
+            return as_payload(payload, self._block_size)
+        return self.repair(block_id)
+
+    def repair(self, block_id: BlockId) -> Payload:
+        """Rebuild a missing block, recursing along strands when needed."""
+        payload = self._attempt(block_id, depth=0, visited=set())
+        if payload is None:
+            raise RepairFailedError(block_id, "no available recovery path")
+        return payload
+
+    def repair_data(self, index: int) -> Payload:
+        return self.repair(DataId(index))
+
+    def repair_parity(self, parity: ParityId) -> Payload:
+        return self.repair(parity)
+
+    # ------------------------------------------------------------------
+    # Path enumeration (diagnostics, Fig. 2)
+    # ------------------------------------------------------------------
+    def recovery_paths(self, index: int) -> List[List[BlockId]]:
+        """The alpha shortest candidate paths (pp-tuples) to read ``d_index``."""
+        paths: List[List[BlockId]] = []
+        for option in self._lattice.data_repair_options(index):
+            paths.append(list(option.required_blocks()))
+        return paths
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _fetch(self, block_id: BlockId) -> Optional[Payload]:
+        payload = self._source(block_id)
+        if payload is None:
+            return None
+        return as_payload(payload, self._block_size)
+
+    def _attempt(
+        self, block_id: BlockId, depth: int, visited: Set[BlockId]
+    ) -> Optional[Payload]:
+        if block_id in visited:
+            return None
+        if not self._lattice.has_block(block_id):
+            return None
+        visited = visited | {block_id}
+        if is_data(block_id):
+            return self._attempt_data(block_id, depth, visited)
+        return self._attempt_parity(block_id, depth, visited)
+
+    def _resolve(
+        self, block_id: Optional[BlockId], depth: int, visited: Set[BlockId]
+    ) -> Optional[Payload]:
+        """Fetch a block, or repair it recursively when depth allows.
+
+        ``None`` block identifiers represent the virtual zero parity at strand
+        extremities, which is always available.
+        """
+        if block_id is None:
+            return zero_payload(self._block_size)
+        payload = self._fetch(block_id)
+        if payload is not None:
+            return payload
+        if depth >= self._max_depth:
+            return None
+        return self._attempt(block_id, depth + 1, visited)
+
+    def _attempt_data(
+        self, data_id: DataId, depth: int, visited: Set[BlockId]
+    ) -> Optional[Payload]:
+        for option in self._lattice.data_repair_options(data_id.index):
+            output_payload = self._resolve(option.output_parity, depth, visited)
+            if output_payload is None:
+                continue
+            input_payload = self._resolve(option.input_parity, depth, visited)
+            if input_payload is None:
+                continue
+            return xor_payloads(input_payload, output_payload)
+        return None
+
+    def _attempt_parity(
+        self, parity: ParityId, depth: int, visited: Set[BlockId]
+    ) -> Optional[Payload]:
+        i = parity.index
+        strand_class = parity.strand_class
+        # Left option: p_{i,j} = d_i XOR p_{h,i}.
+        left_data = self._resolve(DataId(i), depth, visited)
+        if left_data is not None:
+            left_parity = self._resolve(
+                self._lattice.input_parity(i, strand_class), depth, visited
+            )
+            if left_parity is not None:
+                return xor_payloads(left_data, left_parity)
+        # Right option: p_{i,j} = d_j XOR p_{j,k} (only if node j exists).
+        _, j = self._lattice.edge_endpoints(parity)
+        if j <= self._lattice.size:
+            right_data = self._resolve(DataId(j), depth, visited)
+            if right_data is not None:
+                right_parity = self._resolve(
+                    self._lattice.output_parity(j, strand_class), depth, visited
+                )
+                if right_parity is not None:
+                    return xor_payloads(right_data, right_parity)
+        return None
+
+
+@dataclass
+class RepairRound:
+    """Blocks repaired during one round of the iterative global repair."""
+
+    number: int
+    repaired: List[BlockId] = field(default_factory=list)
+
+    @property
+    def count(self) -> int:
+        return len(self.repaired)
+
+
+@dataclass
+class RepairReport:
+    """Outcome of an iterative repair run."""
+
+    rounds: List[RepairRound] = field(default_factory=list)
+    unrecovered: List[BlockId] = field(default_factory=list)
+
+    @property
+    def round_count(self) -> int:
+        return len(self.rounds)
+
+    @property
+    def repaired_count(self) -> int:
+        return sum(round_.count for round_ in self.rounds)
+
+    @property
+    def repaired_in_first_round(self) -> int:
+        return self.rounds[0].count if self.rounds else 0
+
+    @property
+    def unrecovered_data(self) -> List[BlockId]:
+        return [block_id for block_id in self.unrecovered if is_data(block_id)]
+
+    @property
+    def unrecovered_parities(self) -> List[BlockId]:
+        return [block_id for block_id in self.unrecovered if not is_data(block_id)]
+
+    def summary(self) -> str:
+        return (
+            f"repaired {self.repaired_count} blocks in {self.round_count} rounds; "
+            f"{len(self.unrecovered)} unrecovered "
+            f"({len(self.unrecovered_data)} data, {len(self.unrecovered_parities)} parities)"
+        )
+
+
+class IterativeRepairer:
+    """Round-based global repair over an in-memory payload map.
+
+    Each round scans the still-missing blocks and repairs every block whose
+    pp-/dp-tuple is available using only blocks present *before* the round
+    started; repaired blocks become usable in the next round.  This matches
+    the per-round accounting of Table VI and Fig. 13 of the paper.
+    """
+
+    def __init__(
+        self,
+        lattice: HelicalLattice,
+        block_size: int,
+        repair_parities: bool = True,
+    ) -> None:
+        self._lattice = lattice
+        self._block_size = block_size
+        self._repair_parities = repair_parities
+
+    def repair_all(
+        self,
+        available: Dict[BlockId, Payload],
+        missing: Iterable[BlockId],
+        max_rounds: int = 1000,
+    ) -> Tuple[RepairReport, Dict[BlockId, Payload]]:
+        """Repair as many of ``missing`` blocks as possible.
+
+        Returns the report and the updated payload map (a copy extended with
+        the repaired payloads).
+        """
+        store: Dict[BlockId, Payload] = dict(available)
+        pending: Set[BlockId] = {
+            block_id for block_id in missing if self._lattice.has_block(block_id)
+        }
+        pending -= set(store)
+        report = RepairReport()
+        for round_number in range(1, max_rounds + 1):
+            snapshot = store  # blocks available at the start of the round
+            repaired_this_round: List[Tuple[BlockId, Payload]] = []
+            decoder = Decoder(
+                self._lattice,
+                lambda block_id, _snapshot=snapshot: _snapshot.get(block_id),
+                self._block_size,
+                max_depth=0,
+            )
+            for block_id in sorted(pending, key=_block_sort_key):
+                if not self._repair_parities and not is_data(block_id):
+                    continue
+                try:
+                    payload = decoder.repair(block_id)
+                except RepairFailedError:
+                    continue
+                repaired_this_round.append((block_id, payload))
+            if not repaired_this_round:
+                break
+            round_report = RepairRound(number=round_number)
+            new_store = dict(store)
+            for block_id, payload in repaired_this_round:
+                new_store[block_id] = payload
+                pending.discard(block_id)
+                round_report.repaired.append(block_id)
+            store = new_store
+            report.rounds.append(round_report)
+            if not pending:
+                break
+        report.unrecovered = sorted(pending, key=_block_sort_key)
+        return report, store
+
+
+def _block_sort_key(block_id: BlockId) -> Tuple[int, int, str]:
+    if is_data(block_id):
+        return (block_id.index, 0, "")
+    return (block_id.index, 1, block_id.strand_class.value)

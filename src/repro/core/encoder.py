@@ -1,0 +1,176 @@
+"""The entanglement encoder.
+
+Encoding is a streaming process (paper, Sec. III-B, "Code Specification"):
+
+1. the new data block is assigned the next lattice position ``i``;
+2. its category (top / central / bottom) selects the rule rows of Tables I
+   and II;
+3. for each of the ``alpha`` strand classes the encoder XORs the data block
+   with the parity at the head of the corresponding strand (a virtual zero
+   block when the strand starts here) and the result becomes the new strand
+   head, i.e. the parity ``p_{i,j}``.
+
+The encoder therefore only needs to keep the last parity of each strand in
+memory -- ``s + (alpha - 1) * p`` payloads -- exactly the broker memory
+footprint discussed in the geo-replicated backup use case (Sec. IV-A).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Iterator, List, Optional, Tuple
+
+from repro.core.blocks import Block, DataId, EncodedBlock, ParityId, split_into_blocks
+from repro.core.lattice import HelicalLattice
+from repro.core.parameters import AEParameters, StrandClass
+from repro.core.strands import StrandHeadRegistry, StrandId, strand_of
+from repro.core.xor import Payload, as_payload, xor_payloads, zero_payload
+from repro.exceptions import BlockSizeMismatchError, UnknownBlockError
+
+#: Signature used to fetch parities when rebuilding encoder state after a crash.
+ParityFetcher = Callable[[ParityId], Optional[Payload]]
+
+DEFAULT_BLOCK_SIZE = 4096
+
+
+class Entangler:
+    """Streaming encoder for an AE(alpha, s, p) code.
+
+    Parameters
+    ----------
+    params:
+        The code setting.
+    block_size:
+        Size in bytes of every data and parity block.  Incoming payloads are
+        zero-padded to this size.
+    """
+
+    def __init__(self, params: AEParameters, block_size: int = DEFAULT_BLOCK_SIZE) -> None:
+        if block_size <= 0:
+            raise BlockSizeMismatchError("block_size must be positive")
+        self._params = params
+        self._block_size = block_size
+        self._lattice = HelicalLattice(params)
+        self._heads = StrandHeadRegistry(params)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def params(self) -> AEParameters:
+        return self._params
+
+    @property
+    def block_size(self) -> int:
+        return self._block_size
+
+    @property
+    def lattice(self) -> HelicalLattice:
+        return self._lattice
+
+    @property
+    def blocks_encoded(self) -> int:
+        return self._lattice.size
+
+    @property
+    def memory_footprint_blocks(self) -> int:
+        """Number of parities currently held in memory (<= strand count)."""
+        return len(self._heads)
+
+    # ------------------------------------------------------------------
+    # Encoding
+    # ------------------------------------------------------------------
+    def entangle(self, payload) -> EncodedBlock:
+        """Entangle one data block and return it together with its parities."""
+        data_payload = as_payload(payload, self._block_size)
+        if data_payload.size != self._block_size:
+            raise BlockSizeMismatchError(
+                f"payload of {data_payload.size} bytes does not fit block size "
+                f"{self._block_size}"
+            )
+        (data_id,) = self._lattice.grow(1)
+        index = data_id.index
+        parities: List[Block] = []
+        for strand_class in self._params.strand_classes:
+            strand = strand_of(index, strand_class, self._params)
+            head_payload = self._heads.head_payload(strand)
+            if head_payload is None:
+                head_payload = zero_payload(self._block_size)
+            parity_payload = xor_payloads(data_payload, head_payload)
+            parity_id = ParityId(index, strand_class)
+            parities.append(Block(parity_id, parity_payload))
+            self._heads.update(strand, index, parity_payload)
+        return EncodedBlock(data=Block(data_id, data_payload), parities=parities)
+
+    def encode_stream(self, payloads: Iterable) -> Iterator[EncodedBlock]:
+        """Entangle an iterable of payloads lazily."""
+        for payload in payloads:
+            yield self.entangle(payload)
+
+    def encode_bytes(self, data: bytes) -> Tuple[List[EncodedBlock], int]:
+        """Split ``data`` into blocks, entangle them all and return the blocks.
+
+        The second element of the tuple is the original length, needed to strip
+        the zero padding of the last block on reassembly.
+        """
+        chunks = split_into_blocks(data, self._block_size)
+        return [self.entangle(chunk) for chunk in chunks], len(data)
+
+    # ------------------------------------------------------------------
+    # Crash recovery
+    # ------------------------------------------------------------------
+    def strand_head_ids(self) -> List[ParityId]:
+        """Identifiers of the parities currently acting as strand heads."""
+        snapshot = self._heads.snapshot()
+        return [
+            ParityId(creator, strand.strand_class)
+            for strand, creator in snapshot.items()
+        ]
+
+    def restore(self, size: int, fetch: ParityFetcher) -> None:
+        """Rebuild the in-memory strand heads after a crash.
+
+        ``size`` is the number of data blocks already entangled; ``fetch``
+        retrieves parities from remote storage (paper, Sec. IV-A: "If the
+        broker crashes, it only needs to retrieve the p-blocks from the remote
+        nodes").
+        """
+        self._lattice = HelicalLattice(self._params, size)
+        self._heads.clear()
+        if size == 0:
+            return
+        for strand, creator in latest_strand_creators(self._params, size).items():
+            parity_id = ParityId(creator, strand.strand_class)
+            payload = fetch(parity_id)
+            if payload is None:
+                raise UnknownBlockError(
+                    f"cannot restore encoder state: parity {parity_id!r} unavailable"
+                )
+            self._heads.update(strand, creator, as_payload(payload, self._block_size))
+
+
+def latest_strand_creators(params: AEParameters, size: int) -> dict:
+    """For each strand, the largest node index <= ``size`` lying on it.
+
+    Within the last ``s * max(p, 1)`` positions every strand of the lattice is
+    visited at least once (one full helical cycle), so a bounded backward scan
+    is sufficient.
+    """
+    window = params.s * max(params.p, 1)
+    creators: dict = {}
+    expected = params.strand_count if size >= window else None
+    for index in range(size, max(size - window, 0), -1):
+        for strand_class in params.strand_classes:
+            strand = strand_of(index, strand_class, params)
+            if strand not in creators:
+                creators[strand] = index
+        if expected is not None and len(creators) >= expected:
+            break
+    return creators
+
+
+def encode_file_payloads(
+    params: AEParameters, data: bytes, block_size: int = DEFAULT_BLOCK_SIZE
+) -> Tuple[List[EncodedBlock], int]:
+    """Convenience helper: encode a byte string with a fresh :class:`Entangler`."""
+    encoder = Entangler(params, block_size)
+    return encoder.encode_bytes(data)

@@ -1,0 +1,139 @@
+"""Geometry of the helical lattice: node positions, rows, columns and labels.
+
+Data blocks are identified by a position ``i >= 1`` assigned sequentially by
+the encoder.  The helical lattice arranges them in ``s`` rows (one per
+horizontal strand); column ``c`` contains nodes ``(c-1)*s + 1 .. c*s``.
+
+The paper classifies nodes within a column (Table I/II):
+
+* *top*     -- ``i ≡ 1 (mod s)``  (first row),
+* *bottom*  -- ``i ≡ 0 (mod s)``  (last row),
+* *central* -- everything in between.
+
+For ``s == 1`` the classification is degenerate (every node is both top and
+bottom); the library treats the single-row lattice as a special case whose
+helical strands advance ``p`` positions per step (see :mod:`repro.core.rules`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.parameters import AEParameters, NodeCategory, StrandClass
+from repro.exceptions import LatticeBoundsError
+
+
+def node_row(index: int, s: int) -> int:
+    """Row of node ``index`` (1-based), i.e. the horizontal strand it lies on."""
+    _check_index(index)
+    return (index - 1) % s + 1
+
+
+def node_column(index: int, s: int) -> int:
+    """Column of node ``index`` (1-based)."""
+    _check_index(index)
+    return (index - 1) // s + 1
+
+
+def node_at(row: int, column: int, s: int) -> int:
+    """Inverse of :func:`node_row`/:func:`node_column`."""
+    if not 1 <= row <= s:
+        raise LatticeBoundsError(f"row {row} outside 1..{s}")
+    if column < 1:
+        raise LatticeBoundsError(f"column {column} must be >= 1")
+    return (column - 1) * s + row
+
+
+def node_category(index: int, s: int) -> NodeCategory:
+    """Classify node ``index`` as top, central or bottom (paper, Sec. III-B).
+
+    For ``s == 1`` every node is simultaneously the top and the bottom of its
+    column; we report :attr:`NodeCategory.TOP` which matches the degenerate
+    single-row handling in :mod:`repro.core.rules`.
+    """
+    _check_index(index)
+    if s == 1:
+        return NodeCategory.TOP
+    remainder = index % s
+    if remainder == 1:
+        return NodeCategory.TOP
+    if remainder == 0:
+        return NodeCategory.BOTTOM
+    return NodeCategory.CENTRAL
+
+
+@dataclass(frozen=True)
+class LatticePosition:
+    """Full geometric description of a node position."""
+
+    index: int
+    row: int
+    column: int
+    category: NodeCategory
+
+    @classmethod
+    def of(cls, index: int, params: AEParameters) -> "LatticePosition":
+        return cls(
+            index=index,
+            row=node_row(index, params.s),
+            column=node_column(index, params.s),
+            category=node_category(index, params.s),
+        )
+
+
+def horizontal_strand_label(index: int, params: AEParameters) -> int:
+    """0-based label of the horizontal strand through ``index`` (its row - 1)."""
+    return node_row(index, params.s) - 1
+
+
+def helical_strand_label(index: int, strand_class: StrandClass, params: AEParameters) -> int:
+    """0-based label of the helical strand of ``strand_class`` through ``index``.
+
+    Right-handed strands are invariant along diagonals of slope +1
+    (``column - row`` constant modulo ``p``), left-handed strands along
+    diagonals of slope -1 (``column + row`` constant modulo ``p``).  Labels may
+    differ from the paper's Figure 4 numbering by a constant offset; only the
+    adjacency structure matters for encoding and repair.
+    """
+    if strand_class is StrandClass.HORIZONTAL:
+        return horizontal_strand_label(index, params)
+    if params.p == 0:
+        raise LatticeBoundsError(
+            f"{params.spec()} has no helical strands; cannot label {strand_class}"
+        )
+    row = node_row(index, params.s)
+    column = node_column(index, params.s)
+    if params.s == 1:
+        # Single-row lattice: helical strands advance p positions per step, so
+        # the strand label is simply the position modulo p.
+        return (index - 1) % params.p
+    if strand_class is StrandClass.RIGHT_HANDED:
+        return (column - row) % params.p
+    return (column + row) % params.p
+
+
+def strand_label(index: int, strand_class: StrandClass, params: AEParameters) -> int:
+    """Label of the strand of ``strand_class`` passing through node ``index``."""
+    if strand_class is StrandClass.HORIZONTAL:
+        return horizontal_strand_label(index, params)
+    return helical_strand_label(index, strand_class, params)
+
+
+def nodes_in_column(column: int, s: int) -> range:
+    """All node indexes in ``column`` (1-based)."""
+    if column < 1:
+        raise LatticeBoundsError(f"column {column} must be >= 1")
+    start = (column - 1) * s + 1
+    return range(start, start + s)
+
+
+def column_count(n_nodes: int, s: int) -> int:
+    """Number of (possibly partially filled) columns needed for ``n_nodes``."""
+    if n_nodes < 0:
+        raise LatticeBoundsError("n_nodes must be non-negative")
+    return -(-n_nodes // s) if n_nodes else 0
+
+
+def _check_index(index: int) -> None:
+    if index < 1:
+        raise LatticeBoundsError(f"node index must be >= 1, got {index}")

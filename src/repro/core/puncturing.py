@@ -1,0 +1,142 @@
+"""Code puncturing: trading fault tolerance for storage overhead.
+
+The storage overhead of an AE code grows in steps of 100% with ``alpha``.  To
+obtain intermediate code rates the paper proposes *puncturing*: after
+encoding, some parities are simply not stored (paper, Sec. III-B, "Reducing
+Storage Overhead").  Punctured parities behave exactly like missing blocks:
+the decoder can often regenerate them on demand, but the effective fault
+tolerance decreases.
+
+This module provides puncturing policies (which parities to drop) and helpers
+to compute the resulting storage overhead.  The policies are deterministic
+functions of the block position so that readers and writers agree on the
+punctured set without extra metadata.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Iterator, List, Sequence
+
+from repro.core.blocks import ParityId
+from repro.core.parameters import AEParameters, StrandClass
+from repro.exceptions import InvalidParametersError
+
+#: A puncturing policy decides whether a given parity is stored.
+PuncturingPolicy = Callable[[ParityId], bool]
+
+
+@dataclass(frozen=True)
+class PuncturedCode:
+    """An AE code together with a puncturing policy."""
+
+    params: AEParameters
+    policy: PuncturingPolicy
+    description: str = "custom"
+
+    def is_punctured(self, parity: ParityId) -> bool:
+        """True when ``parity`` is dropped (not stored)."""
+        return self.policy(parity)
+
+    def stored_parities(self, parities: Iterable[ParityId]) -> Iterator[ParityId]:
+        for parity in parities:
+            if not self.is_punctured(parity):
+                yield parity
+
+    def punctured_parities(self, parities: Iterable[ParityId]) -> Iterator[ParityId]:
+        for parity in parities:
+            if self.is_punctured(parity):
+                yield parity
+
+    def effective_overhead(self, sample_size: int = 1000) -> float:
+        """Storage overhead after puncturing, estimated over ``sample_size`` nodes.
+
+        The overhead of the unpunctured code is ``alpha``; puncturing reduces
+        it proportionally to the fraction of dropped parities.
+        """
+        total = 0
+        dropped = 0
+        for index in range(1, sample_size + 1):
+            for strand_class in self.params.strand_classes:
+                total += 1
+                if self.is_punctured(ParityId(index, strand_class)):
+                    dropped += 1
+        if total == 0:
+            return float(self.params.alpha)
+        stored_fraction = 1.0 - dropped / total
+        return float(self.params.alpha) * stored_fraction
+
+
+def no_puncturing(params: AEParameters) -> PuncturedCode:
+    """The identity policy: every parity is stored."""
+    return PuncturedCode(params, lambda parity: False, description="none")
+
+
+def puncture_strand_class(
+    params: AEParameters, strand_class: StrandClass
+) -> PuncturedCode:
+    """Drop every parity of one strand class (e.g. all horizontal parities).
+
+    This converts an AE(alpha, s, p) code into a stored layout with overhead
+    ``alpha - 1`` while keeping the lattice wiring of the original code.
+    """
+    if strand_class not in params.strand_classes:
+        raise InvalidParametersError(
+            f"{params.spec()} does not use strand class {strand_class}"
+        )
+    return PuncturedCode(
+        params,
+        lambda parity: parity.strand_class is strand_class,
+        description=f"drop-{strand_class.value}",
+    )
+
+
+def puncture_periodic(
+    params: AEParameters, period: int, offset: int = 0
+) -> PuncturedCode:
+    """Drop the parities of every ``period``-th data block (all classes).
+
+    ``period == 4`` stores 3 out of every 4 nodes' parities, reducing the
+    overhead to ``0.75 * alpha``.
+    """
+    if period < 2:
+        raise InvalidParametersError("puncturing period must be >= 2")
+    return PuncturedCode(
+        params,
+        lambda parity: (parity.index - offset) % period == 0,
+        description=f"periodic-{period}",
+    )
+
+
+def puncture_rate(params: AEParameters, keep_fraction: float) -> PuncturedCode:
+    """Drop parities pseudo-randomly (but deterministically) to approximate a rate.
+
+    ``keep_fraction`` is the fraction of parities that remain stored.  The
+    decision uses a small multiplicative hash of the parity identity so that it
+    is stable across processes without shared state.
+    """
+    if not 0.0 < keep_fraction <= 1.0:
+        raise InvalidParametersError("keep_fraction must be in (0, 1]")
+    threshold = int(keep_fraction * 0xFFFFFFFF)
+    class_salt = {cls: salt for salt, cls in enumerate(params.strand_classes, start=1)}
+
+    def policy(parity: ParityId) -> bool:
+        mixed = (parity.index * 2654435761 + class_salt[parity.strand_class] * 40503) & 0xFFFFFFFF
+        mixed ^= mixed >> 16
+        mixed = (mixed * 2246822519) & 0xFFFFFFFF
+        mixed ^= mixed >> 13
+        return mixed > threshold
+
+    return PuncturedCode(params, policy, description=f"rate-{keep_fraction:.2f}")
+
+
+def parity_survivors(
+    code: PuncturedCode, node_indexes: Sequence[int]
+) -> List[ParityId]:
+    """The stored parities for the given data nodes under ``code``'s policy."""
+    parities = [
+        ParityId(index, strand_class)
+        for index in node_indexes
+        for strand_class in code.params.strand_classes
+    ]
+    return list(code.stored_parities(parities))

@@ -1,0 +1,142 @@
+"""Entanglement rules: Tables I and II of the paper.
+
+Every data block ``d_i`` is entangled once per strand class.  On a given
+class the entanglement XORs ``d_i`` with an *input* parity ``p_{h,i}`` (the
+parity at the head of the strand) and produces an *output* parity ``p_{i,j}``
+which becomes the new strand head.  Tables I and II define the indexes ``h``
+and ``j`` as a function of the node category (top / central / bottom):
+
+========  ==================  =====================  =====================
+category  horizontal           right-handed           left-handed
+========  ==================  =====================  =====================
+INPUT ``h`` (Table I)
+top       ``i - s``            ``i - s*p + (s^2-1)``  ``i - (s-1)``
+central   ``i - s``            ``i - (s+1)``          ``i - (s-1)``
+bottom    ``i - s``            ``i - (s+1)``          ``i - s*p + (s-1)^2``
+OUTPUT ``j`` (Table II)
+top       ``i + s``            ``i + s + 1``          ``i + s*p - (s-1)^2``
+central   ``i + s``            ``i + s + 1``          ``i + s - 1``
+bottom    ``i + s``            ``i + s*p - (s^2-1)``  ``i + s - 1``
+========  ==================  =====================  =====================
+
+Worked example from the paper (AE(3,5,5), top node ``d26``): the node is
+tangled with ``p21,26`` (H), ``p25,26`` (RH), ``p22,26`` (LH) and creates
+``p26,31`` (H), ``p26,32`` (RH), ``p26,35`` (LH).
+
+Single-row lattices (``s == 1``) are degenerate: every node is both the top
+and the bottom of its column.  We adopt the convention that helical strands
+advance ``p`` positions per step (``h = i - p``, ``j = i + p``), which
+reproduces the paper's minimal-erasure sizes for AE(3,1,4) (|ME(2)| = 8) and
+the complex forms of Figure 7.
+
+A returned input index ``h <= 0`` means the strand starts at node ``i``: the
+input parity is a virtual all-zero block (the first parity of a strand equals
+its first data block).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.core.parameters import AEParameters, NodeCategory, StrandClass
+from repro.core.position import node_category
+from repro.exceptions import InvalidParametersError, LatticeBoundsError
+
+
+def input_index(index: int, strand_class: StrandClass, params: AEParameters) -> int:
+    """Index ``h`` such that ``d_index`` is tangled with ``p_{h,index}`` (Table I).
+
+    A non-positive return value indicates that the strand begins at ``index``
+    and the input parity is a virtual zero block.
+    """
+    _check(index, strand_class, params)
+    s, p = params.s, params.p
+    if strand_class is StrandClass.HORIZONTAL:
+        return index - s
+    if s == 1:
+        return index - p
+    category = node_category(index, s)
+    if strand_class is StrandClass.RIGHT_HANDED:
+        if category is NodeCategory.TOP:
+            return index - s * p + (s * s - 1)
+        return index - (s + 1)
+    # Left-handed strand.
+    if category is NodeCategory.BOTTOM:
+        return index - s * p + (s - 1) ** 2
+    return index - (s - 1)
+
+
+def output_index(index: int, strand_class: StrandClass, params: AEParameters) -> int:
+    """Index ``j`` such that the entanglement of ``d_index`` creates ``p_{index,j}``
+    (Table II)."""
+    _check(index, strand_class, params)
+    s, p = params.s, params.p
+    if strand_class is StrandClass.HORIZONTAL:
+        return index + s
+    if s == 1:
+        return index + p
+    category = node_category(index, s)
+    if strand_class is StrandClass.RIGHT_HANDED:
+        if category is NodeCategory.BOTTOM:
+            return index + s * p - (s * s - 1)
+        return index + s + 1
+    # Left-handed strand.
+    if category is NodeCategory.TOP:
+        return index + s * p - (s - 1) ** 2
+    return index + s - 1
+
+
+def rule_table(params: AEParameters) -> Dict[str, Dict[str, str]]:
+    """Render Tables I and II symbolically for the given parameters.
+
+    Returns a nested mapping ``{"input"/"output": {"top"/"central"/"bottom":
+    {class: offset}}}`` expressed as signed integer offsets relative to ``i``.
+    Useful for documentation, debugging and the rules unit tests.
+    """
+    s, p = params.s, params.p
+    base = 2 * s * max(p, 1)
+    sample = {NodeCategory.TOP: base + 1}
+    if s >= 3:
+        sample[NodeCategory.CENTRAL] = base + 2
+    if s >= 2:
+        sample[NodeCategory.BOTTOM] = base + s
+    table: Dict[str, Dict[str, str]] = {"input": {}, "output": {}}
+    for category, probe in sample.items():
+        row_in = {}
+        row_out = {}
+        for strand_class in params.strand_classes:
+            row_in[strand_class.value] = input_index(probe, strand_class, params) - probe
+            row_out[strand_class.value] = output_index(probe, strand_class, params) - probe
+        table["input"][category.value] = row_in
+        table["output"][category.value] = row_out
+    return table
+
+
+def strand_predecessor(index: int, strand_class: StrandClass, params: AEParameters) -> int:
+    """Previous data node on the same strand (``<= 0`` if ``index`` is the first)."""
+    return input_index(index, strand_class, params)
+
+
+def strand_successor(index: int, strand_class: StrandClass, params: AEParameters) -> int:
+    """Next data node on the same strand."""
+    return output_index(index, strand_class, params)
+
+
+def edge_endpoints(
+    creator: int, strand_class: StrandClass, params: AEParameters
+) -> Tuple[int, int]:
+    """Endpoints ``(i, j)`` of the parity created by ``creator`` on ``strand_class``."""
+    return creator, output_index(creator, strand_class, params)
+
+
+def _check(index: int, strand_class: StrandClass, params: AEParameters) -> None:
+    if index < 1:
+        raise LatticeBoundsError(f"node index must be >= 1, got {index}")
+    if strand_class not in params.strand_classes:
+        raise InvalidParametersError(
+            f"strand class {strand_class} is not used by {params.spec()}"
+        )
+    if strand_class is not StrandClass.HORIZONTAL and params.p == 0:
+        raise InvalidParametersError(
+            f"{params.spec()} has no helical strands (p == 0)"
+        )

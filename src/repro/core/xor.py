@@ -1,0 +1,89 @@
+"""XOR kernels used by the entanglement encoder and decoder.
+
+Payloads are held as one-dimensional ``numpy.uint8`` arrays so that XOR of
+large blocks runs at memory bandwidth.  Helper functions convert transparently
+from :class:`bytes`/:class:`bytearray` and enforce equal block sizes, because
+the entanglement function is only defined for blocks of identical size
+(paper, Section III-B: "data and parity blocks with identical size").
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Union
+
+import numpy as np
+
+from repro.exceptions import BlockSizeMismatchError
+
+Payload = np.ndarray
+PayloadLike = Union[bytes, bytearray, memoryview, np.ndarray]
+
+
+def as_payload(data: PayloadLike, block_size: int = 0) -> Payload:
+    """Convert ``data`` to a uint8 payload, optionally padding to ``block_size``.
+
+    Padding uses zero bytes, which is safe for XOR-based codes: the pad is
+    reproduced exactly on decode and can be stripped with the original length.
+    """
+    if isinstance(data, np.ndarray):
+        payload = np.ascontiguousarray(data, dtype=np.uint8).ravel()
+    else:
+        payload = np.frombuffer(bytes(data), dtype=np.uint8).copy()
+    if block_size:
+        if payload.size > block_size:
+            raise BlockSizeMismatchError(
+                f"payload of {payload.size} bytes exceeds block size {block_size}"
+            )
+        if payload.size < block_size:
+            padded = np.zeros(block_size, dtype=np.uint8)
+            padded[: payload.size] = payload
+            payload = padded
+    return payload
+
+
+def zero_payload(block_size: int) -> Payload:
+    """The all-zero payload used as the virtual input at strand extremities."""
+    return np.zeros(block_size, dtype=np.uint8)
+
+
+def xor_payloads(left: PayloadLike, right: PayloadLike) -> Payload:
+    """XOR two equally sized payloads."""
+    a = as_payload(left)
+    b = as_payload(right)
+    if a.size != b.size:
+        raise BlockSizeMismatchError(
+            f"cannot XOR payloads of different sizes ({a.size} vs {b.size})"
+        )
+    return np.bitwise_xor(a, b)
+
+
+def xor_many(payloads: Iterable[PayloadLike]) -> Payload:
+    """XOR an arbitrary number of equally sized payloads (at least one)."""
+    iterator = iter(payloads)
+    try:
+        result = as_payload(next(iterator)).copy()
+    except StopIteration:
+        raise BlockSizeMismatchError("xor_many requires at least one payload") from None
+    for item in iterator:
+        other = as_payload(item)
+        if other.size != result.size:
+            raise BlockSizeMismatchError(
+                f"cannot XOR payloads of different sizes ({result.size} vs {other.size})"
+            )
+        np.bitwise_xor(result, other, out=result)
+    return result
+
+
+def payload_to_bytes(payload: PayloadLike, length: int | None = None) -> bytes:
+    """Convert a payload back to :class:`bytes`, optionally trimming padding."""
+    raw = as_payload(payload).tobytes()
+    if length is not None:
+        return raw[:length]
+    return raw
+
+
+def payloads_equal(left: PayloadLike, right: PayloadLike) -> bool:
+    """True when two payloads hold identical bytes."""
+    a = as_payload(left)
+    b = as_payload(right)
+    return a.size == b.size and bool(np.array_equal(a, b))

@@ -1,0 +1,112 @@
+"""Vectorised disaster-recovery simulator and experiment runner (paper, Sec. V-C).
+
+The models in this subpackage track *availability only* -- exactly like the
+paper's table-driven simulation -- which lets the experiments run at the
+paper's scale (one million data blocks, 100 locations) in seconds.
+"""
+
+from repro.simulation.churn import (
+    ChurnConfig,
+    ChurnResult,
+    ChurnSample,
+    ChurnSimulator,
+    availability_nines,
+    compare_schemes_under_churn,
+)
+from repro.simulation.traces import (
+    LifetimeModel,
+    NodeSession,
+    SessionTrace,
+    TraceStatistics,
+    datacenter_disk_trace,
+    exponential_lifetimes,
+    p2p_session_trace,
+    weibull_lifetimes,
+)
+from repro.simulation.experiments import (
+    AE_SETTINGS,
+    DISASTER_FRACTIONS,
+    ExperimentConfig,
+    FIG13_SCHEMES,
+    REPLICATION_FACTORS,
+    RS_SETTINGS,
+    costs_table,
+    data_loss_experiment,
+    placement_balance_report,
+    repair_rounds_experiment,
+    run_all,
+    sample_disaster,
+    single_failure_experiment,
+    vulnerable_data_experiment,
+)
+from repro.simulation.lattice_model import (
+    AELatticeModel,
+    LatticeRepairOutcome,
+    vectorised_input_indices,
+    vectorised_output_indices,
+)
+from repro.simulation.metrics import (
+    DisasterMetrics,
+    PAPER_SCHEMES,
+    SchemeDescription,
+    describe_scheme,
+    format_table,
+    scheme_costs,
+)
+from repro.simulation.replication_model import ReplicationModel, ReplicationOutcome
+from repro.simulation.rs_model import RSStripeModel, StripeRepairOutcome
+from repro.simulation.workload import (
+    WorkloadSpec,
+    document_bytes,
+    mixed_file_sizes,
+    payload_stream,
+)
+
+__all__ = [
+    "AELatticeModel",
+    "ChurnConfig",
+    "ChurnResult",
+    "ChurnSample",
+    "ChurnSimulator",
+    "LifetimeModel",
+    "NodeSession",
+    "SessionTrace",
+    "TraceStatistics",
+    "AE_SETTINGS",
+    "DISASTER_FRACTIONS",
+    "DisasterMetrics",
+    "ExperimentConfig",
+    "FIG13_SCHEMES",
+    "LatticeRepairOutcome",
+    "PAPER_SCHEMES",
+    "REPLICATION_FACTORS",
+    "RS_SETTINGS",
+    "ReplicationModel",
+    "ReplicationOutcome",
+    "RSStripeModel",
+    "SchemeDescription",
+    "StripeRepairOutcome",
+    "WorkloadSpec",
+    "availability_nines",
+    "compare_schemes_under_churn",
+    "costs_table",
+    "datacenter_disk_trace",
+    "exponential_lifetimes",
+    "data_loss_experiment",
+    "describe_scheme",
+    "document_bytes",
+    "format_table",
+    "mixed_file_sizes",
+    "p2p_session_trace",
+    "payload_stream",
+    "placement_balance_report",
+    "repair_rounds_experiment",
+    "run_all",
+    "sample_disaster",
+    "scheme_costs",
+    "single_failure_experiment",
+    "vectorised_input_indices",
+    "vectorised_output_indices",
+    "vulnerable_data_experiment",
+    "weibull_lifetimes",
+]

@@ -1,0 +1,148 @@
+"""Metric definitions and the analytic cost table (paper, Table IV).
+
+The disaster experiments report four metrics:
+
+* **data loss** -- data blocks whose location failed and whose repair failed
+  (Fig. 11);
+* **vulnerable data** -- data blocks left without any protecting redundancy
+  after minimal-maintenance repairs (Fig. 12);
+* **single-failure fraction** -- the share of repairs that were plain
+  single-failure repairs (Fig. 13);
+* **repair rounds** -- how many rounds the AE decoder needed (Table VI).
+
+``scheme_costs`` reproduces the analytic rows of Table IV (additional storage
+and single-failure repair cost per scheme).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.codes.base import CodeCosts
+from repro.core.parameters import AEParameters
+from repro.exceptions import InvalidParametersError
+
+#: A scheme specification: an AE setting, an RS (k, m) pair, or a replication factor.
+SchemeSpec = Union[AEParameters, tuple, int]
+
+
+@dataclass(frozen=True)
+class SchemeDescription:
+    """Uniform naming/cost description of every scheme in the evaluation."""
+
+    name: str
+    kind: str  # "ae", "rs" or "replication"
+    additional_storage_percent: float
+    single_failure_cost: int
+
+    def costs(self) -> CodeCosts:
+        return CodeCosts(
+            name=self.name,
+            additional_storage_percent=self.additional_storage_percent,
+            single_failure_cost=self.single_failure_cost,
+        )
+
+
+def describe_scheme(spec: SchemeSpec) -> SchemeDescription:
+    """Build the Table IV row of one scheme specification."""
+    if isinstance(spec, AEParameters):
+        return SchemeDescription(
+            name=spec.spec(),
+            kind="ae",
+            additional_storage_percent=spec.alpha * 100.0,
+            single_failure_cost=spec.single_failure_cost,
+        )
+    if isinstance(spec, tuple) and len(spec) == 2:
+        k, m = spec
+        if k < 1 or m < 0:
+            raise InvalidParametersError(f"invalid RS spec {spec!r}")
+        return SchemeDescription(
+            name=f"RS({k},{m})",
+            kind="rs",
+            additional_storage_percent=m / k * 100.0,
+            single_failure_cost=k,
+        )
+    if isinstance(spec, int):
+        if spec < 2:
+            raise InvalidParametersError("replication factor must be >= 2")
+        return SchemeDescription(
+            name=f"{spec}-way replication",
+            kind="replication",
+            additional_storage_percent=(spec - 1) * 100.0,
+            single_failure_cost=1,
+        )
+    raise InvalidParametersError(f"unrecognised scheme specification {spec!r}")
+
+
+#: The schemes of Table IV (replication rows beyond 2/3/4-way are trivial).
+PAPER_SCHEMES: Sequence[SchemeSpec] = (
+    (10, 4),
+    (8, 2),
+    (5, 5),
+    (4, 12),
+    AEParameters.single(),
+    AEParameters.double(2, 5),
+    AEParameters.triple(2, 5),
+    2,
+    3,
+    4,
+)
+
+
+def scheme_costs(specs: Sequence[SchemeSpec] = PAPER_SCHEMES) -> List[Dict[str, object]]:
+    """Table IV: additional storage and single-failure repair cost per scheme."""
+    return [describe_scheme(spec).costs().as_row() for spec in specs]
+
+
+@dataclass
+class DisasterMetrics:
+    """All metrics of one (scheme, disaster size) cell of the evaluation."""
+
+    scheme: str
+    disaster_fraction: float
+    data_blocks: int
+    data_loss: int
+    vulnerable_data: int
+    repair_rounds: int = 0
+    single_failure_fraction: float = 0.0
+    repaired_data: int = 0
+    blocks_read: int = 0
+
+    @property
+    def data_loss_fraction(self) -> float:
+        return self.data_loss / self.data_blocks if self.data_blocks else 0.0
+
+    @property
+    def vulnerable_fraction(self) -> float:
+        return self.vulnerable_data / self.data_blocks if self.data_blocks else 0.0
+
+    def as_row(self) -> Dict[str, object]:
+        return {
+            "scheme": self.scheme,
+            "disaster (%)": int(round(self.disaster_fraction * 100)),
+            "data loss (blocks)": self.data_loss,
+            "vulnerable data (%)": round(self.vulnerable_fraction * 100.0, 2),
+            "repair rounds": self.repair_rounds,
+            "single failures (%)": round(self.single_failure_fraction * 100.0, 1),
+        }
+
+
+def format_table(rows: Sequence[Dict[str, object]]) -> str:
+    """Render a list of dict rows as an aligned plain-text table."""
+    if not rows:
+        return "(no rows)"
+    headers = list(rows[0].keys())
+    widths = {
+        header: max(len(str(header)), *(len(str(row.get(header, ""))) for row in rows))
+        for header in headers
+    }
+    lines = [
+        "  ".join(str(header).ljust(widths[header]) for header in headers),
+        "  ".join("-" * widths[header] for header in headers),
+    ]
+    for row in rows:
+        lines.append(
+            "  ".join(str(row.get(header, "")).ljust(widths[header]) for header in headers)
+        )
+    return "\n".join(lines)

@@ -1,0 +1,61 @@
+"""Storage substrate: locations, clusters, placement, failures and repair.
+
+This subpackage models the physical layer beneath the entanglement lattice --
+storage locations that can fail, a cluster that maps blocks to locations, and
+the repair machinery that restores redundancy after disasters.
+"""
+
+from repro.storage.block_store import BlockStore
+from repro.storage.cluster import ClusterStats, StorageCluster
+from repro.storage.failures import (
+    ChurnEvent,
+    ChurnTrace,
+    CorrelatedFailureDomains,
+    Disaster,
+    PAPER_DISASTER_SIZES,
+    disaster_for_fraction,
+    disaster_series,
+)
+from repro.storage.maintenance import MaintenanceBudget, MaintenancePolicy
+from repro.storage.placement import (
+    DictionaryPlacement,
+    PlacementPolicy,
+    RandomPlacement,
+    RoundRobinPlacement,
+    StrandAwarePlacement,
+    placement_balance,
+)
+from repro.storage.scrub import ChecksumManifest, ScrubFinding, ScrubReport, Scrubber
+from repro.storage.repair import (
+    ClusterRepairManager,
+    ClusterRepairReport,
+    ClusterRepairRound,
+)
+
+__all__ = [
+    "BlockStore",
+    "ChecksumManifest",
+    "ChurnEvent",
+    "ChurnTrace",
+    "ClusterRepairManager",
+    "ClusterRepairReport",
+    "ClusterRepairRound",
+    "ClusterStats",
+    "CorrelatedFailureDomains",
+    "DictionaryPlacement",
+    "Disaster",
+    "MaintenanceBudget",
+    "MaintenancePolicy",
+    "PAPER_DISASTER_SIZES",
+    "PlacementPolicy",
+    "RandomPlacement",
+    "RoundRobinPlacement",
+    "ScrubFinding",
+    "ScrubReport",
+    "Scrubber",
+    "StorageCluster",
+    "StrandAwarePlacement",
+    "disaster_for_fraction",
+    "disaster_series",
+    "placement_balance",
+]

@@ -1,0 +1,137 @@
+"""A single storage location: an in-memory block store with an availability flag.
+
+The paper's evaluation treats storage locations abstractly: a location is a
+disk, a server or a peer; blocks are mapped to locations by a placement
+policy; a disaster flips a set of locations to *unavailable* (paper,
+Sec. V-C).  This class models one such location.  Payloads are kept in memory,
+which is sufficient for the simulations and the examples while still
+exercising the real encode/decode path.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Optional
+
+from repro.core.blocks import BlockId
+from repro.core.xor import Payload, as_payload
+from repro.exceptions import BlockUnavailableError, StorageFullError, UnknownBlockError
+
+
+class BlockStore:
+    """In-memory content store for one storage location."""
+
+    def __init__(self, location_id: int, capacity_blocks: Optional[int] = None) -> None:
+        self._location_id = location_id
+        self._capacity = capacity_blocks
+        self._blocks: Dict[BlockId, Payload] = {}
+        self._available = True
+        self._reads = 0
+        self._writes = 0
+
+    # ------------------------------------------------------------------
+    # Identity and state
+    # ------------------------------------------------------------------
+    @property
+    def location_id(self) -> int:
+        return self._location_id
+
+    @property
+    def available(self) -> bool:
+        """Whether the location currently serves requests."""
+        return self._available
+
+    @property
+    def capacity_blocks(self) -> Optional[int]:
+        return self._capacity
+
+    @property
+    def block_count(self) -> int:
+        return len(self._blocks)
+
+    @property
+    def bytes_stored(self) -> int:
+        return sum(int(payload.size) for payload in self._blocks.values())
+
+    @property
+    def read_count(self) -> int:
+        return self._reads
+
+    @property
+    def write_count(self) -> int:
+        return self._writes
+
+    def fail(self) -> None:
+        """Mark the location unavailable (disaster / crash / departure)."""
+        self._available = False
+
+    def restore(self) -> None:
+        """Bring the location back online with its stored content intact."""
+        self._available = True
+
+    def wipe(self) -> None:
+        """Simulate a destructive failure: content is lost, location stays down."""
+        self._blocks.clear()
+        self._available = False
+
+    # ------------------------------------------------------------------
+    # Block operations
+    # ------------------------------------------------------------------
+    def put(self, block_id: BlockId, payload: Payload) -> None:
+        if not self._available:
+            raise BlockUnavailableError(
+                f"location {self._location_id} is unavailable for writes"
+            )
+        if (
+            self._capacity is not None
+            and block_id not in self._blocks
+            and len(self._blocks) >= self._capacity
+        ):
+            raise StorageFullError(
+                f"location {self._location_id} is full ({self._capacity} blocks)"
+            )
+        self._blocks[block_id] = as_payload(payload)
+        self._writes += 1
+
+    def get(self, block_id: BlockId) -> Payload:
+        if not self._available:
+            raise BlockUnavailableError(
+                f"location {self._location_id} is unavailable for reads"
+            )
+        if block_id not in self._blocks:
+            raise UnknownBlockError(
+                f"block {block_id!r} is not stored at location {self._location_id}"
+            )
+        self._reads += 1
+        return self._blocks[block_id]
+
+    def try_get(self, block_id: BlockId) -> Optional[Payload]:
+        """Like :meth:`get` but returns ``None`` instead of raising."""
+        if not self._available or block_id not in self._blocks:
+            return None
+        self._reads += 1
+        return self._blocks[block_id]
+
+    def delete(self, block_id: BlockId) -> None:
+        if block_id not in self._blocks:
+            raise UnknownBlockError(
+                f"block {block_id!r} is not stored at location {self._location_id}"
+            )
+        del self._blocks[block_id]
+
+    def contains(self, block_id: BlockId) -> bool:
+        """True when the block is physically present (even if unavailable)."""
+        return block_id in self._blocks
+
+    def holds(self, block_id: BlockId) -> bool:
+        """True when the block is present *and* the location is available."""
+        return self._available and block_id in self._blocks
+
+    def block_ids(self) -> Iterator[BlockId]:
+        return iter(list(self._blocks.keys()))
+
+    def __len__(self) -> int:
+        return len(self._blocks)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "up" if self._available else "down"
+        return f"BlockStore(location={self._location_id}, blocks={len(self._blocks)}, {state})"

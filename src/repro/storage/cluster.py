@@ -1,0 +1,196 @@
+"""A cluster of storage locations with a placement policy.
+
+The cluster is the physical layer beneath the helical lattice: it stores the
+encoded blocks, knows which location holds each block, and exposes the
+availability view the decoder and the repair manager operate on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set
+
+from repro.core.blocks import Block, BlockId
+from repro.core.xor import Payload
+from repro.exceptions import PlacementError, UnknownBlockError
+from repro.storage.block_store import BlockStore
+from repro.storage.placement import PlacementPolicy, RandomPlacement
+
+
+@dataclass
+class ClusterStats:
+    """Aggregate statistics of a cluster."""
+
+    locations: int
+    available_locations: int
+    blocks: int
+    unavailable_blocks: int
+    bytes_stored: int
+
+    def summary(self) -> str:
+        return (
+            f"{self.available_locations}/{self.locations} locations up, "
+            f"{self.blocks} blocks ({self.unavailable_blocks} currently unavailable), "
+            f"{self.bytes_stored} bytes"
+        )
+
+
+class StorageCluster:
+    """``n`` storage locations plus the block -> location mapping."""
+
+    def __init__(
+        self,
+        location_count: int,
+        placement: Optional[PlacementPolicy] = None,
+        capacity_blocks: Optional[int] = None,
+    ) -> None:
+        if location_count < 1:
+            raise PlacementError("a cluster needs at least one location")
+        self._stores: List[BlockStore] = [
+            BlockStore(location_id, capacity_blocks) for location_id in range(location_count)
+        ]
+        self._placement = placement or RandomPlacement(location_count)
+        if self._placement.location_count != location_count:
+            raise PlacementError(
+                "placement policy location count does not match the cluster size"
+            )
+        self._directory: Dict[BlockId, int] = {}
+
+    # ------------------------------------------------------------------
+    # Topology
+    # ------------------------------------------------------------------
+    @property
+    def location_count(self) -> int:
+        return len(self._stores)
+
+    @property
+    def placement(self) -> PlacementPolicy:
+        return self._placement
+
+    def location(self, location_id: int) -> BlockStore:
+        return self._stores[location_id]
+
+    def locations(self) -> Iterator[BlockStore]:
+        return iter(self._stores)
+
+    def available_locations(self) -> List[int]:
+        return [store.location_id for store in self._stores if store.available]
+
+    def unavailable_locations(self) -> List[int]:
+        return [store.location_id for store in self._stores if not store.available]
+
+    # ------------------------------------------------------------------
+    # Failure injection
+    # ------------------------------------------------------------------
+    def fail_locations(self, location_ids: Iterable[int]) -> None:
+        for location_id in location_ids:
+            self._stores[location_id].fail()
+
+    def wipe_locations(self, location_ids: Iterable[int]) -> None:
+        for location_id in location_ids:
+            self._stores[location_id].wipe()
+
+    def restore_locations(self, location_ids: Optional[Iterable[int]] = None) -> None:
+        targets = (
+            list(location_ids)
+            if location_ids is not None
+            else [store.location_id for store in self._stores]
+        )
+        for location_id in targets:
+            self._stores[location_id].restore()
+
+    # ------------------------------------------------------------------
+    # Block operations
+    # ------------------------------------------------------------------
+    def put_block(self, block: Block, location_id: Optional[int] = None) -> int:
+        """Store a block, returning the location chosen for it."""
+        if location_id is None:
+            location_id = self._placement.location_for(block.block_id)
+        self._stores[location_id].put(block.block_id, block.payload)
+        self._directory[block.block_id] = location_id
+        return location_id
+
+    def put_blocks(self, blocks: Iterable[Block]) -> None:
+        for block in blocks:
+            self.put_block(block)
+
+    def get_block(self, block_id: BlockId) -> Payload:
+        """Return a payload; raises if the block is unknown or its location is down."""
+        location_id = self.location_of(block_id)
+        return self._stores[location_id].get(block_id)
+
+    def try_get_block(self, block_id: BlockId) -> Optional[Payload]:
+        """Availability-aware fetch used by the decoder (``None`` when unreachable)."""
+        location_id = self._directory.get(block_id)
+        if location_id is None:
+            return None
+        return self._stores[location_id].try_get(block_id)
+
+    def location_of(self, block_id: BlockId) -> int:
+        if block_id not in self._directory:
+            raise UnknownBlockError(f"block {block_id!r} is not stored in the cluster")
+        return self._directory[block_id]
+
+    def knows(self, block_id: BlockId) -> bool:
+        return block_id in self._directory
+
+    def is_available(self, block_id: BlockId) -> bool:
+        location_id = self._directory.get(block_id)
+        if location_id is None:
+            return False
+        return self._stores[location_id].holds(block_id)
+
+    def relocate(self, block_id: BlockId, payload: Payload, avoid: Sequence[int] = ()) -> int:
+        """Store a repaired block on an available location (not in ``avoid``)."""
+        candidates = [
+            store.location_id
+            for store in self._stores
+            if store.available and store.location_id not in set(avoid)
+        ]
+        if not candidates:
+            raise PlacementError("no available location to hold the repaired block")
+        # Deterministic spread: hash of the block id over the candidates.
+        preferred = self._placement.location_for(block_id)
+        if preferred in candidates:
+            target = preferred
+        else:
+            target = candidates[block_id.index % len(candidates)]
+        self._stores[target].put(block_id, payload)
+        self._directory[block_id] = target
+        return target
+
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
+    def block_ids(self) -> Iterator[BlockId]:
+        return iter(list(self._directory.keys()))
+
+    def blocks_at(self, location_id: int) -> List[BlockId]:
+        return [
+            block_id
+            for block_id, location in self._directory.items()
+            if location == location_id
+        ]
+
+    def unavailable_blocks(self) -> Set[BlockId]:
+        """Blocks whose location is currently down (the repair work list)."""
+        down = {
+            store.location_id for store in self._stores if not store.available
+        }
+        return {
+            block_id
+            for block_id, location in self._directory.items()
+            if location in down
+        }
+
+    def stats(self) -> ClusterStats:
+        return ClusterStats(
+            locations=self.location_count,
+            available_locations=len(self.available_locations()),
+            blocks=len(self._directory),
+            unavailable_blocks=len(self.unavailable_blocks()),
+            bytes_stored=sum(store.bytes_stored for store in self._stores),
+        )
+
+    def __len__(self) -> int:
+        return len(self._directory)

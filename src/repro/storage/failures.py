@@ -1,0 +1,162 @@
+"""Failure models: disasters, correlated failures and churn.
+
+The paper's evaluation applies *disasters*: a fraction of the storage
+locations (10% to 50%) becomes unavailable at once, modelling catastrophic
+correlated failures, massive peer departures or whole-rack outages.  This
+module generates such scenarios (plus a few richer ones used by the examples
+and the extension benchmarks) and applies them to a
+:class:`repro.storage.cluster.StorageCluster`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.exceptions import InvalidParametersError
+from repro.storage.cluster import StorageCluster
+
+#: Disaster sizes (fraction of unavailable locations) used throughout the paper.
+PAPER_DISASTER_SIZES = (0.10, 0.20, 0.30, 0.40, 0.50)
+
+
+@dataclass(frozen=True)
+class Disaster:
+    """A set of storage locations that become unavailable simultaneously."""
+
+    failed_locations: tuple
+    destructive: bool = False
+
+    @property
+    def size(self) -> int:
+        return len(self.failed_locations)
+
+    def apply(self, cluster: StorageCluster) -> None:
+        if self.destructive:
+            cluster.wipe_locations(self.failed_locations)
+        else:
+            cluster.fail_locations(self.failed_locations)
+
+    def revert(self, cluster: StorageCluster) -> None:
+        """Bring the failed locations back (only meaningful when not destructive)."""
+        if not self.destructive:
+            cluster.restore_locations(self.failed_locations)
+
+
+def disaster_for_fraction(
+    location_count: int,
+    fraction: float,
+    rng: Optional[np.random.Generator] = None,
+    destructive: bool = False,
+) -> Disaster:
+    """Sample a disaster hitting ``fraction`` of the locations uniformly at random."""
+    if not 0.0 <= fraction <= 1.0:
+        raise InvalidParametersError("disaster fraction must lie in [0, 1]")
+    rng = rng or np.random.default_rng(0)
+    count = int(round(location_count * fraction))
+    failed = tuple(sorted(rng.choice(location_count, size=count, replace=False).tolist()))
+    return Disaster(failed_locations=failed, destructive=destructive)
+
+
+def disaster_series(
+    location_count: int,
+    fractions: Sequence[float] = PAPER_DISASTER_SIZES,
+    seed: int = 0,
+    destructive: bool = False,
+) -> List[Disaster]:
+    """One disaster per fraction, each drawn independently (paper, Figs. 11-13)."""
+    disasters = []
+    for offset, fraction in enumerate(fractions):
+        rng = np.random.default_rng(seed + offset)
+        disasters.append(
+            disaster_for_fraction(location_count, fraction, rng, destructive)
+        )
+    return disasters
+
+
+@dataclass(frozen=True)
+class CorrelatedFailureDomains:
+    """Groups of locations that fail together (racks, data centres, regions)."""
+
+    domains: tuple
+
+    @classmethod
+    def evenly(cls, location_count: int, domain_count: int) -> "CorrelatedFailureDomains":
+        if domain_count < 1 or domain_count > location_count:
+            raise InvalidParametersError(
+                "domain_count must lie between 1 and the number of locations"
+            )
+        domains: List[tuple] = []
+        base = location_count // domain_count
+        extra = location_count % domain_count
+        start = 0
+        for domain_index in range(domain_count):
+            size = base + (1 if domain_index < extra else 0)
+            domains.append(tuple(range(start, start + size)))
+            start += size
+        return cls(domains=tuple(domains))
+
+    def domain_disaster(self, domain_indexes: Iterable[int]) -> Disaster:
+        """A disaster taking down whole failure domains at once."""
+        failed: List[int] = []
+        for domain_index in domain_indexes:
+            failed.extend(self.domains[domain_index])
+        return Disaster(failed_locations=tuple(sorted(failed)))
+
+
+@dataclass
+class ChurnEvent:
+    """One step of a churn trace: locations leaving and returning."""
+
+    time: int
+    departures: tuple = ()
+    arrivals: tuple = ()
+
+
+@dataclass
+class ChurnTrace:
+    """A sequence of churn events, modelling a p2p network's instability.
+
+    Used by the extension benchmarks to study redundancy decay under
+    continuous, uncorrelated unavailability (as opposed to the one-shot
+    disasters of the paper's main evaluation).
+    """
+
+    events: List[ChurnEvent] = field(default_factory=list)
+
+    @classmethod
+    def poisson(
+        cls,
+        location_count: int,
+        steps: int,
+        departure_rate: float,
+        return_rate: float,
+        seed: int = 0,
+    ) -> "ChurnTrace":
+        if departure_rate < 0 or return_rate < 0:
+            raise InvalidParametersError("rates must be non-negative")
+        rng = np.random.default_rng(seed)
+        offline: set = set()
+        events: List[ChurnEvent] = []
+        for time in range(steps):
+            online = [loc for loc in range(location_count) if loc not in offline]
+            departures = tuple(
+                int(loc) for loc in online if rng.random() < departure_rate
+            )
+            arrivals = tuple(
+                int(loc) for loc in list(offline) if rng.random() < return_rate
+            )
+            offline.update(departures)
+            offline.difference_update(arrivals)
+            events.append(ChurnEvent(time=time, departures=departures, arrivals=arrivals))
+        return cls(events=events)
+
+    def replay(self, cluster: StorageCluster, until: Optional[int] = None) -> None:
+        """Apply the trace to a cluster, event by event."""
+        for event in self.events:
+            if until is not None and event.time >= until:
+                break
+            cluster.fail_locations(event.departures)
+            cluster.restore_locations(event.arrivals)

@@ -1,0 +1,71 @@
+"""Maintenance policies: how aggressively a system restores redundancy.
+
+The paper emphasises the "hidden role of maintenance" (Sec. V): the same code
+behaves very differently depending on whether the system repairs everything,
+repairs only what users ask for, or repairs nothing.  Three policies are
+modelled:
+
+* **full maintenance** -- every missing block (data or parity) is repaired;
+* **minimal maintenance** -- only missing *data* blocks are repaired; parities
+  are restored only as a by-product (this is the regime of Fig. 12, where a
+  large fraction of data ends up without redundancy);
+* **no maintenance** -- nothing is repaired; used to measure raw exposure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.core.blocks import BlockId, is_data
+
+
+class MaintenancePolicy(str, Enum):
+    """How much repair work the system performs after failures."""
+
+    FULL = "full"
+    MINIMAL = "minimal"
+    NONE = "none"
+
+    def repairs_block(self, block_id: BlockId) -> bool:
+        """Whether this policy attempts to repair ``block_id``."""
+        if self is MaintenancePolicy.NONE:
+            return False
+        if self is MaintenancePolicy.MINIMAL:
+            return is_data(block_id)
+        return True
+
+    def repairs_parities(self) -> bool:
+        return self is MaintenancePolicy.FULL
+
+    def describe(self) -> str:
+        return {
+            MaintenancePolicy.FULL: "repair every missing block (data and parities)",
+            MaintenancePolicy.MINIMAL: "repair missing data blocks only",
+            MaintenancePolicy.NONE: "no repairs",
+        }[self]
+
+
+@dataclass(frozen=True)
+class MaintenanceBudget:
+    """Optional cap on repair work per round (bandwidth-limited maintenance).
+
+    ``max_repairs_per_round`` limits how many blocks a round may rebuild, and
+    ``max_rounds`` bounds the total number of rounds.  ``unlimited()`` matches
+    the paper's evaluation, which lets repairs run to completion.
+    """
+
+    max_repairs_per_round: int | None = None
+    max_rounds: int | None = None
+
+    @classmethod
+    def unlimited(cls) -> "MaintenanceBudget":
+        return cls(None, None)
+
+    def allows_round(self, round_number: int) -> bool:
+        return self.max_rounds is None or round_number <= self.max_rounds
+
+    def clip_round(self, planned_repairs: int) -> int:
+        if self.max_repairs_per_round is None:
+            return planned_repairs
+        return min(planned_repairs, self.max_repairs_per_round)

@@ -1,0 +1,52 @@
+"""Entangled storage system use cases (paper, Section IV).
+
+* :mod:`repro.system.entangled_store` -- a generic put/get/repair system over
+  a cluster of storage locations;
+* :mod:`repro.system.backup` -- the geo-replicated cooperative backup network;
+* :mod:`repro.system.raid` -- entangled mirror arrays and RAID-AE;
+* :mod:`repro.system.keys` -- deterministic block keys and location mapping.
+"""
+
+from repro.system.archive import ArchiveEntry, ArchiveStore
+from repro.system.backup import (
+    BackupDocument,
+    BackupNode,
+    CooperativeBackupNetwork,
+    ParityRepairTrace,
+    RedundancyDegradation,
+    RepairStep,
+)
+from repro.system.entangled_store import (
+    EntangledStorageSystem,
+    StoredDocument,
+    SystemStatus,
+)
+from repro.system.keys import BlockKey, derive_key, location_for_block, location_for_key
+from repro.system.raid import (
+    EntangledMirrorArray,
+    MirrorDrive,
+    RAIDAEArray,
+    SimpleEntanglementChain,
+)
+
+__all__ = [
+    "ArchiveEntry",
+    "ArchiveStore",
+    "BackupDocument",
+    "BackupNode",
+    "BlockKey",
+    "CooperativeBackupNetwork",
+    "EntangledMirrorArray",
+    "EntangledStorageSystem",
+    "MirrorDrive",
+    "ParityRepairTrace",
+    "RAIDAEArray",
+    "RedundancyDegradation",
+    "RepairStep",
+    "SimpleEntanglementChain",
+    "StoredDocument",
+    "SystemStatus",
+    "derive_key",
+    "location_for_block",
+    "location_for_key",
+]

@@ -1,0 +1,184 @@
+"""A complete entangled storage system: encode, place, read, repair.
+
+``EntangledStorageSystem`` ties the pieces together the way Section IV of the
+paper describes: an entanglement encoder produces data and parity blocks, a
+placement policy maps them to the locations of a storage cluster, reads fall
+back to lattice repair when locations are unavailable, and a repair manager
+restores redundancy after disasters.  It is the object the examples and the
+integration tests drive.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.blocks import BlockId, DataId, EncodedBlock, join_blocks
+from repro.core.decoder import Decoder
+from repro.core.encoder import DEFAULT_BLOCK_SIZE, Entangler
+from repro.core.lattice import HelicalLattice
+from repro.core.parameters import AEParameters
+from repro.core.xor import Payload, payload_to_bytes
+from repro.exceptions import UnknownBlockError
+from repro.storage.cluster import StorageCluster
+from repro.storage.maintenance import MaintenancePolicy
+from repro.storage.placement import PlacementPolicy, RandomPlacement
+from repro.storage.repair import ClusterRepairManager, ClusterRepairReport
+
+
+@dataclass
+class StoredDocument:
+    """Metadata of one document stored in the system."""
+
+    name: str
+    data_ids: List[DataId]
+    length: int
+
+    @property
+    def block_count(self) -> int:
+        return len(self.data_ids)
+
+
+@dataclass
+class SystemStatus:
+    """Snapshot of the health of the entangled storage system."""
+
+    data_blocks: int
+    parity_blocks: int
+    unavailable_blocks: int
+    unavailable_data_blocks: int
+    locations: int
+    unavailable_locations: int
+    documents: int = 0
+    notes: List[str] = field(default_factory=list)
+
+    def summary(self) -> str:
+        return (
+            f"{self.data_blocks} data + {self.parity_blocks} parity blocks on "
+            f"{self.locations} locations ({self.unavailable_locations} down); "
+            f"{self.unavailable_blocks} blocks unreachable "
+            f"({self.unavailable_data_blocks} data)"
+        )
+
+
+class EntangledStorageSystem:
+    """High-level put/get/repair interface over a cluster and an AE lattice."""
+
+    def __init__(
+        self,
+        params: AEParameters,
+        location_count: int = 100,
+        block_size: int = DEFAULT_BLOCK_SIZE,
+        placement: Optional[PlacementPolicy] = None,
+        cluster: Optional[StorageCluster] = None,
+        seed: int = 0,
+    ) -> None:
+        self._params = params
+        self._block_size = block_size
+        placement = placement or RandomPlacement(location_count, seed=seed)
+        self._cluster = cluster or StorageCluster(location_count, placement)
+        self._encoder = Entangler(params, block_size)
+        self._documents: Dict[str, StoredDocument] = {}
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def params(self) -> AEParameters:
+        return self._params
+
+    @property
+    def block_size(self) -> int:
+        return self._block_size
+
+    @property
+    def cluster(self) -> StorageCluster:
+        return self._cluster
+
+    @property
+    def lattice(self) -> HelicalLattice:
+        return self._encoder.lattice
+
+    @property
+    def documents(self) -> Dict[str, StoredDocument]:
+        return dict(self._documents)
+
+    def status(self) -> SystemStatus:
+        unavailable = self._cluster.unavailable_blocks()
+        return SystemStatus(
+            data_blocks=self.lattice.size,
+            parity_blocks=self.lattice.parity_count,
+            unavailable_blocks=len(unavailable),
+            unavailable_data_blocks=sum(1 for b in unavailable if isinstance(b, DataId)),
+            locations=self._cluster.location_count,
+            unavailable_locations=len(self._cluster.unavailable_locations()),
+            documents=len(self._documents),
+        )
+
+    # ------------------------------------------------------------------
+    # Writes
+    # ------------------------------------------------------------------
+    def put(self, name: str, data: bytes) -> StoredDocument:
+        """Encode and store a document, returning its handle."""
+        encoded_blocks, length = self._encoder.encode_bytes(data)
+        data_ids = [encoded.data_id for encoded in encoded_blocks]
+        for encoded in encoded_blocks:
+            self._store_encoded(encoded)
+        document = StoredDocument(name=name, data_ids=data_ids, length=length)
+        self._documents[name] = document
+        return document
+
+    def append_block(self, payload) -> EncodedBlock:
+        """Entangle and store a single block (streaming ingestion)."""
+        encoded = self._encoder.entangle(payload)
+        self._store_encoded(encoded)
+        return encoded
+
+    def _store_encoded(self, encoded: EncodedBlock) -> None:
+        for block in encoded.all_blocks():
+            self._cluster.put_block(block)
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+    def get_block(self, block_id: BlockId) -> Payload:
+        """Read one block, repairing it through the lattice when unreachable."""
+        decoder = Decoder(
+            self.lattice, self._cluster.try_get_block, self._block_size
+        )
+        return decoder.get(block_id)
+
+    def read(self, name: str) -> bytes:
+        """Read a full document back, repairing blocks as needed."""
+        if name not in self._documents:
+            raise UnknownBlockError(f"unknown document {name!r}")
+        document = self._documents[name]
+        payloads = [self.get_block(data_id) for data_id in document.data_ids]
+        return join_blocks(payloads, document.length)
+
+    def read_block_bytes(self, data_id: DataId, length: Optional[int] = None) -> bytes:
+        return payload_to_bytes(self.get_block(data_id), length)
+
+    # ------------------------------------------------------------------
+    # Failures and repair
+    # ------------------------------------------------------------------
+    def fail_locations(self, location_ids) -> None:
+        self._cluster.fail_locations(location_ids)
+
+    def restore_locations(self, location_ids=None) -> None:
+        self._cluster.restore_locations(location_ids)
+
+    def repair(
+        self,
+        policy: MaintenancePolicy = MaintenancePolicy.FULL,
+        max_rounds: int = 1000,
+    ) -> ClusterRepairReport:
+        """Run round-based repair of every unreachable block under ``policy``."""
+        manager = ClusterRepairManager(
+            self.lattice, self._cluster, self._block_size, policy
+        )
+        return manager.repair(max_rounds=max_rounds)
+
+    def verify_document(self, name: str, expected: bytes) -> bool:
+        """Convenience used by examples/tests: read back and compare."""
+        return self.read(name) == expected

@@ -1,0 +1,131 @@
+"""Tests for write-performance analysis, reliability models and workloads."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.reliability import (
+    DriveModel,
+    analytic_mirror_loss,
+    closed_chain_survives,
+    five_year_comparison,
+    mirroring_survives,
+    open_chain_survives,
+    simulate_layout,
+)
+from repro.analysis.write_performance import (
+    compare_settings,
+    evaluate_setting,
+    figure10_comparison,
+    full_write_memory,
+)
+from repro.core.parameters import AEParameters
+from repro.exceptions import InvalidParametersError
+from repro.simulation.workload import WorkloadSpec, document_bytes, mixed_file_sizes, payload_stream
+
+
+class TestWritePerformance:
+    def test_figure10_comparison_shape(self):
+        """s = p seals every bucket; p > s does not (Fig. 10)."""
+        unequal, equal = figure10_comparison(columns=40)
+        assert equal.params.spec() == "AE(3,10,10)"
+        assert equal.sealed_fraction == pytest.approx(1.0)
+        assert unequal.sealed_fraction < 1.0
+        assert unequal.deferred_parities_per_column > 0
+
+    def test_compare_settings_skips_invalid_p(self):
+        points = compare_settings(3, 5, [3, 5, 10], columns=30)
+        assert [point.params.p for point in points] == [5, 10]
+
+    def test_memory_model(self):
+        assert full_write_memory(AEParameters(3, 5, 10)) == 5 + 2 * 10
+        point = evaluate_setting(AEParameters(3, 5, 5), columns=30)
+        assert point.strand_head_memory_blocks == 15
+        assert point.as_row()["setting"] == "AE(3,5,5)"
+
+    def test_invalid_arguments(self):
+        with pytest.raises(InvalidParametersError):
+            compare_settings(0, 5, [5])
+
+
+class TestReliabilityPredicates:
+    def test_mirroring_loses_only_when_a_pair_dies(self):
+        assert mirroring_survives({0, 2, 5}, pairs=4)
+        assert not mirroring_survives({2, 3}, pairs=4)
+
+    def test_open_chain_survives_scattered_failures(self):
+        # Data drives are even indexes, parity drives odd.
+        assert open_chain_survives({0, 4, 8}, pairs=6)
+        assert open_chain_survives({1, 5, 9}, pairs=6)
+
+    def test_open_chain_primitive_form_is_fatal(self):
+        """d_i, p_i, d_{i+1} simultaneously down kills an open chain."""
+        failed = {4, 5, 6}  # d2, p2, d3
+        assert not open_chain_survives(failed, pairs=6)
+
+    def test_closed_chain_handles_the_extremity(self):
+        """The last data drive plus its parity is fatal for open, fine for closed."""
+        pairs = 6
+        failed = {2 * (pairs - 1), 2 * (pairs - 1) + 1}
+        assert not open_chain_survives(failed, pairs)
+        assert closed_chain_survives(failed, pairs)
+
+    def test_single_drive_failures_never_lose_data(self):
+        for drive in range(12):
+            assert open_chain_survives({drive}, pairs=6)
+            assert closed_chain_survives({drive}, pairs=6)
+            assert mirroring_survives({drive}, pairs=6)
+
+
+class TestReliabilitySimulation:
+    def test_entanglement_beats_mirroring(self):
+        """Sec. IV-B1: entangled mirrors cut the 5-year loss probability."""
+        results = five_year_comparison(drive_pairs=8, trials=400, seed=11)
+        assert results["entangled-open"].loss_probability <= results["mirroring"].loss_probability
+        assert results["entangled-closed"].loss_probability <= results["entangled-open"].loss_probability
+        assert results["mirroring"].loss_probability > 0
+
+    def test_simulate_layout_validation(self):
+        with pytest.raises(InvalidParametersError):
+            simulate_layout("raid42", trials=10)
+
+    def test_result_accessors(self):
+        result = simulate_layout("mirroring", drive_pairs=4, trials=50, seed=1)
+        assert 0.0 <= result.loss_probability <= 1.0
+        assert result.reliability == pytest.approx(1.0 - result.loss_probability)
+
+    def test_analytic_mirror_loss_is_monotonic_in_repair_time(self):
+        fast = analytic_mirror_loss(10, 5.0, DriveModel(50_000, 24.0))
+        slow = analytic_mirror_loss(10, 5.0, DriveModel(50_000, 500.0))
+        assert slow > fast
+
+
+class TestWorkloads:
+    def test_payload_stream_counts_and_sizes(self):
+        spec = WorkloadSpec(block_count=10, block_size=128, seed=1)
+        payloads = list(payload_stream(spec))
+        assert len(payloads) == 10
+        assert all(len(payload) == 128 for payload in payloads)
+        assert spec.total_bytes() == 1280
+
+    def test_compressible_payloads_are_runs(self):
+        spec = WorkloadSpec(block_count=3, block_size=64, compressible=True)
+        payloads = list(payload_stream(spec))
+        assert all(len(set(payload)) == 1 for payload in payloads)
+
+    def test_document_bytes_deterministic(self):
+        assert document_bytes(100, seed=5) == document_bytes(100, seed=5)
+        assert document_bytes(100, seed=5) != document_bytes(100, seed=6)
+
+    def test_mixed_file_sizes_bounds(self):
+        sizes = mixed_file_sizes(50, seed=2)
+        assert len(sizes) == 50
+        assert all(256 <= size <= 4096 * 1024 for size in sizes)
+
+    def test_invalid_workloads(self):
+        with pytest.raises(InvalidParametersError):
+            list(payload_stream(WorkloadSpec(block_count=-1)))
+        with pytest.raises(InvalidParametersError):
+            document_bytes(-1)
+        with pytest.raises(InvalidParametersError):
+            mixed_file_sizes(-1)

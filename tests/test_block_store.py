@@ -1,0 +1,75 @@
+"""Tests for the single-location block store."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.blocks import DataId, ParityId
+from repro.core.parameters import StrandClass
+from repro.exceptions import BlockUnavailableError, StorageFullError, UnknownBlockError
+from repro.storage.block_store import BlockStore
+
+
+class TestBlockStore:
+    def test_put_get_roundtrip(self):
+        store = BlockStore(0)
+        store.put(DataId(1), b"\x01\x02")
+        assert store.get(DataId(1)).tolist() == [1, 2]
+        assert store.block_count == 1
+        assert store.bytes_stored == 2
+        assert store.contains(DataId(1))
+        assert store.holds(DataId(1))
+
+    def test_missing_block_raises(self):
+        store = BlockStore(0)
+        with pytest.raises(UnknownBlockError):
+            store.get(DataId(1))
+        assert store.try_get(DataId(1)) is None
+
+    def test_failed_location_rejects_io(self):
+        store = BlockStore(3)
+        store.put(DataId(1), b"x")
+        store.fail()
+        assert not store.available
+        with pytest.raises(BlockUnavailableError):
+            store.get(DataId(1))
+        with pytest.raises(BlockUnavailableError):
+            store.put(DataId(2), b"y")
+        assert store.try_get(DataId(1)) is None
+        assert store.contains(DataId(1))  # data still physically there
+        assert not store.holds(DataId(1))
+        store.restore()
+        assert store.get(DataId(1)).tolist() == [120]
+
+    def test_wipe_loses_content(self):
+        store = BlockStore(0)
+        store.put(DataId(1), b"x")
+        store.wipe()
+        assert not store.available
+        assert not store.contains(DataId(1))
+
+    def test_capacity_enforced(self):
+        store = BlockStore(0, capacity_blocks=1)
+        store.put(DataId(1), b"x")
+        with pytest.raises(StorageFullError):
+            store.put(DataId(2), b"y")
+        # Overwriting an existing block is allowed.
+        store.put(DataId(1), b"z")
+
+    def test_delete_and_iteration(self):
+        store = BlockStore(0)
+        store.put(DataId(1), b"a")
+        store.put(ParityId(1, StrandClass.HORIZONTAL), b"b")
+        assert len(list(store.block_ids())) == 2
+        store.delete(DataId(1))
+        assert len(store) == 1
+        with pytest.raises(UnknownBlockError):
+            store.delete(DataId(1))
+
+    def test_read_write_counters(self):
+        store = BlockStore(0)
+        store.put(DataId(1), b"a")
+        store.get(DataId(1))
+        store.try_get(DataId(1))
+        assert store.write_count == 1
+        assert store.read_count == 2

@@ -1,0 +1,60 @@
+"""Tests for the sealed-bucket write scheduler (Fig. 10)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.buckets import WriteScheduler, compare_write_parallelism
+from repro.core.parameters import AEParameters
+from repro.exceptions import InvalidParametersError
+
+
+class TestWriteScheduler:
+    def test_s_equals_p_seals_everything_at_arrival(self):
+        """Fig. 10 (bottom): with s = p all parities needed are in memory."""
+        report = WriteScheduler(AEParameters(3, 5, 5)).simulate(columns=40)
+        assert report.sealed_fraction == pytest.approx(1.0)
+        assert report.waiting_buckets == 0
+        assert report.deferred_parities == 0
+
+    def test_p_larger_than_s_defers_wrap_around_buckets(self):
+        """Fig. 10 (top): with p > s the wrap-around rows must wait or fetch."""
+        report = WriteScheduler(AEParameters(3, 5, 10)).simulate(columns=40)
+        assert report.sealed_fraction < 1.0
+        assert report.deferred_parities > 0
+        # Exactly the top (RH input) and bottom (LH input) rows are affected.
+        affected_rows = {bucket.index % 5 for bucket in report.buckets if bucket.deferred_inputs}
+        assert affected_rows <= {1, 0}
+
+    def test_wider_memory_window_restores_full_sealing(self):
+        """Keeping p - s + 1 columns of parities in memory removes the waits."""
+        params = AEParameters(3, 5, 10)
+        window = params.p - params.s + 1
+        wide = WriteScheduler(params, window_columns=window).simulate(columns=40)
+        assert wide.sealed_fraction == pytest.approx(1.0)
+
+    def test_single_entanglement_always_seals(self):
+        report = WriteScheduler(AEParameters.single()).simulate(columns=20)
+        assert report.sealed_fraction == pytest.approx(1.0)
+
+    def test_parities_per_step_accounts_for_all_parities(self):
+        params = AEParameters(3, 4, 4)
+        report = WriteScheduler(params).simulate(columns=20, skip_warmup=False)
+        total = sum(report.parities_per_step().values())
+        assert total == params.alpha * params.s * 20
+
+    def test_summary_and_memory(self):
+        report = WriteScheduler(AEParameters(3, 5, 10)).simulate(columns=30)
+        assert "AE(3,5,10)" in report.summary()
+        assert report.memory_requirement_blocks() == 3 * 5 * 1
+
+    def test_invalid_arguments(self):
+        with pytest.raises(InvalidParametersError):
+            WriteScheduler(AEParameters(3, 5, 5), window_columns=0)
+        with pytest.raises(InvalidParametersError):
+            WriteScheduler(AEParameters(3, 5, 5)).simulate(columns=0)
+
+
+def test_compare_write_parallelism_orders_settings():
+    reports = compare_write_parallelism(3, 5, [5, 10], columns=40)
+    assert reports[5].sealed_fraction >= reports[10].sealed_fraction

@@ -1,0 +1,60 @@
+"""Tests for the repro-experiments command line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import EXPERIMENTS, build_parser, main
+
+
+class TestParser:
+    def test_default_arguments(self):
+        args = build_parser().parse_args([])
+        assert args.experiment == "all"
+        assert args.blocks == 100_000
+        assert not args.paper_scale
+
+    def test_experiment_catalogue(self):
+        assert {"fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "table4", "table6"} <= set(
+            EXPERIMENTS
+        )
+
+
+class TestMain:
+    def test_list_option(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig11" in out
+        assert "table6" in out
+
+    def test_table4(self, capsys):
+        assert main(["table4"]) == 0
+        out = capsys.readouterr().out
+        assert "RS(10,4)" in out
+        assert "AE(3,2,5)" in out
+
+    def test_fig10(self, capsys):
+        assert main(["fig10"]) == 0
+        out = capsys.readouterr().out
+        assert "AE(3,10,10)" in out
+
+    def test_fig6_7_family_method(self, capsys):
+        assert main(["fig6-7", "--method", "family"]) == 0
+        out = capsys.readouterr().out
+        assert "AE(3,4,4)" in out
+        assert "14" in out
+
+    def test_small_fig11_run(self, capsys):
+        assert main(["fig11", "--blocks", "5000"]) == 0
+        out = capsys.readouterr().out
+        assert "data loss (blocks)" in out
+        assert "AE(3,2,5)" in out
+
+    def test_table6_small_run(self, capsys):
+        assert main(["table6", "--blocks", "5000"]) == 0
+        out = capsys.readouterr().out
+        assert "AE(2,2,5)" in out
+
+    def test_unknown_experiment_errors(self):
+        with pytest.raises(SystemExit):
+            main(["does-not-exist"])

@@ -1,0 +1,98 @@
+"""Tests for the storage cluster."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.blocks import Block, DataId, ParityId
+from repro.core.parameters import AEParameters, StrandClass
+from repro.exceptions import PlacementError, UnknownBlockError
+from repro.storage.cluster import StorageCluster
+from repro.storage.placement import DictionaryPlacement, RandomPlacement
+
+
+def filled_cluster(locations: int = 10, blocks: int = 40, seed: int = 1) -> StorageCluster:
+    cluster = StorageCluster(locations, RandomPlacement(locations, seed=seed))
+    for index in range(1, blocks + 1):
+        cluster.put_block(Block(DataId(index), bytes([index % 256]) * 8))
+    return cluster
+
+
+class TestPlacementAndLookup:
+    def test_put_records_location(self):
+        cluster = filled_cluster()
+        location = cluster.location_of(DataId(1))
+        assert 0 <= location < cluster.location_count
+        assert cluster.knows(DataId(1))
+        assert cluster.is_available(DataId(1))
+        assert cluster.get_block(DataId(1)).tolist() == [1] * 8
+
+    def test_explicit_location_overrides_policy(self):
+        cluster = StorageCluster(5, RandomPlacement(5))
+        cluster.put_block(Block(DataId(1), b"x"), location_id=3)
+        assert cluster.location_of(DataId(1)) == 3
+
+    def test_unknown_block(self):
+        cluster = filled_cluster()
+        with pytest.raises(UnknownBlockError):
+            cluster.location_of(DataId(999))
+        assert cluster.try_get_block(DataId(999)) is None
+        assert not cluster.is_available(DataId(999))
+
+    def test_mismatched_placement_rejected(self):
+        with pytest.raises(PlacementError):
+            StorageCluster(5, RandomPlacement(6))
+
+    def test_blocks_at_partition_the_directory(self):
+        cluster = filled_cluster(locations=4, blocks=30)
+        total = sum(len(cluster.blocks_at(loc)) for loc in range(4))
+        assert total == 30
+        assert len(cluster) == 30
+
+
+class TestFailures:
+    def test_failed_locations_hide_blocks(self):
+        cluster = filled_cluster(locations=5, blocks=50)
+        cluster.fail_locations([0, 1])
+        assert set(cluster.unavailable_locations()) == {0, 1}
+        unavailable = cluster.unavailable_blocks()
+        assert unavailable
+        for block_id in unavailable:
+            assert cluster.location_of(block_id) in {0, 1}
+            assert cluster.try_get_block(block_id) is None
+        cluster.restore_locations()
+        assert not cluster.unavailable_blocks()
+
+    def test_wipe_destroys_content(self):
+        cluster = filled_cluster(locations=5, blocks=50)
+        victim_blocks = cluster.blocks_at(2)
+        cluster.wipe_locations([2])
+        cluster.restore_locations([2])
+        for block_id in victim_blocks:
+            assert cluster.try_get_block(block_id) is None
+
+    def test_stats_summary(self):
+        cluster = filled_cluster(locations=5, blocks=20)
+        cluster.fail_locations([4])
+        stats = cluster.stats()
+        assert stats.locations == 5
+        assert stats.available_locations == 4
+        assert stats.blocks == 20
+        assert "locations up" in stats.summary()
+
+
+class TestRelocation:
+    def test_relocate_avoids_failed_locations(self):
+        cluster = filled_cluster(locations=6, blocks=30)
+        cluster.fail_locations([0, 1])
+        target = cluster.relocate(DataId(1), b"\x09" * 8, avoid=(0, 1))
+        assert target not in {0, 1}
+        assert cluster.location_of(DataId(1)) == target
+        assert cluster.get_block(DataId(1)).tolist() == [9] * 8
+
+    def test_relocate_without_candidates_raises(self):
+        cluster = StorageCluster(2, RandomPlacement(2))
+        cluster.put_block(Block(DataId(1), b"x"))
+        cluster.fail_locations([0, 1])
+        with pytest.raises(PlacementError):
+            cluster.relocate(DataId(1), b"y", avoid=())

@@ -1,0 +1,137 @@
+"""Tests for the streaming entanglement encoder."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.blocks import DataId, ParityId
+from repro.core.encoder import Entangler, encode_file_payloads, latest_strand_creators
+from repro.core.parameters import AEParameters, StrandClass
+from repro.core.xor import payloads_equal, xor_payloads, zero_payload
+from repro.exceptions import BlockSizeMismatchError, UnknownBlockError
+
+from tests.conftest import make_payload
+
+
+class TestEntangle:
+    def test_each_block_produces_alpha_parities(self, any_params):
+        encoder = Entangler(any_params, block_size=32)
+        encoded = encoder.entangle(b"hello")
+        assert len(encoded.parities) == any_params.alpha
+        assert encoded.data_id == DataId(1)
+        assert {parity.block_id.strand_class for parity in encoded.parities} == set(
+            any_params.strand_classes
+        )
+
+    def test_first_parities_equal_first_data_block(self, hec_params):
+        """At a strand start the input is the zero block, so parity == data."""
+        encoder = Entangler(hec_params, block_size=16)
+        encoded = encoder.entangle(b"\x07" * 16)
+        for parity in encoded.parities:
+            assert payloads_equal(parity.payload, encoded.data.payload)
+
+    def test_parity_is_xor_of_data_and_previous_parity(self, hec_params):
+        encoder = Entangler(hec_params, block_size=16)
+        history = {}
+        for index in range(1, 30):
+            encoded = encoder.entangle(make_payload(index, 16))
+            for parity in encoded.parities:
+                history[parity.block_id] = parity.payload
+            history[encoded.data_id] = encoded.data.payload
+        # Verify the entanglement identity p_{i,j} = d_i XOR p_{h,i} for an
+        # interior node on every strand class.
+        lattice = encoder.lattice
+        for strand_class in hec_params.strand_classes:
+            index = 25
+            output_id = ParityId(index, strand_class)
+            input_id = lattice.input_parity(index, strand_class)
+            expected = xor_payloads(history[DataId(index)], history[input_id])
+            assert payloads_equal(history[output_id], expected)
+
+    def test_payload_padding_and_size_checks(self, hec_params):
+        encoder = Entangler(hec_params, block_size=8)
+        encoded = encoder.entangle(b"abc")
+        assert encoded.data.size == 8
+        with pytest.raises(BlockSizeMismatchError):
+            encoder.entangle(b"x" * 9)
+        with pytest.raises(BlockSizeMismatchError):
+            Entangler(hec_params, block_size=0)
+
+    def test_encode_bytes_splits_documents(self, hec_params):
+        encoder = Entangler(hec_params, block_size=64)
+        blocks, length = encoder.encode_bytes(b"z" * 200)
+        assert length == 200
+        assert len(blocks) == 4
+        assert encoder.blocks_encoded == 4
+
+    def test_encode_stream_is_lazy(self, hec_params):
+        encoder = Entangler(hec_params, block_size=16)
+        stream = encoder.encode_stream(iter([b"a", b"b", b"c"]))
+        first = next(stream)
+        assert first.data_id == DataId(1)
+        assert encoder.blocks_encoded == 1
+        list(stream)
+        assert encoder.blocks_encoded == 3
+
+
+class TestMemoryFootprint:
+    @given(st.sampled_from([(1, 1, 0), (2, 2, 5), (3, 2, 5), (3, 5, 5)]))
+    @settings(max_examples=10, deadline=None)
+    def test_memory_bounded_by_strand_count(self, spec):
+        params = AEParameters(*spec)
+        encoder = Entangler(params, block_size=8)
+        for index in range(3 * params.s * max(params.p, 1) + 10):
+            encoder.entangle(bytes([index % 256]) * 8)
+        assert encoder.memory_footprint_blocks == params.strand_count
+
+    def test_strand_head_ids_are_recent(self, hec_params):
+        encoder = Entangler(hec_params, block_size=8)
+        for index in range(40):
+            encoder.entangle(bytes([index % 256]) * 8)
+        window = hec_params.s * hec_params.p
+        for parity in encoder.strand_head_ids():
+            assert parity.index > 40 - window
+
+
+class TestCrashRecovery:
+    def test_restore_rebuilds_strand_heads(self, hec_params):
+        encoder = Entangler(hec_params, block_size=16)
+        store = {}
+        for index in range(1, 61):
+            encoded = encoder.entangle(make_payload(index, 16))
+            for block in encoded.all_blocks():
+                store[block.block_id] = block.payload
+        expected_heads = {p for p in encoder.strand_head_ids()}
+
+        recovered = Entangler(hec_params, block_size=16)
+        recovered.restore(60, lambda parity: store.get(parity))
+        assert set(recovered.strand_head_ids()) == expected_heads
+        # Continuing the stream after recovery produces identical parities.
+        continued_a = encoder.entangle(make_payload(61, 16))
+        continued_b = recovered.entangle(make_payload(61, 16))
+        for parity_a, parity_b in zip(continued_a.parities, continued_b.parities):
+            assert payloads_equal(parity_a.payload, parity_b.payload)
+
+    def test_restore_missing_parity_raises(self, hec_params):
+        encoder = Entangler(hec_params, block_size=16)
+        with pytest.raises(UnknownBlockError):
+            encoder.restore(10, lambda parity: None)
+
+    def test_restore_empty_archive(self, hec_params):
+        encoder = Entangler(hec_params, block_size=16)
+        encoder.restore(0, lambda parity: None)
+        assert encoder.blocks_encoded == 0
+
+    def test_latest_strand_creators_cover_all_strands(self, any_params):
+        size = 4 * any_params.s * max(any_params.p, 1)
+        creators = latest_strand_creators(any_params, size)
+        assert len(creators) == any_params.strand_count
+        assert all(1 <= creator <= size for creator in creators.values())
+
+
+def test_encode_file_payloads_helper():
+    blocks, length = encode_file_payloads(AEParameters.single(), b"small file", block_size=4)
+    assert length == 10
+    assert len(blocks) == 3

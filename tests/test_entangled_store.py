@@ -1,0 +1,101 @@
+"""Integration tests for the high-level entangled storage system."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.blocks import DataId
+from repro.core.parameters import AEParameters
+from repro.exceptions import UnknownBlockError
+from repro.storage.maintenance import MaintenancePolicy
+from repro.system.entangled_store import EntangledStorageSystem
+
+from tests.conftest import make_payload
+
+
+def make_system(params=None, locations=30, block_size=128, seed=3):
+    return EntangledStorageSystem(
+        params or AEParameters.triple(2, 5),
+        location_count=locations,
+        block_size=block_size,
+        seed=seed,
+    )
+
+
+class TestPutGet:
+    def test_document_roundtrip(self):
+        system = make_system()
+        payload = b"archival payload " * 500
+        document = system.put("doc", payload)
+        assert document.length == len(payload)
+        assert system.read("doc") == payload
+        assert system.status().data_blocks == document.block_count
+
+    def test_unknown_document(self):
+        system = make_system()
+        with pytest.raises(UnknownBlockError):
+            system.read("nope")
+
+    def test_streaming_append(self):
+        system = make_system()
+        encoded = system.append_block(b"streamed block")
+        assert encoded.data_id == DataId(1)
+        assert len(encoded.parities) == 3
+
+    def test_status_counts(self):
+        system = make_system()
+        system.put("doc", make_payload(1, 4000))
+        status = system.status()
+        assert status.parity_blocks == status.data_blocks * 3
+        assert status.unavailable_blocks == 0
+        assert "data" in status.summary()
+
+
+class TestDegradedOperation:
+    def test_reads_survive_disasters(self):
+        system = make_system(locations=40)
+        payload = make_payload(7, 20_000)
+        system.put("doc", payload)
+        system.fail_locations(range(0, 12))  # 30% of the locations
+        assert system.read("doc") == payload
+
+    def test_repair_restores_redundancy(self):
+        system = make_system(locations=40)
+        payload = make_payload(9, 20_000)
+        system.put("doc", payload)
+        system.fail_locations(range(0, 12))
+        report = system.repair(MaintenancePolicy.FULL)
+        assert report.data_loss == 0
+        assert not report.unrecovered
+        # After repair, everything is reachable even though the locations stay down.
+        assert system.status().unavailable_blocks == 0
+        assert system.read("doc") == payload
+
+    def test_minimal_maintenance_leaves_parities_missing(self):
+        system = make_system(locations=40)
+        system.put("doc", make_payload(5, 20_000))
+        system.fail_locations(range(0, 12))
+        before = system.status().unavailable_data_blocks
+        report = system.repair(MaintenancePolicy.MINIMAL)
+        assert report.skipped  # parities were not repaired
+        status = system.status()
+        # Data repairs are prioritised; without parity repairs a few data
+        # blocks may stay unreachable, but most are restored.
+        assert status.unavailable_data_blocks < before
+        assert status.unavailable_data_blocks <= before // 2
+        # Skipped parities remain unavailable.
+        assert status.unavailable_blocks >= len(report.skipped)
+
+    def test_restore_locations_brings_blocks_back(self):
+        system = make_system(locations=20)
+        system.put("doc", make_payload(2, 5_000))
+        system.fail_locations([0, 1, 2])
+        system.restore_locations()
+        assert system.status().unavailable_blocks == 0
+
+    def test_verify_document_helper(self):
+        system = make_system()
+        payload = make_payload(11, 3_000)
+        system.put("doc", payload)
+        assert system.verify_document("doc", payload)
+        assert not system.verify_document("doc", payload + b"tampered")

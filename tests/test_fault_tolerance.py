@@ -1,0 +1,109 @@
+"""Tests for the cross-setting fault-tolerance study (Figs. 8 and 9)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.fault_tolerance import (
+    FIGURE8_P_RANGE,
+    FIGURE8_SETTINGS,
+    complex_form_catalogue,
+    cube_pattern,
+    fault_tolerance_report,
+    me2_family_size,
+    me4_family_size,
+    me_curves,
+    me_size,
+)
+from repro.analysis.erasure_patterns import is_irrecoverable
+from repro.core.parameters import AEParameters
+from repro.exceptions import InvalidParametersError
+
+
+class TestFamilyFormulas:
+    @pytest.mark.parametrize(
+        "spec, expected",
+        [((1, 1, 0), 3), ((2, 1, 1), 4), ((3, 1, 1), 5), ((3, 1, 4), 8), ((3, 4, 4), 14), ((3, 2, 5), 11)],
+    )
+    def test_me2_family_matches_paper(self, spec, expected):
+        assert me2_family_size(AEParameters(*spec)) == expected
+
+    def test_me2_family_agrees_with_search_on_small_settings(self):
+        for spec in [(2, 2, 2), (2, 2, 3), (3, 2, 2), (3, 2, 3), (3, 3, 3)]:
+            params = AEParameters(*spec)
+            assert me_size(params, 2, method="search") == me2_family_size(params)
+
+    def test_me4_family_values(self):
+        assert me4_family_size(AEParameters(2, 2, 5)) == 8
+        assert me4_family_size(AEParameters(3, 2, 5)) == 12
+        assert me4_family_size(AEParameters(3, 3, 5)) == 14
+
+    def test_unknown_family_size_rejected(self):
+        with pytest.raises(InvalidParametersError):
+            me_size(AEParameters(3, 2, 5), 3, method="family")
+        with pytest.raises(InvalidParametersError):
+            me_size(AEParameters(3, 2, 5), 2, method="bogus")
+
+
+class TestCurves:
+    def test_figure8_curves_shape(self):
+        """|ME(2)| grows with p for every setting and is minimal when s = p."""
+        curves = me_curves(2, settings=((2, 2), (3, 2)), p_values=(2, 3, 4, 5), method="family")
+        for curve in curves:
+            values = [size for _, size in sorted(curve.points.items()) if size is not None]
+            assert values == sorted(values)
+            assert values[0] < values[-1]
+
+    def test_figure8_search_matches_family_for_alpha3_s2(self):
+        search_curve = me_curves(2, settings=((3, 2),), p_values=(2, 3, 4), method="search")[0]
+        family_curve = me_curves(2, settings=((3, 2),), p_values=(2, 3, 4), method="family")[0]
+        assert search_curve.points == family_curve.points
+
+    def test_figure9_alpha2_constant(self):
+        curve = me_curves(4, settings=((2, 2),), p_values=(2, 3, 4), method="search")[0]
+        values = {size for size in curve.points.values() if size is not None}
+        assert values == {8}
+
+    def test_invalid_settings_are_skipped(self):
+        curve = me_curves(2, settings=((3, 3),), p_values=(2, 3), method="family")[0]
+        assert curve.points[2] is None  # p < s is invalid
+        assert curve.points[3] is not None
+
+    def test_curve_rows_render(self):
+        curve = me_curves(2, settings=((2, 2),), p_values=(2, 3), method="family")[0]
+        rows = curve.as_rows()
+        assert rows[0]["setting"] == "AE(2,2,p)"
+        assert rows[0]["|ME(2)|"] == 6
+
+
+class TestCatalogueAndReports:
+    def test_complex_form_catalogue_matches_figure7(self):
+        rows = complex_form_catalogue(method="family")
+        values = {row["setting"]: row["|ME(2)|"] for row in rows}
+        assert values["AE(1,-,-)"] == 3
+        assert values["AE(2,1,1)"] == 4
+        assert values["AE(3,1,1)"] == 5
+        assert values["AE(3,1,4)"] == 8
+        assert values["AE(3,4,4)"] == 14
+
+    def test_cube_pattern_for_ae333(self):
+        """|ME(8)| = 20 for AE(3,3,3): 8 nodes plus 12 edges (Sec. V-A)."""
+        params = AEParameters(3, 3, 3)
+        pattern = cube_pattern(params)
+        assert pattern is not None
+        assert pattern.data_count == 8
+        assert pattern.size == 20
+        assert is_irrecoverable(pattern, params)
+
+    def test_cube_pattern_requires_alpha3(self):
+        assert cube_pattern(AEParameters(2, 2, 2)) is None
+
+    def test_fault_tolerance_report_columns(self):
+        rows = fault_tolerance_report([AEParameters(2, 2, 2)], method="family")
+        assert rows[0]["setting"] == "AE(2,2,2)"
+        assert rows[0]["|ME(2)|"] == 6
+        assert rows[0]["|ME(4)|"] == 8
+
+    def test_figure8_constants_cover_paper_range(self):
+        assert FIGURE8_SETTINGS == ((2, 2), (2, 3), (3, 2), (3, 3))
+        assert FIGURE8_P_RANGE == tuple(range(2, 9))

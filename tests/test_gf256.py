@@ -1,0 +1,111 @@
+"""Property-based tests for GF(2^8) arithmetic."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.codes.gf256 import (
+    EXP_TABLE,
+    LOG_TABLE,
+    gf_add,
+    gf_div,
+    gf_dot_bytes,
+    gf_inverse,
+    gf_matmul,
+    gf_matrix_inverse,
+    gf_mul,
+    gf_mul_bytes,
+    gf_pow,
+    vandermonde_matrix,
+)
+from repro.exceptions import DecodingError
+
+elements = st.integers(min_value=0, max_value=255)
+nonzero = st.integers(min_value=1, max_value=255)
+
+
+class TestFieldAxioms:
+    @given(elements, elements)
+    def test_addition_is_xor_and_commutative(self, a, b):
+        assert gf_add(a, b) == (a ^ b)
+        assert gf_add(a, b) == gf_add(b, a)
+
+    @given(elements, elements)
+    def test_multiplication_commutative(self, a, b):
+        assert gf_mul(a, b) == gf_mul(b, a)
+
+    @given(elements, elements, elements)
+    def test_multiplication_associative(self, a, b, c):
+        assert gf_mul(gf_mul(a, b), c) == gf_mul(a, gf_mul(b, c))
+
+    @given(elements, elements, elements)
+    def test_distributivity(self, a, b, c):
+        assert gf_mul(a, gf_add(b, c)) == gf_add(gf_mul(a, b), gf_mul(a, c))
+
+    @given(elements)
+    def test_multiplicative_identity_and_zero(self, a):
+        assert gf_mul(a, 1) == a
+        assert gf_mul(a, 0) == 0
+
+    @given(nonzero)
+    def test_inverse(self, a):
+        assert gf_mul(a, gf_inverse(a)) == 1
+
+    @given(elements, nonzero)
+    def test_division_inverts_multiplication(self, a, b):
+        assert gf_mul(gf_div(a, b), b) == a
+
+    def test_division_by_zero(self):
+        with pytest.raises(ZeroDivisionError):
+            gf_div(3, 0)
+        with pytest.raises(ZeroDivisionError):
+            gf_inverse(0)
+
+    @given(nonzero, st.integers(min_value=0, max_value=10))
+    def test_power_matches_repeated_multiplication(self, a, exponent):
+        expected = 1
+        for _ in range(exponent):
+            expected = gf_mul(expected, a)
+        assert gf_pow(a, exponent) == expected
+
+    def test_tables_are_consistent(self):
+        for value in range(1, 256):
+            assert EXP_TABLE[LOG_TABLE[value]] == value
+
+
+class TestVectorKernels:
+    @given(elements, st.binary(min_size=1, max_size=64))
+    def test_gf_mul_bytes_matches_scalar(self, scalar, data):
+        payload = np.frombuffer(data, dtype=np.uint8)
+        vectorised = gf_mul_bytes(scalar, payload)
+        for index, byte in enumerate(payload):
+            assert vectorised[index] == gf_mul(scalar, int(byte))
+
+    def test_gf_dot_bytes(self):
+        payloads = [np.array([1, 2], dtype=np.uint8), np.array([3, 4], dtype=np.uint8)]
+        result = gf_dot_bytes([1, 1], payloads, 2)
+        assert result.tolist() == [1 ^ 3, 2 ^ 4]
+
+
+class TestMatrices:
+    @given(st.integers(min_value=1, max_value=6))
+    def test_matrix_inverse(self, size):
+        matrix = vandermonde_matrix(size, size)
+        inverse = gf_matrix_inverse(matrix)
+        identity = gf_matmul(matrix, inverse)
+        assert np.array_equal(identity, np.eye(size, dtype=np.uint8))
+
+    def test_singular_matrix_detected(self):
+        singular = np.array([[1, 2], [1, 2]], dtype=np.uint8)
+        with pytest.raises(DecodingError):
+            gf_matrix_inverse(singular)
+
+    def test_vandermonde_rows_limit(self):
+        with pytest.raises(DecodingError):
+            vandermonde_matrix(300, 4)
+
+    def test_matmul_shape_check(self):
+        with pytest.raises(DecodingError):
+            gf_matmul(np.zeros((2, 3), dtype=np.uint8), np.zeros((2, 3), dtype=np.uint8))

@@ -1,0 +1,162 @@
+"""Tests for the Markov-chain reliability models (repro.analysis.markov)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.markov import (
+    HOURS_PER_YEAR,
+    MarkovModel,
+    array_loss_probability,
+    five_year_loss_table,
+    kofn_chain,
+    loss_probability,
+    mirrored_pair_chain,
+    mttdl,
+    raid5_chain,
+    raid6_chain,
+    single_entanglement_chain,
+)
+from repro.analysis.reliability import DriveModel, simulate_layout
+from repro.exceptions import InvalidParametersError
+
+MTTF = 50_000.0
+MTTR = 168.0
+
+
+class TestModelConstruction:
+    def test_mirrored_pair_shape(self):
+        model = mirrored_pair_chain(MTTF, MTTR)
+        assert model.states == 3
+        assert model.transient_states == 2
+        q = np.asarray(model.generator)
+        assert np.allclose(q.sum(axis=1), 0.0)
+        assert np.allclose(q[-1], 0.0)
+
+    def test_raid5_requires_three_disks(self):
+        with pytest.raises(InvalidParametersError):
+            raid5_chain(2, MTTF, MTTR)
+
+    def test_raid6_requires_four_disks(self):
+        with pytest.raises(InvalidParametersError):
+            raid6_chain(3, MTTF, MTTR)
+
+    def test_invalid_times_rejected(self):
+        with pytest.raises(InvalidParametersError):
+            mirrored_pair_chain(0.0, MTTR)
+        with pytest.raises(InvalidParametersError):
+            kofn_chain(4, 2, MTTF, -1.0)
+
+    def test_kofn_state_count(self):
+        model = kofn_chain(10, 4, MTTF, MTTR)
+        # states: 0..4 failed + data loss
+        assert model.states == 6
+
+    def test_generator_validation(self):
+        bad = np.array([[0.0, 0.0], [1.0, -1.0]])
+        with pytest.raises(InvalidParametersError):
+            MarkovModel(name="bad", generator=bad, state_labels=("a", "b"))
+
+    def test_entanglement_chain_needs_two_pairs(self):
+        with pytest.raises(InvalidParametersError):
+            single_entanglement_chain(1, MTTF, MTTR)
+
+
+class TestQuantities:
+    def test_mirrored_pair_mttdl_matches_closed_form(self):
+        """Classic result: MTTDL of RAID1 ~ (2*lambda^2/mu)^-1 + lower order."""
+        model = mirrored_pair_chain(MTTF, MTTR)
+        lam = 1.0 / MTTF
+        mu = 1.0 / MTTR
+        expected = (3.0 * lam + mu) / (2.0 * lam * lam)
+        assert mttdl(model) == pytest.approx(expected, rel=1e-9)
+
+    def test_raid5_mttdl_matches_closed_form(self):
+        disks = 8
+        model = raid5_chain(disks, MTTF, MTTR)
+        lam = 1.0 / MTTF
+        mu = 1.0 / MTTR
+        expected = ((2 * disks - 1) * lam + mu) / (disks * (disks - 1) * lam * lam)
+        assert mttdl(model) == pytest.approx(expected, rel=1e-9)
+
+    def test_raid6_outlives_raid5(self):
+        raid5 = raid5_chain(8, MTTF, MTTR)
+        raid6 = raid6_chain(8, MTTF, MTTR)
+        assert mttdl(raid6) > 10 * mttdl(raid5)
+
+    def test_more_parity_means_longer_mttdl(self):
+        previous = 0.0
+        for m in (1, 2, 3, 4):
+            current = mttdl(kofn_chain(10, m, MTTF, MTTR))
+            assert current > previous
+            previous = current
+
+    def test_loss_probability_bounds_and_monotonicity(self):
+        model = mirrored_pair_chain(MTTF, MTTR)
+        p1 = loss_probability(model, HOURS_PER_YEAR)
+        p5 = loss_probability(model, 5 * HOURS_PER_YEAR)
+        assert 0.0 <= p1 <= p5 <= 1.0
+        assert loss_probability(model, 0.0) == 0.0
+
+    def test_loss_probability_rejects_negative_horizon(self):
+        with pytest.raises(InvalidParametersError):
+            loss_probability(mirrored_pair_chain(MTTF, MTTR), -1.0)
+
+    def test_loss_probability_approaches_one(self):
+        model = mirrored_pair_chain(1000.0, 10_000.0)  # terrible drives, slow repair
+        assert loss_probability(model, 1e7) > 0.99
+
+    def test_array_scaling(self):
+        model = mirrored_pair_chain(MTTF, MTTR)
+        one = loss_probability(model, 5 * HOURS_PER_YEAR)
+        ten = array_loss_probability(model, 5 * HOURS_PER_YEAR, 10)
+        assert ten == pytest.approx(1.0 - (1.0 - one) ** 10)
+        with pytest.raises(InvalidParametersError):
+            array_loss_probability(model, 1.0, 0)
+
+    def test_exponential_approximation_of_mttdl(self):
+        """Past the chain's relaxation time, P(loss by t) ~ t / MTTDL."""
+        model = mirrored_pair_chain(MTTF, MTTR)
+        horizon = 20_000.0  # many repair windows, still far below the MTTDL
+        assert loss_probability(model, horizon) == pytest.approx(
+            horizon / mttdl(model), rel=0.05
+        )
+
+    @given(st.floats(min_value=10_000, max_value=2_000_000), st.floats(min_value=1, max_value=720))
+    @settings(max_examples=25, deadline=None)
+    def test_mttdl_always_positive_and_exceeds_mttf(self, mttf, mttr):
+        model = mirrored_pair_chain(mttf, mttr)
+        value = mttdl(model)
+        assert value > mttf
+
+
+class TestEntangledMirrorComparison:
+    def test_entangled_chain_beats_mirroring(self):
+        """Section IV-B1 shape: the entangled mirror cuts the 5-year loss
+        probability by roughly an order of magnitude versus mirroring."""
+        rows = five_year_loss_table(mttf_hours=MTTF, mttr_hours=MTTR, drive_pairs=10)
+        by_layout = {row["layout"]: row for row in rows}
+        mirror_loss = by_layout["mirroring"]["5-year loss probability"]
+        entangled_loss = by_layout["entangled mirror (open chain)"]["5-year loss probability"]
+        assert entangled_loss < mirror_loss
+        reduction = 1.0 - entangled_loss / mirror_loss
+        assert reduction > 0.5  # paper quotes ~90% for open chains
+
+    def test_analytic_agrees_with_monte_carlo_ordering(self):
+        """The Markov model and the Monte-Carlo simulator must agree on which
+        layout is more reliable (absolute numbers differ by model detail)."""
+        drive = DriveModel(mttf_hours=20_000.0, repair_hours=500.0)
+        mirror_mc = simulate_layout("mirroring", 8, 5.0, drive, trials=400, seed=3)
+        entangled_mc = simulate_layout("entangled-open", 8, 5.0, drive, trials=400, seed=3)
+        assert entangled_mc.loss_probability <= mirror_mc.loss_probability
+        rows = five_year_loss_table(20_000.0, 500.0, 8)
+        assert (
+            rows[1]["5-year loss probability"] < rows[0]["5-year loss probability"]
+        )
+
+    def test_table_contains_mttdl_in_years(self):
+        rows = five_year_loss_table()
+        for row in rows:
+            assert row["MTTDL (years)"] > 0.0

@@ -1,0 +1,283 @@
+"""Tests for the Minimal Erasures List framework (repro.analysis.mel)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.erasure_patterns import ErasurePattern, is_irrecoverable
+from repro.analysis.mel import (
+    FaultToleranceVector,
+    TannerGraph,
+    ae_window_flat_code,
+    ae_window_graph,
+    gf2_rank,
+    gf2_solvable,
+)
+from repro.codes.flat_xor import mirrored_pairs_code, raid5_code
+from repro.core.parameters import AEParameters, StrandClass
+from repro.exceptions import InvalidParametersError
+
+
+# ----------------------------------------------------------------------
+# GF(2) linear algebra
+# ----------------------------------------------------------------------
+class TestGF2:
+    def test_rank_of_identity(self):
+        assert gf2_rank(np.eye(5, dtype=np.uint8)) == 5
+
+    def test_rank_of_zero_matrix(self):
+        assert gf2_rank(np.zeros((3, 4), dtype=np.uint8)) == 0
+
+    def test_rank_with_dependent_rows(self):
+        matrix = np.array([[1, 0, 1], [0, 1, 1], [1, 1, 0]], dtype=np.uint8)
+        # Third row is the XOR of the first two.
+        assert gf2_rank(matrix) == 2
+
+    def test_rank_empty_matrix(self):
+        assert gf2_rank(np.zeros((0, 0), dtype=np.uint8)) == 0
+
+    def test_solvable_in_row_space(self):
+        matrix = np.array([[1, 1, 0], [0, 1, 1]], dtype=np.uint8)
+        assert gf2_solvable(matrix, np.array([1, 0, 1], dtype=np.uint8))
+
+    def test_not_solvable_outside_row_space(self):
+        matrix = np.array([[1, 1, 0]], dtype=np.uint8)
+        assert not gf2_solvable(matrix, np.array([1, 0, 0], dtype=np.uint8))
+
+    def test_solvable_with_no_rows(self):
+        assert gf2_solvable(np.zeros((0, 3), dtype=np.uint8), np.zeros(3, dtype=np.uint8))
+        assert not gf2_solvable(np.zeros((0, 3), dtype=np.uint8), np.array([1, 0, 0]))
+
+    @given(st.integers(min_value=1, max_value=6), st.integers(min_value=0, max_value=2**20 - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_rank_never_exceeds_dimensions(self, cols, seed):
+        rng = np.random.default_rng(seed)
+        rows = int(rng.integers(1, 7))
+        matrix = rng.integers(0, 2, size=(rows, cols)).astype(np.uint8)
+        rank = gf2_rank(matrix)
+        assert 0 <= rank <= min(rows, cols)
+
+
+# ----------------------------------------------------------------------
+# Tanner graph basics
+# ----------------------------------------------------------------------
+class TestTannerGraph:
+    def test_shape_properties(self):
+        graph = TannerGraph(k=3, equations=(frozenset({0, 1}), frozenset({1, 2})))
+        assert graph.m == 2
+        assert graph.n == 5
+        assert graph.label(0) == "d0"
+        assert graph.label(3) == "p0"
+
+    def test_rejects_bad_equation(self):
+        with pytest.raises(InvalidParametersError):
+            TannerGraph(k=2, equations=(frozenset({0, 5}),))
+
+    def test_rejects_bad_label_count(self):
+        with pytest.raises(InvalidParametersError):
+            TannerGraph(k=2, equations=(frozenset({0}),), labels=("a",))
+
+    def test_from_and_to_flat_code_roundtrip(self):
+        code = raid5_code(4)
+        graph = TannerGraph.from_flat_code(code)
+        rebuilt = graph.to_flat_code()
+        assert rebuilt.k == code.k
+        assert tuple(rebuilt.equations) == tuple(code.equations)
+
+    def test_generator_matrix_is_systematic(self):
+        graph = TannerGraph.from_flat_code(raid5_code(3))
+        generator = graph.generator_matrix()
+        assert generator.shape == (4, 3)
+        assert np.array_equal(generator[:3], np.eye(3, dtype=np.uint8))
+        assert np.array_equal(generator[3], np.ones(3, dtype=np.uint8))
+
+    def test_lost_data_rejects_out_of_range(self):
+        graph = TannerGraph.from_flat_code(raid5_code(3))
+        with pytest.raises(InvalidParametersError):
+            graph.lost_data([99])
+
+
+# ----------------------------------------------------------------------
+# Erasure analysis on known codes
+# ----------------------------------------------------------------------
+class TestKnownCodes:
+    def test_raid5_tolerates_any_single_erasure(self):
+        graph = TannerGraph.from_flat_code(raid5_code(4))
+        for position in range(graph.n):
+            assert not graph.is_irrecoverable([position])
+
+    def test_raid5_double_data_erasure_is_minimal(self):
+        graph = TannerGraph.from_flat_code(raid5_code(4))
+        assert graph.is_irrecoverable([0, 1])
+        assert graph.is_minimal_erasure([0, 1])
+
+    def test_raid5_parity_plus_data_is_minimal(self):
+        graph = TannerGraph.from_flat_code(raid5_code(4))
+        assert graph.is_minimal_erasure([0, 4])
+
+    def test_non_minimal_superset_rejected(self):
+        graph = TannerGraph.from_flat_code(raid5_code(4))
+        assert graph.is_irrecoverable([0, 1, 2])
+        assert not graph.is_minimal_erasure([0, 1, 2])
+
+    def test_mirrored_pairs_lose_data_only_when_both_copies_fail(self):
+        code = mirrored_pairs_code(3)
+        graph = TannerGraph.from_flat_code(code)
+        # Losing d0 and its mirror parity p0 loses d0.
+        assert graph.lost_data([0, 3]) == [0]
+        # Losing two blocks of different pairs is fine.
+        assert not graph.is_irrecoverable([0, 4])
+
+    def test_mel_of_raid5(self):
+        graph = TannerGraph.from_flat_code(raid5_code(3))
+        mel = graph.minimal_erasures(max_size=2)
+        # Every pair of symbols is a minimal erasure for RAID5 (k=3, n=4):
+        # C(4, 2) = 6 pairs.
+        assert len(mel) == 6
+        assert mel.smallest().size == 2
+        assert all(erasure.size == 2 for erasure in mel)
+
+    def test_mel_histogram_and_me_size(self):
+        graph = TannerGraph.from_flat_code(raid5_code(3))
+        mel = graph.minimal_erasures(max_size=3)
+        histogram = mel.size_histogram()
+        assert histogram[2] == 6
+        assert mel.minimal_erasure_size(1) == 2
+        assert mel.minimal_erasure_size(3) is None
+
+    def test_mel_respects_max_data_loss(self):
+        graph = TannerGraph.from_flat_code(raid5_code(3))
+        mel = graph.minimal_erasures(max_size=3, max_data_loss=1)
+        assert all(erasure.data_loss <= 1 for erasure in mel)
+
+    def test_mel_requires_positive_size(self):
+        graph = TannerGraph.from_flat_code(raid5_code(3))
+        with pytest.raises(InvalidParametersError):
+            graph.minimal_erasures(max_size=0)
+
+
+# ----------------------------------------------------------------------
+# Fault tolerance vector
+# ----------------------------------------------------------------------
+class TestFaultToleranceVector:
+    def test_raid5_vector(self):
+        graph = TannerGraph.from_flat_code(raid5_code(3))
+        vector = graph.minimal_erasures(max_size=2).fault_tolerance_vector(2)
+        assert vector.probability(0) == 0.0
+        assert vector.probability(1) == 0.0
+        assert vector.probability(2) == 1.0
+        assert vector.hamming_distance() == 2
+
+    def test_vector_rows_are_well_formed(self):
+        graph = TannerGraph.from_flat_code(raid5_code(3))
+        rows = graph.minimal_erasures(max_size=2).fault_tolerance_vector(2).as_rows()
+        assert [row["failures"] for row in rows] == [0, 1, 2]
+        assert all(0.0 <= row["P(data loss)"] <= 1.0 for row in rows)
+
+    def test_perfect_code_reports_no_loss(self):
+        vector = FaultToleranceVector(
+            irrecoverable_counts={0: 0, 1: 0}, total_counts={0: 1, 1: 4}, symbols=4
+        )
+        assert vector.hamming_distance() == 5
+        assert vector.probability(3) == 0.0
+
+
+# ----------------------------------------------------------------------
+# AE lattice window flattening and cross-check
+# ----------------------------------------------------------------------
+class TestAEWindow:
+    def test_window_shape(self):
+        params = AEParameters.single()
+        graph = ae_window_graph(params, 6)
+        assert graph.k == 6
+        assert graph.m == 6  # one parity per node for alpha = 1
+        assert graph.label(6).startswith("p[1,")
+
+    def test_window_rejects_empty(self):
+        with pytest.raises(InvalidParametersError):
+            ae_window_graph(AEParameters.single(), 0)
+
+    def test_parity_support_is_strand_prefix(self):
+        """For AE(1) the parity created by node i is the XOR of d1..di."""
+        params = AEParameters.single()
+        graph = ae_window_graph(params, 5)
+        # Parity created by node 3 (0-based data positions 0..2).
+        equation = graph.equations[2]
+        assert equation == frozenset({0, 1, 2})
+
+    def test_flat_code_roundtrips_payloads(self):
+        params = AEParameters(2, 2, 2)
+        code = ae_window_flat_code(params, 6)
+        rng = np.random.default_rng(7)
+        data = [rng.integers(0, 256, size=32, dtype=np.uint8) for _ in range(code.k)]
+        parities = code.encode(data)
+        available = {index: payload for index, payload in enumerate(data)}
+        available.update(
+            {code.k + index: payload for index, payload in enumerate(parities)}
+        )
+        # Drop two data blocks; the peeling decoder must recover them.
+        del available[0]
+        del available[3]
+        decoded = code.decode(available)
+        for index, payload in enumerate(data):
+            assert np.array_equal(decoded[index], payload)
+
+    def test_single_entanglement_primitive_form_crosscheck(self):
+        """The MEL ground truth agrees with the lattice ME search on Fig. 6-I.
+
+        Primitive form I for AE(1): two adjacent nodes d_i, d_{i+1} and the
+        edge between them.  In the flattened window the edge created by node i
+        is parity index k + (i - 1).
+        """
+        params = AEParameters.single()
+        nodes = 6
+        graph = ae_window_graph(params, nodes)
+        # Erase d3, d4 and the parity created by node 3 (edge p3,4).
+        erased = [2, 3, nodes + 2]
+        assert graph.is_irrecoverable(erased)
+        assert graph.is_minimal_erasure(erased)
+        # The equivalent lattice pattern is irrecoverable too.
+        pattern = ErasurePattern(
+            data_nodes=frozenset({3, 4}),
+            parity_edges=frozenset({(3, StrandClass.HORIZONTAL)}),
+        )
+        assert is_irrecoverable(pattern, params)
+
+    def test_double_entanglement_tolerates_primitive_form(self):
+        """Fig. 7: with alpha = 2 the primitive form no longer loses data."""
+        params = AEParameters(2, 1, 1)
+        nodes = 6
+        graph = ae_window_graph(params, nodes)
+        # Same shape as above: d3, d4 and the horizontal edge between them.
+        h_parity_position = nodes + (3 - 1) * 2  # two parities per node, H first
+        erased = [2, 3, h_parity_position]
+        assert not graph.is_irrecoverable(erased)
+
+    @pytest.mark.parametrize("spec", ["AE(1,-,-)", "AE(2,1,1)", "AE(2,2,2)"])
+    def test_single_erasures_never_lose_data(self, spec):
+        params = AEParameters.parse(spec)
+        graph = ae_window_graph(params, 5)
+        for position in range(graph.n):
+            assert not graph.is_irrecoverable([position])
+
+    @given(st.integers(min_value=2, max_value=8))
+    @settings(max_examples=8, deadline=None)
+    def test_window_equation_count_matches_alpha(self, nodes):
+        params = AEParameters(2, 1, 1)
+        graph = ae_window_graph(params, nodes)
+        assert graph.m == params.alpha * nodes
+
+    def test_erasing_everything_loses_everything(self):
+        params = AEParameters.single()
+        graph = ae_window_graph(params, 4)
+        lost = graph.lost_data(range(graph.n))
+        assert lost == list(range(graph.k))
+
+    def test_minimal_erasure_descriptions(self):
+        graph = ae_window_graph(AEParameters.single(), 4)
+        mel = graph.minimal_erasures(max_size=3)
+        assert len(mel) > 0
+        description = mel.smallest().describe(graph)
+        assert "loses" in description

@@ -1,0 +1,99 @@
+"""Tests for placement policies."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.blocks import DataId, ParityId
+from repro.core.parameters import AEParameters, StrandClass
+from repro.exceptions import PlacementError
+from repro.storage.placement import (
+    DictionaryPlacement,
+    PlacementPolicy,
+    RandomPlacement,
+    RoundRobinPlacement,
+    StrandAwarePlacement,
+    placement_balance,
+)
+
+
+def all_blocks(count: int, params: AEParameters):
+    blocks = []
+    for index in range(1, count + 1):
+        blocks.append(DataId(index))
+        blocks.extend(ParityId(index, cls) for cls in params.strand_classes)
+    return blocks
+
+
+class TestRandomPlacement:
+    def test_deterministic_given_seed(self):
+        one = RandomPlacement(50, seed=7)
+        two = RandomPlacement(50, seed=7)
+        other = RandomPlacement(50, seed=8)
+        ids = all_blocks(100, AEParameters.triple(2, 5))
+        assert [one.location_for(b) for b in ids] == [two.location_for(b) for b in ids]
+        assert [one.location_for(b) for b in ids] != [other.location_for(b) for b in ids]
+
+    def test_locations_in_range_and_roughly_balanced(self):
+        policy = RandomPlacement(20, seed=3)
+        ids = all_blocks(500, AEParameters.triple(2, 5))
+        counts = placement_balance(policy, ids)
+        assert counts.sum() == len(ids)
+        assert counts.min() > 0
+        # Uniform expectation is 100 blocks per location; allow generous slack.
+        assert counts.max() < 200
+
+    def test_requires_at_least_one_location(self):
+        with pytest.raises(PlacementError):
+            RandomPlacement(0)
+
+
+class TestRoundRobinPlacement:
+    def test_consecutive_blocks_use_different_locations(self):
+        params = AEParameters.triple(2, 5)
+        policy = RoundRobinPlacement(40, params)
+        seen = {
+            policy.location_for(DataId(1)),
+            policy.location_for(ParityId(1, StrandClass.HORIZONTAL)),
+            policy.location_for(ParityId(1, StrandClass.RIGHT_HANDED)),
+            policy.location_for(ParityId(1, StrandClass.LEFT_HANDED)),
+            policy.location_for(DataId(2)),
+        }
+        assert len(seen) == 5
+
+
+class TestStrandAwarePlacement:
+    @given(st.integers(min_value=1, max_value=300))
+    @settings(max_examples=60, deadline=None)
+    def test_block_never_collides_with_its_repair_tuple(self, index):
+        """A data block and the parities of each of its pp-tuples are spread
+        over distinct locations, so one location failure never removes a block
+        and its cheapest repair path."""
+        params = AEParameters.triple(2, 5)
+        policy = StrandAwarePlacement(24, params)
+        data_location = policy.location_for(DataId(index))
+        for cls in params.strand_classes:
+            assert policy.location_for(ParityId(index, cls)) != data_location
+
+    def test_small_cluster_falls_back_to_hashing(self):
+        params = AEParameters.triple(2, 5)
+        policy = StrandAwarePlacement(3, params)
+        locations = {policy.location_for(DataId(i)) for i in range(1, 30)}
+        assert locations <= {0, 1, 2}
+
+
+class TestDictionaryPlacement:
+    def test_explicit_mapping(self):
+        policy = DictionaryPlacement(4, {DataId(1): 2})
+        assert policy.location_for(DataId(1)) == 2
+        policy.record(DataId(2), 3)
+        assert policy.location_for(DataId(2)) == 3
+        with pytest.raises(PlacementError):
+            policy.location_for(DataId(9))
+        with pytest.raises(PlacementError):
+            policy.record(DataId(3), 9)
+
+    def test_describe(self):
+        assert "4" in RandomPlacement(4).describe()

@@ -1,0 +1,99 @@
+"""Tests for lattice geometry helpers (rows, columns, categories, strand labels)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.parameters import AEParameters, NodeCategory, StrandClass
+from repro.core.position import (
+    LatticePosition,
+    column_count,
+    helical_strand_label,
+    node_at,
+    node_category,
+    node_column,
+    node_row,
+    nodes_in_column,
+    strand_label,
+)
+from repro.core.rules import output_index
+from repro.exceptions import LatticeBoundsError
+
+
+class TestRowsAndColumns:
+    def test_basic_layout(self):
+        # AE(3,5,5): column 6 holds nodes 26..30 (Fig. 4).
+        assert node_row(26, 5) == 1
+        assert node_column(26, 5) == 6
+        assert node_row(30, 5) == 5
+        assert list(nodes_in_column(6, 5)) == [26, 27, 28, 29, 30]
+
+    @given(st.integers(min_value=1, max_value=10_000), st.integers(min_value=1, max_value=12))
+    def test_node_at_inverts_row_column(self, index, s):
+        assert node_at(node_row(index, s), node_column(index, s), s) == index
+
+    def test_column_count(self):
+        assert column_count(0, 5) == 0
+        assert column_count(1, 5) == 1
+        assert column_count(5, 5) == 1
+        assert column_count(6, 5) == 2
+
+    def test_invalid_arguments(self):
+        with pytest.raises(LatticeBoundsError):
+            node_row(0, 5)
+        with pytest.raises(LatticeBoundsError):
+            node_at(6, 1, 5)
+        with pytest.raises(LatticeBoundsError):
+            node_at(1, 0, 5)
+
+
+class TestCategories:
+    def test_categories_follow_modulo_rule(self):
+        assert node_category(26, 5) is NodeCategory.TOP
+        assert node_category(27, 5) is NodeCategory.CENTRAL
+        assert node_category(30, 5) is NodeCategory.BOTTOM
+
+    def test_s1_every_node_is_top(self):
+        for index in range(1, 20):
+            assert node_category(index, 1) is NodeCategory.TOP
+
+    def test_s2_has_no_central(self):
+        categories = {node_category(index, 2) for index in range(1, 20)}
+        assert categories == {NodeCategory.TOP, NodeCategory.BOTTOM}
+
+    def test_lattice_position_dataclass(self):
+        position = LatticePosition.of(26, AEParameters(3, 5, 5))
+        assert (position.row, position.column, position.category) == (
+            1,
+            6,
+            NodeCategory.TOP,
+        )
+
+
+class TestStrandLabels:
+    @given(
+        st.sampled_from([(2, 2, 5), (3, 2, 5), (3, 3, 4), (3, 5, 5), (3, 1, 4)]),
+        st.integers(min_value=1, max_value=500),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_labels_invariant_along_strands(self, spec, index):
+        """Walking forward along a strand never changes its label."""
+        params = AEParameters(*spec)
+        for strand_class in params.strand_classes:
+            label = strand_label(index, strand_class, params)
+            successor = output_index(index, strand_class, params)
+            assert strand_label(successor, strand_class, params) == label
+
+    def test_label_ranges(self):
+        params = AEParameters(3, 5, 5)
+        horizontal = {strand_label(i, StrandClass.HORIZONTAL, params) for i in range(1, 200)}
+        right = {strand_label(i, StrandClass.RIGHT_HANDED, params) for i in range(1, 200)}
+        left = {strand_label(i, StrandClass.LEFT_HANDED, params) for i in range(1, 200)}
+        assert horizontal == set(range(5))
+        assert right == set(range(5))
+        assert left == set(range(5))
+
+    def test_helical_label_rejected_without_helical_strands(self):
+        with pytest.raises(LatticeBoundsError):
+            helical_strand_label(10, StrandClass.RIGHT_HANDED, AEParameters.single())

@@ -1,0 +1,160 @@
+"""Tests for the code extensions: puncturing, anti-tampering and dynamic upgrades."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.blocks import DataId, ParityId
+from repro.core.decoder import Decoder
+from repro.core.dynamic import EpochHistory, plan_alpha_upgrade, upgrade_alpha
+from repro.core.encoder import Entangler
+from repro.core.lattice import HelicalLattice
+from repro.core.parameters import AEParameters, StrandClass
+from repro.core.puncturing import (
+    no_puncturing,
+    parity_survivors,
+    puncture_periodic,
+    puncture_rate,
+    puncture_strand_class,
+)
+from repro.core.tamper import average_tamper_cost, detection_probability, tamper_cost, tampered_parities
+from repro.core.xor import payloads_equal
+from repro.exceptions import InvalidParametersError, UnknownBlockError
+
+from tests.conftest import make_payload
+
+BLOCK_SIZE = 32
+
+
+class TestPuncturing:
+    def test_no_puncturing_keeps_everything(self):
+        code = no_puncturing(AEParameters.triple(2, 5))
+        assert code.effective_overhead() == pytest.approx(3.0)
+        assert not code.is_punctured(ParityId(1, StrandClass.HORIZONTAL))
+
+    def test_strand_class_puncturing_reduces_overhead_by_one(self):
+        params = AEParameters.triple(2, 5)
+        code = puncture_strand_class(params, StrandClass.HORIZONTAL)
+        assert code.effective_overhead() == pytest.approx(2.0)
+        assert code.is_punctured(ParityId(7, StrandClass.HORIZONTAL))
+        assert not code.is_punctured(ParityId(7, StrandClass.RIGHT_HANDED))
+        with pytest.raises(InvalidParametersError):
+            puncture_strand_class(AEParameters.single(), StrandClass.RIGHT_HANDED)
+
+    def test_periodic_puncturing_rate(self):
+        code = puncture_periodic(AEParameters.double(2, 5), period=4)
+        overhead = code.effective_overhead(sample_size=4000)
+        assert overhead == pytest.approx(2.0 * 0.75, rel=0.01)
+        with pytest.raises(InvalidParametersError):
+            puncture_periodic(AEParameters.double(2, 5), period=1)
+
+    def test_rate_puncturing_approximates_target(self):
+        code = puncture_rate(AEParameters.triple(2, 5), keep_fraction=0.8)
+        overhead = code.effective_overhead(sample_size=5000)
+        assert overhead == pytest.approx(3.0 * 0.8, rel=0.1)
+        with pytest.raises(InvalidParametersError):
+            puncture_rate(AEParameters.triple(2, 5), keep_fraction=0.0)
+
+    def test_punctured_lattice_still_decodes_data(self):
+        """Dropping one strand class still leaves alpha-1 recovery paths."""
+        params = AEParameters.triple(2, 5)
+        code = puncture_strand_class(params, StrandClass.HORIZONTAL)
+        encoder = Entangler(params, block_size=BLOCK_SIZE)
+        store = {}
+        for index in range(1, 41):
+            encoded = encoder.entangle(make_payload(index, BLOCK_SIZE))
+            store[encoded.data_id] = encoded.data.payload
+            for parity in encoded.parities:
+                if not code.is_punctured(parity.block_id):
+                    store[parity.block_id] = parity.payload
+        original = store.pop(DataId(20))
+        decoder = Decoder(encoder.lattice, store.get, BLOCK_SIZE)
+        assert payloads_equal(decoder.repair(DataId(20)), original)
+
+    def test_parity_survivors_helper(self):
+        params = AEParameters.triple(2, 5)
+        code = puncture_strand_class(params, StrandClass.LEFT_HANDED)
+        survivors = parity_survivors(code, [1, 2, 3])
+        assert len(survivors) == 6  # 2 of 3 classes survive for 3 nodes
+
+
+class TestAntiTampering:
+    def test_tampered_parities_follow_strands_to_the_end(self):
+        params = AEParameters(3, 5, 5)
+        lattice = HelicalLattice(params, size=60)
+        horizontal = tampered_parities(lattice, 26, StrandClass.HORIZONTAL)
+        assert [parity.index for parity in horizontal] == [26, 31, 36, 41, 46, 51, 56]
+
+    def test_tamper_cost_grows_with_alpha(self):
+        """With the same lattice geometry, every extra strand class is one more
+        chain of parities the attacker must rewrite."""
+        lattice_double = HelicalLattice(AEParameters.double(2, 5), size=100)
+        lattice_triple = HelicalLattice(AEParameters.triple(2, 5), size=100)
+        assert (
+            tamper_cost(lattice_triple, 50).total_parities
+            > tamper_cost(lattice_double, 50).total_parities
+        )
+        assert len(tamper_cost(lattice_triple, 50).parities_per_strand) == 3
+
+    def test_tamper_cost_decreases_towards_the_tail(self):
+        lattice = HelicalLattice(AEParameters(3, 2, 5), size=200)
+        assert (
+            tamper_cost(lattice, 10).total_parities
+            > tamper_cost(lattice, 190).total_parities
+        )
+
+    def test_average_cost_and_detection_probability(self):
+        params = AEParameters(3, 2, 5)
+        assert average_tamper_cost(params, 200) > 0
+        assert detection_probability(params, 0.5) > detection_probability(
+            AEParameters.single(), 0.5
+        )
+        assert detection_probability(params, 0.0) == 0.0
+
+    def test_summary_mentions_block(self):
+        lattice = HelicalLattice(AEParameters(3, 5, 5), size=60)
+        assert "d26" in tamper_cost(lattice, 26).summary()
+
+
+class TestDynamicUpgrade:
+    def test_plan_counts_new_parities(self):
+        plan = plan_alpha_upgrade(AEParameters.double(2, 5), 3, lattice_size=100)
+        assert plan.new_classes == (StrandClass.LEFT_HANDED,)
+        assert plan.new_parity_count == 100
+        assert plan.additional_overhead == 1.0
+        assert "upgrade" in plan.summary()
+
+    def test_plan_rejects_downgrade(self):
+        with pytest.raises(InvalidParametersError):
+            plan_alpha_upgrade(AEParameters.triple(2, 5), 3, 10)
+
+    def test_upgrade_produces_parities_identical_to_direct_encoding(self):
+        """Raising alpha never rewrites stored blocks and the new parities are
+        exactly what a from-scratch alpha=3 encoder would have produced."""
+        data = {DataId(index): make_payload(index, BLOCK_SIZE) for index in range(1, 41)}
+        old_params = AEParameters.double(2, 5)
+        new_blocks = upgrade_alpha(old_params, 3, 40, lambda d: data.get(d), BLOCK_SIZE)
+        direct = Entangler(AEParameters.triple(2, 5), block_size=BLOCK_SIZE)
+        expected = {}
+        for index in range(1, 41):
+            encoded = direct.entangle(data[DataId(index)])
+            for parity in encoded.parities:
+                if parity.block_id.strand_class is StrandClass.LEFT_HANDED:
+                    expected[parity.block_id] = parity.payload
+        assert len(new_blocks) == 40
+        for block in new_blocks:
+            assert payloads_equal(block.payload, expected[block.block_id])
+
+    def test_upgrade_requires_all_data(self):
+        with pytest.raises(UnknownBlockError):
+            upgrade_alpha(AEParameters.double(2, 5), 3, 10, lambda d: None, BLOCK_SIZE)
+
+    def test_epoch_history(self):
+        history = EpochHistory.starting_with(AEParameters.double(2, 5))
+        history.change(101, AEParameters.triple(2, 5))
+        assert history.params_at(50) == AEParameters.double(2, 5)
+        assert history.params_at(101) == AEParameters.triple(2, 5)
+        assert history.params_at(500).alpha == 3
+        with pytest.raises(InvalidParametersError):
+            history.change(50, AEParameters.triple(2, 5))
+        assert len(list(history)) == 2

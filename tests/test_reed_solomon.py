@@ -1,0 +1,107 @@
+"""Tests for the systematic Reed-Solomon implementation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.codes.reed_solomon import (
+    PAPER_RS_SETTINGS,
+    ReedSolomonCode,
+    paper_rs_codes,
+    systematic_encoding_matrix,
+)
+from repro.exceptions import DecodingError, InvalidParametersError
+
+
+def make_stripe(code: ReedSolomonCode, seed: int = 0, size: int = 64):
+    rng = np.random.default_rng(seed)
+    data = [rng.integers(0, 256, size=size, dtype=np.uint8) for _ in range(code.k)]
+    parities = code.encode(data)
+    stripe = {index: payload for index, payload in enumerate(data)}
+    stripe.update({code.k + index: payload for index, payload in enumerate(parities)})
+    return data, stripe
+
+
+class TestEncoding:
+    def test_systematic_matrix_has_identity_top(self):
+        matrix = systematic_encoding_matrix(4, 3)
+        assert np.array_equal(matrix[:4, :], np.eye(4, dtype=np.uint8))
+
+    def test_paper_settings_construct(self):
+        codes = paper_rs_codes()
+        assert [(code.k, code.m) for code in codes] == list(PAPER_RS_SETTINGS)
+
+    def test_costs_match_table_four(self):
+        code = ReedSolomonCode(10, 4)
+        costs = code.costs()
+        assert costs.additional_storage_percent == pytest.approx(40.0)
+        assert costs.single_failure_cost == 10
+        assert ReedSolomonCode(4, 12).costs().additional_storage_percent == pytest.approx(300.0)
+
+    def test_invalid_settings(self):
+        with pytest.raises(InvalidParametersError):
+            ReedSolomonCode(0, 2)
+        with pytest.raises(InvalidParametersError):
+            ReedSolomonCode(4, 0)
+        with pytest.raises(InvalidParametersError):
+            ReedSolomonCode(200, 100)
+
+    def test_stripe_size_checks(self):
+        code = ReedSolomonCode(3, 2)
+        with pytest.raises(Exception):
+            code.encode([np.zeros(4, dtype=np.uint8)] * 2)
+        with pytest.raises(Exception):
+            code.encode([np.zeros(4, dtype=np.uint8), np.zeros(5, dtype=np.uint8), np.zeros(4, dtype=np.uint8)])
+
+
+class TestDecoding:
+    @given(
+        st.sampled_from([(3, 2), (5, 3), (10, 4), (4, 12)]),
+        st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_any_m_erasures_are_tolerated(self, setting, seed):
+        k, m = setting
+        code = ReedSolomonCode(k, m)
+        data, stripe = make_stripe(code, seed=seed, size=32)
+        rng = np.random.default_rng(seed)
+        erased = rng.choice(code.n, size=m, replace=False)
+        available = {pos: payload for pos, payload in stripe.items() if pos not in erased}
+        decoded = code.decode(available)
+        for index in range(k):
+            assert np.array_equal(decoded[index], data[index])
+
+    def test_too_many_erasures_fail(self):
+        code = ReedSolomonCode(4, 2)
+        data, stripe = make_stripe(code)
+        available = {pos: stripe[pos] for pos in range(3)}  # only 3 of 6 blocks
+        with pytest.raises(DecodingError):
+            code.decode(available)
+
+    def test_repair_restores_both_data_and_parity(self):
+        code = ReedSolomonCode(5, 3)
+        data, stripe = make_stripe(code, seed=42)
+        available = dict(stripe)
+        del available[2]
+        del available[6]
+        assert np.array_equal(code.repair(2, available), stripe[2])
+        assert np.array_equal(code.repair(6, available), stripe[6])
+
+    def test_repair_of_available_block_is_identity(self):
+        code = ReedSolomonCode(4, 2)
+        _, stripe = make_stripe(code)
+        assert np.array_equal(code.repair(1, stripe), stripe[1])
+
+    def test_single_failure_reads_k_blocks(self):
+        """The repair-cost premise of the paper: RS repairs read k blocks."""
+        code = ReedSolomonCode(8, 2)
+        assert code.single_failure_cost == 8
+        assert code.repair_bandwidth(block_size=4096) == 8 * 4096
+
+    def test_can_decode_is_mds(self):
+        code = ReedSolomonCode(6, 3)
+        assert code.can_decode(range(6))
+        assert code.can_decode([0, 2, 4, 6, 7, 8])
+        assert not code.can_decode([0, 1, 2, 3, 4])

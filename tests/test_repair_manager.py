@@ -1,0 +1,121 @@
+"""Tests for the cluster-level repair manager and maintenance policies."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.blocks import DataId, ParityId, is_data
+from repro.core.encoder import Entangler
+from repro.core.parameters import AEParameters
+from repro.core.xor import payloads_equal
+from repro.storage.cluster import StorageCluster
+from repro.storage.maintenance import MaintenanceBudget, MaintenancePolicy
+from repro.storage.placement import RandomPlacement
+from repro.storage.repair import ClusterRepairManager
+
+from tests.conftest import make_payload
+
+BLOCK_SIZE = 32
+
+
+def entangled_cluster(params: AEParameters, blocks: int, locations: int, seed: int = 5):
+    """Encode ``blocks`` payloads onto a fresh cluster; returns (encoder, cluster, originals)."""
+    encoder = Entangler(params, block_size=BLOCK_SIZE)
+    cluster = StorageCluster(locations, RandomPlacement(locations, seed=seed))
+    originals = {}
+    for index in range(1, blocks + 1):
+        encoded = encoder.entangle(make_payload(index, BLOCK_SIZE))
+        for block in encoded.all_blocks():
+            originals[block.block_id] = block.payload
+            cluster.put_block(block)
+    return encoder, cluster, originals
+
+
+class TestMaintenancePolicies:
+    def test_policy_block_filters(self):
+        assert MaintenancePolicy.FULL.repairs_block(DataId(1))
+        assert MaintenancePolicy.FULL.repairs_block(ParityId(1, AEParameters.triple(2, 5).strand_classes[1]))
+        assert MaintenancePolicy.MINIMAL.repairs_block(DataId(1))
+        assert not MaintenancePolicy.MINIMAL.repairs_block(
+            ParityId(1, AEParameters.triple(2, 5).strand_classes[1])
+        )
+        assert not MaintenancePolicy.NONE.repairs_block(DataId(1))
+        assert MaintenancePolicy.FULL.repairs_parities()
+        assert not MaintenancePolicy.MINIMAL.repairs_parities()
+
+    def test_policy_descriptions(self):
+        for policy in MaintenancePolicy:
+            assert policy.describe()
+
+    def test_budget(self):
+        budget = MaintenanceBudget(max_repairs_per_round=5, max_rounds=2)
+        assert budget.allows_round(2)
+        assert not budget.allows_round(3)
+        assert budget.clip_round(10) == 5
+        assert MaintenanceBudget.unlimited().clip_round(10) == 10
+
+
+class TestClusterRepair:
+    def test_full_repair_restores_all_blocks(self, hec_params):
+        encoder, cluster, originals = entangled_cluster(hec_params, 60, 25)
+        cluster.fail_locations(range(5))
+        manager = ClusterRepairManager(encoder.lattice, cluster, BLOCK_SIZE)
+        missing_before = manager.missing_blocks()
+        assert missing_before
+        report = manager.repair()
+        assert report.data_loss == 0
+        assert not report.unrecovered
+        for block_id in missing_before:
+            assert payloads_equal(cluster.get_block(block_id), originals[block_id])
+            assert cluster.location_of(block_id) >= 5
+
+    def test_minimal_maintenance_skips_parities(self, hec_params):
+        encoder, cluster, originals = entangled_cluster(hec_params, 60, 25)
+        cluster.fail_locations(range(4))
+        manager = ClusterRepairManager(
+            encoder.lattice, cluster, BLOCK_SIZE, MaintenancePolicy.MINIMAL
+        )
+        missing = manager.missing_blocks()
+        missing_parities = [b for b in missing if not is_data(b)]
+        report = manager.repair()
+        assert report.skipped == sorted(missing_parities, key=lambda b: (b.index, 1, b.strand_class.value))
+        assert all(is_data(b) for round_ in report.rounds for b in round_.repaired)
+
+    def test_none_policy_repairs_nothing(self, hec_params):
+        encoder, cluster, _ = entangled_cluster(hec_params, 40, 20)
+        cluster.fail_locations(range(3))
+        manager = ClusterRepairManager(
+            encoder.lattice, cluster, BLOCK_SIZE, MaintenancePolicy.NONE
+        )
+        report = manager.repair()
+        assert report.repaired_count == 0
+
+    def test_budget_limits_rounds(self, hec_params):
+        encoder, cluster, _ = entangled_cluster(hec_params, 80, 20)
+        cluster.fail_locations(range(8))
+        manager = ClusterRepairManager(
+            encoder.lattice,
+            cluster,
+            BLOCK_SIZE,
+            MaintenancePolicy.FULL,
+            budget=MaintenanceBudget(max_rounds=1),
+        )
+        report = manager.repair()
+        assert report.round_count <= 1
+
+    def test_single_block_repair_reads_two_blocks(self, hec_params):
+        encoder, cluster, originals = entangled_cluster(hec_params, 60, 30)
+        victim = DataId(30)
+        victim_location = cluster.location_of(victim)
+        cluster.fail_locations([victim_location])
+        manager = ClusterRepairManager(encoder.lattice, cluster, BLOCK_SIZE)
+        payload, reads = manager.repair_single(victim)
+        assert payloads_equal(payload, originals[victim])
+        assert reads <= 2 * hec_params.alpha  # at most alpha attempts of 2 reads
+
+    def test_report_summary_and_fractions(self, hec_params):
+        encoder, cluster, _ = entangled_cluster(hec_params, 60, 25)
+        cluster.fail_locations(range(5))
+        report = ClusterRepairManager(encoder.lattice, cluster, BLOCK_SIZE).repair()
+        assert 0.0 <= report.single_failure_fraction <= 1.0
+        assert "policy=full" in report.summary()

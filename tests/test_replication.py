@@ -1,0 +1,62 @@
+"""Tests for n-way replication."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.codes.replication import (
+    PAPER_REPLICATION_FACTORS,
+    ReplicationCode,
+    paper_replication_codes,
+)
+from repro.exceptions import DecodingError, InvalidParametersError
+
+
+class TestReplication:
+    def test_encode_returns_identical_copies(self):
+        code = ReplicationCode(3)
+        data = np.arange(16, dtype=np.uint8)
+        copies = code.encode([data])
+        assert len(copies) == 2
+        assert all(np.array_equal(copy, data) for copy in copies)
+        # Copies are independent arrays, not views of the original.
+        copies[0][0] ^= 0xFF
+        assert data[0] == 0
+
+    def test_decode_uses_any_copy(self):
+        code = ReplicationCode(4)
+        data = np.arange(8, dtype=np.uint8)
+        assert np.array_equal(code.decode({3: data})[0], data)
+        with pytest.raises(DecodingError):
+            code.decode({})
+
+    def test_costs_match_table_four(self):
+        assert ReplicationCode(2).costs().additional_storage_percent == pytest.approx(100.0)
+        assert ReplicationCode(3).costs().additional_storage_percent == pytest.approx(200.0)
+        assert ReplicationCode(4).costs().additional_storage_percent == pytest.approx(300.0)
+        assert ReplicationCode(4).single_failure_cost == 1
+
+    def test_tolerated_failures(self):
+        assert ReplicationCode(2).tolerated_failures() == 1
+        assert ReplicationCode(4).tolerated_failures() == 3
+
+    def test_invalid_factor(self):
+        with pytest.raises(InvalidParametersError):
+            ReplicationCode(1)
+
+    def test_paper_factors(self):
+        assert [code.copies for code in paper_replication_codes()] == list(
+            PAPER_REPLICATION_FACTORS
+        )
+
+    def test_can_decode_with_single_position(self):
+        code = ReplicationCode(3)
+        assert code.can_decode([2])
+        assert not code.can_decode([])
+
+    def test_repair_returns_copy_of_survivor(self):
+        code = ReplicationCode(3)
+        data = np.arange(4, dtype=np.uint8)
+        repaired = code.repair(1, {0: data})
+        assert np.array_equal(repaired, data)

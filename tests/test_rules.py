@@ -1,0 +1,119 @@
+"""Tests for the entanglement rules (Tables I and II of the paper)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.parameters import AEParameters, NodeCategory, StrandClass
+from repro.core.position import node_category
+from repro.core.rules import edge_endpoints, input_index, output_index, rule_table
+from repro.exceptions import InvalidParametersError
+
+
+class TestPaperWorkedExample:
+    """AE(3,5,5), node d26 (a top node): the example printed under Tables I/II."""
+
+    params = AEParameters(3, 5, 5)
+
+    def test_d26_is_top(self):
+        assert node_category(26, 5) is NodeCategory.TOP
+
+    def test_inputs_of_d26(self):
+        assert input_index(26, StrandClass.HORIZONTAL, self.params) == 21
+        assert input_index(26, StrandClass.RIGHT_HANDED, self.params) == 25
+        assert input_index(26, StrandClass.LEFT_HANDED, self.params) == 22
+
+    def test_outputs_of_d26(self):
+        assert output_index(26, StrandClass.HORIZONTAL, self.params) == 31
+        assert output_index(26, StrandClass.RIGHT_HANDED, self.params) == 32
+        assert output_index(26, StrandClass.LEFT_HANDED, self.params) == 35
+
+    def test_edge_endpoints_match_figure4(self):
+        assert edge_endpoints(26, StrandClass.HORIZONTAL, self.params) == (26, 31)
+        assert edge_endpoints(26, StrandClass.RIGHT_HANDED, self.params) == (26, 32)
+        assert edge_endpoints(26, StrandClass.LEFT_HANDED, self.params) == (26, 35)
+
+    def test_central_and_bottom_rows(self):
+        # d27 is central, d30 is bottom in AE(3,5,5).
+        assert node_category(27, 5) is NodeCategory.CENTRAL
+        assert node_category(30, 5) is NodeCategory.BOTTOM
+        assert input_index(27, StrandClass.RIGHT_HANDED, self.params) == 21
+        assert output_index(30, StrandClass.RIGHT_HANDED, self.params) == 31
+        assert input_index(30, StrandClass.LEFT_HANDED, self.params) == 21
+        assert output_index(27, StrandClass.LEFT_HANDED, self.params) == 31
+
+
+class TestConsistency:
+    """Structural invariants that must hold for every valid setting."""
+
+    @given(
+        st.sampled_from([(2, 2, 2), (2, 2, 5), (3, 2, 5), (3, 3, 4), (3, 5, 5), (3, 1, 4), (2, 1, 3)]),
+        st.integers(min_value=1, max_value=600),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_input_output_are_inverse(self, spec, index):
+        """j(h(i)) == i whenever the input exists, and h(j(i)) == i always."""
+        params = AEParameters(*spec)
+        for strand_class in params.strand_classes:
+            h = input_index(index, strand_class, params)
+            if h >= 1:
+                assert output_index(h, strand_class, params) == index
+            j = output_index(index, strand_class, params)
+            assert input_index(j, strand_class, params) == index
+
+    @given(
+        st.sampled_from([(2, 2, 2), (2, 2, 5), (3, 2, 5), (3, 3, 4), (3, 5, 5), (3, 1, 4)]),
+        st.integers(min_value=1, max_value=600),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_walks_strictly_increase(self, spec, index):
+        params = AEParameters(*spec)
+        for strand_class in params.strand_classes:
+            assert output_index(index, strand_class, params) > index
+            assert input_index(index, strand_class, params) < index
+
+    def test_single_entanglement_uses_only_horizontal(self):
+        params = AEParameters.single()
+        assert input_index(10, StrandClass.HORIZONTAL, params) == 9
+        assert output_index(10, StrandClass.HORIZONTAL, params) == 11
+        with pytest.raises(InvalidParametersError):
+            input_index(10, StrandClass.RIGHT_HANDED, params)
+
+    def test_s1_helical_step_is_p(self):
+        """Single-row lattices advance helical strands by p per step (documented convention)."""
+        params = AEParameters(3, 1, 4)
+        assert output_index(10, StrandClass.RIGHT_HANDED, params) == 14
+        assert input_index(10, StrandClass.LEFT_HANDED, params) == 6
+
+    def test_strand_start_returns_non_positive(self):
+        params = AEParameters(3, 5, 5)
+        assert input_index(1, StrandClass.HORIZONTAL, params) <= 0
+        assert input_index(1, StrandClass.RIGHT_HANDED, params) <= 0
+        assert input_index(1, StrandClass.LEFT_HANDED, params) <= 0
+
+    def test_invalid_index_rejected(self):
+        with pytest.raises(Exception):
+            input_index(0, StrandClass.HORIZONTAL, AEParameters(3, 5, 5))
+
+
+class TestRuleTable:
+    def test_rule_table_offsets_match_paper(self):
+        table = rule_table(AEParameters(3, 5, 5))
+        # Horizontal offsets are +/- s for every category.
+        for category in table["input"]:
+            assert table["input"][category]["h"] == -5
+            assert table["output"][category]["h"] == 5
+        # Central helical offsets are +/- (s + 1) and +/- (s - 1).
+        assert table["input"]["central"]["rh"] == -6
+        assert table["output"]["central"]["rh"] == 6
+        assert table["input"]["central"]["lh"] == -4
+        assert table["output"]["central"]["lh"] == 4
+        # Top/bottom wrap rules.
+        assert table["input"]["top"]["rh"] == -(5 * 5) + (25 - 1)
+        assert table["output"]["bottom"]["rh"] == 5 * 5 - (25 - 1)
+
+    def test_rule_table_small_s_has_no_central_row(self):
+        table = rule_table(AEParameters(3, 2, 5))
+        assert "central" not in table["input"]
+        assert set(table["input"]) == {"top", "bottom"}

@@ -1,0 +1,118 @@
+"""Tests for strand identities, walking and the strand-head registry."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.parameters import AEParameters, StrandClass
+from repro.core.strands import (
+    StrandHeadRegistry,
+    StrandId,
+    all_strands,
+    distance_on_strand,
+    edges_between,
+    nodes_between,
+    share_strand,
+    strand_of,
+    strands_of,
+    walk_backward,
+    walk_forward,
+)
+from repro.core.xor import as_payload
+from repro.exceptions import LatticeBoundsError
+
+
+class TestStrandIdentities:
+    def test_total_strand_count_matches_formula(self, any_params):
+        assert len(all_strands(any_params)) == any_params.strand_count
+
+    def test_node_participates_in_alpha_strands(self, paper_example_params):
+        strands = strands_of(26, paper_example_params)
+        assert len(strands) == 3
+        assert len({strand.strand_class for strand in strands}) == 3
+
+    def test_strand_names(self):
+        assert StrandId(StrandClass.HORIZONTAL, 0).name() == "H1"
+        assert StrandId(StrandClass.RIGHT_HANDED, 4).name() == "RH5"
+        assert StrandId(StrandClass.LEFT_HANDED, 1).name() == "LH2"
+
+    def test_d26_strand_membership_figure4(self, paper_example_params):
+        """d26 belongs to one H, one RH and one LH strand; d26 and d31 share H."""
+        assert share_strand(26, 31, StrandClass.HORIZONTAL, paper_example_params)
+        assert share_strand(26, 32, StrandClass.RIGHT_HANDED, paper_example_params)
+        assert share_strand(26, 35, StrandClass.LEFT_HANDED, paper_example_params)
+        assert not share_strand(26, 27, StrandClass.HORIZONTAL, paper_example_params)
+
+
+class TestWalking:
+    def test_walk_forward_on_h_strand(self, paper_example_params):
+        walked = []
+        for node in walk_forward(26, StrandClass.HORIZONTAL, paper_example_params):
+            walked.append(node)
+            if len(walked) == 4:
+                break
+        assert walked == [26, 31, 36, 41]
+
+    def test_walk_backward_reaches_strand_start(self, paper_example_params):
+        walked = list(walk_backward(26, StrandClass.RIGHT_HANDED, paper_example_params))
+        assert walked[0] == 26
+        assert walked[-1] >= 1
+        assert all(earlier > later for earlier, later in zip(walked, walked[1:]))
+
+    def test_walk_forward_respects_limit(self, paper_example_params):
+        nodes = list(walk_forward(26, StrandClass.HORIZONTAL, paper_example_params, limit=40))
+        assert nodes == [26, 31, 36]
+
+    @given(
+        st.sampled_from([(3, 2, 5), (3, 5, 5), (2, 2, 4)]),
+        st.integers(min_value=1, max_value=80),
+        st.integers(min_value=1, max_value=6),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_distance_matches_nodes_between(self, spec, start, hops):
+        params = AEParameters(*spec)
+        for strand_class in params.strand_classes:
+            nodes = [start]
+            for _ in range(hops):
+                walker = walk_forward(nodes[-1], strand_class, params)
+                next(walker)  # the start node itself
+                nodes.append(next(walker))
+            end = nodes[-1]
+            assert distance_on_strand(start, end, strand_class, params) == hops
+            assert nodes_between(start, end, strand_class, params) == nodes
+            assert len(edges_between(start, end, strand_class, params)) == hops
+
+    def test_distance_none_for_unreachable(self, paper_example_params):
+        # 27 is not on the H strand through 26.
+        assert distance_on_strand(26, 27, StrandClass.HORIZONTAL, paper_example_params) is None
+        assert distance_on_strand(26, 21, StrandClass.HORIZONTAL, paper_example_params) is None
+
+    def test_nodes_between_errors(self, paper_example_params):
+        with pytest.raises(LatticeBoundsError):
+            nodes_between(26, 21, StrandClass.HORIZONTAL, paper_example_params)
+        with pytest.raises(LatticeBoundsError):
+            nodes_between(26, 27, StrandClass.HORIZONTAL, paper_example_params)
+
+
+class TestStrandHeadRegistry:
+    def test_registry_tracks_heads(self, hec_params):
+        registry = StrandHeadRegistry(hec_params)
+        strand = strand_of(1, StrandClass.HORIZONTAL, hec_params)
+        assert registry.head(strand) is None
+        registry.update(strand, 1, as_payload(b"\x01\x02"))
+        creator, payload = registry.head(strand)
+        assert creator == 1
+        assert payload.tolist() == [1, 2]
+        assert registry.snapshot() == {strand: 1}
+        registry.forget(strand)
+        assert registry.head(strand) is None
+
+    def test_registry_bounded_by_strand_count(self, hec_params):
+        """After encoding many blocks the registry holds at most one head per strand."""
+        from repro.core.encoder import Entangler
+
+        encoder = Entangler(hec_params, block_size=16)
+        for index in range(200):
+            encoder.entangle(bytes([index % 256]) * 16)
+        assert encoder.memory_footprint_blocks <= hec_params.strand_count

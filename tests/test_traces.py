@@ -1,0 +1,171 @@
+"""Tests for the synthetic failure/availability trace generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.exceptions import InvalidParametersError
+from repro.simulation.traces import (
+    LifetimeModel,
+    NodeSession,
+    SessionTrace,
+    TraceStatistics,
+    datacenter_disk_trace,
+    exponential_lifetimes,
+    p2p_session_trace,
+    weibull_lifetimes,
+)
+
+
+class TestLifetimes:
+    def test_exponential_mean(self):
+        samples = exponential_lifetimes(20_000, mttf_hours=1000.0, seed=1)
+        assert samples.shape == (20_000,)
+        assert np.mean(samples) == pytest.approx(1000.0, rel=0.05)
+
+    def test_weibull_mean_matches_request(self):
+        samples = weibull_lifetimes(20_000, mttf_hours=1000.0, shape=0.7, seed=2)
+        assert np.mean(samples) == pytest.approx(1000.0, rel=0.05)
+
+    def test_weibull_is_heavier_tailed_than_exponential(self):
+        """Shape < 1 concentrates more mass at small lifetimes (infant mortality)."""
+        exponential = exponential_lifetimes(50_000, 1000.0, seed=3)
+        weibull = weibull_lifetimes(50_000, 1000.0, shape=0.7, seed=3)
+        early_exp = np.mean(exponential < 100.0)
+        early_weib = np.mean(weibull < 100.0)
+        assert early_weib > early_exp
+
+    def test_invalid_model(self):
+        with pytest.raises(InvalidParametersError):
+            LifetimeModel("lognormal", 1000.0)
+        with pytest.raises(InvalidParametersError):
+            LifetimeModel("weibull", -5.0)
+        with pytest.raises(InvalidParametersError):
+            LifetimeModel("weibull", 100.0, weibull_shape=0.0)
+        with pytest.raises(InvalidParametersError):
+            LifetimeModel("exponential", 100.0).sample(0)
+
+    @given(st.integers(min_value=1, max_value=500), st.floats(min_value=1.0, max_value=1e6))
+    @settings(max_examples=20, deadline=None)
+    def test_lifetimes_are_positive(self, count, mttf):
+        assert (exponential_lifetimes(count, mttf, seed=0) >= 0).all()
+        assert (weibull_lifetimes(count, mttf, seed=0) >= 0).all()
+
+
+class TestSessionTrace:
+    def test_session_validation(self):
+        with pytest.raises(InvalidParametersError):
+            NodeSession(node=0, start=10.0, end=5.0)
+        with pytest.raises(InvalidParametersError):
+            SessionTrace(node_count=0, horizon_hours=10.0)
+        with pytest.raises(InvalidParametersError):
+            SessionTrace(node_count=5, horizon_hours=0.0)
+
+    def test_online_and_availability(self):
+        trace = SessionTrace(
+            node_count=2,
+            horizon_hours=10.0,
+            sessions=[
+                NodeSession(node=0, start=0.0, end=10.0),
+                NodeSession(node=1, start=0.0, end=5.0),
+            ],
+        )
+        assert trace.online_at(2.0) == [0, 1]
+        assert trace.online_at(7.0) == [0]
+        assert trace.availability(0) == pytest.approx(1.0)
+        assert trace.availability(1) == pytest.approx(0.5)
+        assert trace.mean_availability() == pytest.approx(0.75)
+
+    def test_offline_mask(self):
+        trace = SessionTrace(
+            node_count=3,
+            horizon_hours=4.0,
+            sessions=[NodeSession(node=1, start=0.0, end=4.0)],
+        )
+        mask = trace.offline_mask_at(1.0)
+        assert mask.tolist() == [True, False, True]
+
+    def test_to_churn_trace_emits_state_changes(self):
+        trace = SessionTrace(
+            node_count=2,
+            horizon_hours=4.0,
+            sessions=[
+                NodeSession(node=0, start=0.0, end=4.0),
+                NodeSession(node=1, start=0.0, end=1.0),
+                NodeSession(node=1, start=3.0, end=4.0),
+            ],
+        )
+        churn = trace.to_churn_trace(step_hours=1.0)
+        assert len(churn.events) == 4
+        # Node 1 departs at step 1 or 2 and returns at step 3.
+        departures = [event.departures for event in churn.events]
+        arrivals = [event.arrivals for event in churn.events]
+        assert any(1 in d for d in departures)
+        assert any(1 in a for a in arrivals)
+
+    def test_to_churn_trace_rejects_bad_step(self):
+        trace = SessionTrace(node_count=1, horizon_hours=2.0)
+        with pytest.raises(InvalidParametersError):
+            trace.to_churn_trace(step_hours=0.0)
+
+
+class TestGenerators:
+    def test_p2p_trace_shape_and_determinism(self):
+        first = p2p_session_trace(20, 240.0, seed=7)
+        second = p2p_session_trace(20, 240.0, seed=7)
+        assert first.node_count == 20
+        assert len(first.sessions) == len(second.sessions)
+        assert first.mean_availability() == pytest.approx(second.mean_availability())
+
+    def test_p2p_trace_availability_tracks_duty_cycle(self):
+        """Mean availability should approximate session / (session + downtime)."""
+        trace = p2p_session_trace(
+            60, 2_000.0, mean_session_hours=8.0, mean_downtime_hours=24.0, seed=11
+        )
+        expected = 8.0 / (8.0 + 24.0)
+        assert trace.mean_availability() == pytest.approx(expected, abs=0.08)
+
+    def test_p2p_trace_permanent_departures_reduce_availability(self):
+        stable = p2p_session_trace(40, 1_000.0, seed=5)
+        leaving = p2p_session_trace(
+            40, 1_000.0, permanent_departure_probability=0.5, seed=5
+        )
+        assert leaving.mean_availability() < stable.mean_availability()
+
+    def test_p2p_trace_pareto_sessions(self):
+        trace = p2p_session_trace(10, 500.0, distribution="pareto", seed=3)
+        assert trace.sessions
+        assert all(session.duration >= 0 for session in trace.sessions)
+
+    def test_p2p_trace_invalid_arguments(self):
+        with pytest.raises(InvalidParametersError):
+            p2p_session_trace(0, 100.0)
+        with pytest.raises(InvalidParametersError):
+            p2p_session_trace(5, -1.0)
+        with pytest.raises(InvalidParametersError):
+            p2p_session_trace(5, 100.0, mean_session_hours=0.0)
+        with pytest.raises(InvalidParametersError):
+            p2p_session_trace(5, 100.0, distribution="uniform")
+        with pytest.raises(InvalidParametersError):
+            p2p_session_trace(5, 100.0, permanent_departure_probability=2.0)
+
+    def test_datacenter_trace_high_availability(self):
+        """Disks with long lifetimes and short rebuilds stay mostly online."""
+        trace = datacenter_disk_trace(
+            30, 8760.0, mttf_hours=100_000.0, repair_hours=72.0, seed=9
+        )
+        assert trace.mean_availability() > 0.95
+
+    def test_datacenter_trace_invalid_repair(self):
+        with pytest.raises(InvalidParametersError):
+            datacenter_disk_trace(10, 100.0, repair_hours=0.0)
+
+    def test_statistics_row(self):
+        trace = p2p_session_trace(15, 300.0, seed=2)
+        stats = TraceStatistics.of(trace)
+        row = stats.as_row()
+        assert row["nodes"] == 15
+        assert 0.0 <= row["mean availability"] <= 1.0
+        assert row["sessions / node"] > 0

@@ -1,0 +1,90 @@
+"""Tests for the XOR payload kernels."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.xor import (
+    as_payload,
+    payload_to_bytes,
+    payloads_equal,
+    xor_many,
+    xor_payloads,
+    zero_payload,
+)
+from repro.exceptions import BlockSizeMismatchError
+
+binary = st.binary(min_size=1, max_size=256)
+
+
+class TestConversions:
+    def test_as_payload_from_bytes(self):
+        payload = as_payload(b"\x01\x02\x03")
+        assert payload.dtype == np.uint8
+        assert payload.tolist() == [1, 2, 3]
+
+    def test_as_payload_pads_to_block_size(self):
+        payload = as_payload(b"\x01\x02", block_size=5)
+        assert payload.tolist() == [1, 2, 0, 0, 0]
+
+    def test_as_payload_rejects_oversized(self):
+        with pytest.raises(BlockSizeMismatchError):
+            as_payload(b"\x01\x02\x03", block_size=2)
+
+    def test_payload_to_bytes_strips_padding(self):
+        payload = as_payload(b"abc", block_size=8)
+        assert payload_to_bytes(payload, 3) == b"abc"
+        assert payload_to_bytes(payload) == b"abc" + b"\x00" * 5
+
+    def test_zero_payload(self):
+        assert zero_payload(4).tolist() == [0, 0, 0, 0]
+
+
+class TestXorAlgebra:
+    @given(binary)
+    def test_xor_with_zero_is_identity(self, data):
+        payload = as_payload(data)
+        assert payloads_equal(xor_payloads(payload, zero_payload(payload.size)), payload)
+
+    @given(binary)
+    def test_xor_self_is_zero(self, data):
+        payload = as_payload(data)
+        assert payloads_equal(xor_payloads(payload, payload), zero_payload(payload.size))
+
+    @given(binary, binary)
+    def test_xor_is_commutative(self, left, right):
+        size = max(len(left), len(right))
+        a = as_payload(left, size)
+        b = as_payload(right, size)
+        assert payloads_equal(xor_payloads(a, b), xor_payloads(b, a))
+
+    @given(binary, binary, binary)
+    def test_xor_is_associative(self, one, two, three):
+        size = max(len(one), len(two), len(three))
+        a, b, c = (as_payload(value, size) for value in (one, two, three))
+        assert payloads_equal(
+            xor_payloads(xor_payloads(a, b), c), xor_payloads(a, xor_payloads(b, c))
+        )
+
+    @given(binary, binary)
+    def test_xor_roundtrip_recovers_data(self, data, key):
+        """The entanglement primitive: parity XOR old parity recovers the data."""
+        size = max(len(data), len(key))
+        d = as_payload(data, size)
+        p_old = as_payload(key, size)
+        p_new = xor_payloads(d, p_old)
+        assert payloads_equal(xor_payloads(p_new, p_old), d)
+
+    def test_size_mismatch_raises(self):
+        with pytest.raises(BlockSizeMismatchError):
+            xor_payloads(b"\x00\x01", b"\x00")
+
+    def test_xor_many(self):
+        parts = [b"\x01\x01", b"\x02\x02", b"\x04\x04"]
+        assert xor_many(parts).tolist() == [7, 7]
+        with pytest.raises(BlockSizeMismatchError):
+            xor_many([])
+        with pytest.raises(BlockSizeMismatchError):
+            xor_many([b"\x01", b"\x02\x03"])
