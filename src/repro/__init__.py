@@ -15,15 +15,74 @@ Quickstart::
     encoder = Entangler(code, block_size=4096)
     encoded, length = encoder.encode_bytes(b"some archive content")
 
-See ``examples/quickstart.py`` for a complete encode / damage / repair cycle.
+See ``examples/quickstart.py`` for a complete encode / damage / repair cycle
+and ``docs/architecture.md`` for the layer-by-layer tour.
+
+Exported symbols and where they come from in the paper
+------------------------------------------------------
+
+===================== ==========================================================
+Symbol                Paper reference / units
+===================== ==========================================================
+``AEParameters``      The AE(alpha, s, p) setting (Sec. III-B, "Code
+                      Parameters"): ``alpha`` parities per block
+                      (dimensionless), ``s`` horizontal strands, ``p`` helical
+                      strands per class.
+``StrandClass``       Horizontal / right-handed / left-handed strand classes
+                      used to weave the lattice (Sec. III-B, Fig. 3).
+``NodeCategory``      Top / central / bottom position of a node in its lattice
+                      column, selecting the rule rows of Tables I and II.
+``HelicalLattice``    The virtual graph of entangled blocks: nodes are data
+                      blocks, edges are parities (Sec. III-B, Fig. 3-4).
+``Entangler``         Streaming encoder; one 4 KiB block (default) in,
+                      ``alpha`` parities out via XOR (Sec. III-B, "Code
+                      Specification").
+``BatchEntangler``    Vectorised encoder: a ``(n, block_size)`` uint8 stack in,
+                      per-strand running-XOR parity stacks out.  Bit-identical
+                      to ``n`` sequential ``entangle`` calls; the throughput
+                      path behind the write-performance story of Fig. 10.
+``EncodedBlock``      One data block plus its ``alpha`` parities (Sec. III-B).
+``EncodedBatch``      A batch of encoded blocks kept in matrix form (rows are
+                      blocks, payload bytes as ``numpy.uint8``).
+``Decoder``           Single-block repair from pp-/dp-tuples, two-block XORs
+                      (Sec. III-B and IV-A, Fig. 2).
+``IterativeRepairer`` Multi-round global repair after disasters (Sec. V-C4).
+``RepairReport``      Outcome of a global repair run: rounds, repaired and
+                      unrecovered block counts.
+``Block``             Identifier plus payload (``numpy.uint8`` array, bytes).
+``BlockId``           Union of ``DataId`` and ``ParityId``.
+``DataId``            d-block identifier: lattice position ``i >= 1`` (Fig. 3).
+``ParityId``          p-block identifier: (creator index, strand class); the
+                      paper's edge notation ``p_{i,j}`` (Table II).
+``StrandId``          (class, label) pair naming one of the ``s + (alpha-1)*p``
+                      strands (Sec. III-B).
+``__version__``       Package version string.
+===================== ==========================================================
+
+Exceptions (all subclasses of ``ReproError``): ``BlockSizeMismatchError``
+(entanglement is only defined for equal-size blocks, Sec. III-B),
+``BlockUnavailableError`` / ``UnknownBlockError`` (reads against failed or
+unknown locations, Sec. V-C), ``DecodingError`` / ``RepairFailedError`` (no
+available recovery path, Sec. V-C4), ``IntegrityError`` (anti-tampering
+checks, Sec. IV-B), ``InvalidParametersError`` (the validity rules of
+Sec. III-B), ``LatticeBoundsError`` (queries outside the entangled region),
+``PlacementError`` / ``StorageFullError`` (the placement layer, Sec. V-C).
+
+The higher layers are imported from their subpackages:
+``repro.system.entangled_store.EntangledStorageSystem`` (put/get/repair plus
+the streaming ``put_stream``/``get_stream`` ingest pipeline),
+``repro.storage`` (cluster, placement, repair management) and
+``repro.analysis`` / ``repro.simulation`` (the paper's evaluation).
 """
 
 from repro.core import (
     AEParameters,
+    BatchEntangler,
     Block,
     BlockId,
     DataId,
     Decoder,
+    EncodedBatch,
     EncodedBlock,
     Entangler,
     HelicalLattice,
@@ -48,10 +107,11 @@ from repro.exceptions import (
     UnknownBlockError,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "AEParameters",
+    "BatchEntangler",
     "Block",
     "BlockId",
     "BlockSizeMismatchError",
@@ -59,6 +119,7 @@ __all__ = [
     "DataId",
     "Decoder",
     "DecodingError",
+    "EncodedBatch",
     "EncodedBlock",
     "Entangler",
     "HelicalLattice",

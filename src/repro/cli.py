@@ -1,17 +1,26 @@
 """Command line entry point: ``repro-experiments``.
 
-Runs the paper's experiments and prints the resulting tables.  Examples::
+Runs the paper's experiments and prints the resulting tables, and exposes the
+batched ingest pipeline for ad-hoc throughput runs.  Examples::
 
     repro-experiments --list
     repro-experiments fig11 --blocks 200000
     repro-experiments all --paper-scale
     repro-experiments fig8 --method family
+    repro-experiments ingest archive.tar --spec "AE(3,2,5)" --verify
+
+Every experiment id names the table or figure of the paper it regenerates
+(e.g. ``fig10`` is the write-performance comparison of Fig. 10, ``table4``
+the repair-cost table of Table IV).  ``ingest`` drives
+:meth:`EntangledStorageSystem.put_stream`, the vectorised encode-and-store
+path, and reports the achieved write throughput in MB/s.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import time
 from typing import Callable, Dict, List
 
 from repro.analysis.fault_tolerance import complex_form_catalogue, me_curves
@@ -145,45 +154,185 @@ EXPERIMENTS: Dict[str, Callable[[argparse.Namespace], str]] = {
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-experiments",
-        description="Regenerate the tables and figures of the Alpha Entanglement Codes paper.",
+        description=(
+            "Regenerate the tables and figures of the Alpha Entanglement Codes "
+            "paper (DSN 2018), or run 'ingest' to push a file through the "
+            "batched entanglement pipeline."
+        ),
     )
     parser.add_argument(
         "experiment",
         nargs="?",
         default="all",
-        help="experiment id (fig6-7, fig8, ..., table6) or 'all'",
+        help=(
+            "experiment id ('fig6-7'..'fig13' for the paper's figures, "
+            "'table4'/'table6' for its tables, 'placement', 'reliability', "
+            "'repair-cost', 'markov', 'churn'), 'ingest', or 'all'"
+        ),
     )
     parser.add_argument("--list", action="store_true", help="list available experiments")
     parser.add_argument(
         "--blocks",
         type=int,
         default=100_000,
-        help="number of data blocks for the disaster simulations (default 100k)",
+        help=(
+            "number of 4 KiB data blocks for the disaster simulations of "
+            "Figs. 11-13 (default 100,000; the paper uses 1,000,000)"
+        ),
     )
     parser.add_argument(
         "--paper-scale",
         action="store_true",
-        help="use the paper's full scale (1,000,000 data blocks)",
+        help="use the paper's full scale (1,000,000 data blocks, Sec. V-C)",
     )
     parser.add_argument(
         "--method",
         choices=["search", "family"],
         default="search",
-        help="ME computation method for fig6-7/fig8/fig9",
+        help=(
+            "minimal-erasure computation for fig6-7/fig8/fig9: exhaustive "
+            "'search' or the closed-form 'family' catalogue (paper, Sec. V-A)"
+        ),
     )
     parser.add_argument(
-        "--trials", type=int, default=1000, help="Monte-Carlo trials for the reliability run"
+        "--trials",
+        type=int,
+        default=1000,
+        help="Monte-Carlo trials (5-year disk traces) for the reliability run",
     )
     return parser
 
 
+def build_ingest_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments ingest",
+        description=(
+            "Entangle a file through the batched zero-copy ingest pipeline "
+            "(EntangledStorageSystem.put_stream) and report write throughput."
+        ),
+    )
+    parser.add_argument("path", help="file to ingest, or '-' to read standard input")
+    parser.add_argument(
+        "--spec",
+        default="AE(3,2,5)",
+        help="code setting AE(alpha,s,p); default AE(3,2,5), the paper's flagship",
+    )
+    parser.add_argument(
+        "--block-size",
+        type=int,
+        default=4096,
+        help="data/parity block size in bytes (default 4096)",
+    )
+    parser.add_argument(
+        "--batch-blocks",
+        type=int,
+        default=256,
+        help="blocks entangled per vectorised batch (default 256, i.e. 1 MiB at 4 KiB blocks)",
+    )
+    parser.add_argument(
+        "--locations",
+        type=int,
+        default=100,
+        help="storage locations in the simulated cluster (default 100)",
+    )
+    parser.add_argument(
+        "--chunk-size",
+        type=int,
+        default=1 << 20,
+        help="bytes read from the input per chunk (default 1 MiB)",
+    )
+    parser.add_argument(
+        "--verify",
+        action="store_true",
+        help="stream the document back (get_stream) and check it byte-exact",
+    )
+    return parser
+
+
+def _read_chunks(path: str, chunk_size: int):
+    if path == "-":
+        stream = sys.stdin.buffer
+        while True:
+            chunk = stream.read(chunk_size)
+            if not chunk:
+                return
+            yield chunk
+    else:
+        with open(path, "rb") as stream:
+            while True:
+                chunk = stream.read(chunk_size)
+                if not chunk:
+                    return
+                yield chunk
+
+
+def ingest_main(argv: List[str] | None = None) -> int:
+    """Entry point of ``repro-experiments ingest``."""
+    from repro.core.parameters import AEParameters as _AEParameters
+    from repro.exceptions import ReproError
+    from repro.system.entangled_store import EntangledStorageSystem
+
+    parser = build_ingest_parser()
+    args = parser.parse_args(argv)
+    if args.chunk_size < 1:
+        parser.error("--chunk-size must be at least 1 byte")
+    try:
+        params = _AEParameters.parse(args.spec)
+        system = EntangledStorageSystem(
+            params,
+            location_count=args.locations,
+            block_size=args.block_size,
+            batch_blocks=args.batch_blocks,
+        )
+        started = time.perf_counter()
+        document = system.put_stream("ingest", _read_chunks(args.path, args.chunk_size))
+    except (ReproError, ValueError) as exc:
+        parser.error(str(exc))
+    except OSError as exc:
+        parser.error(f"cannot read {args.path!r}: {exc.strerror or exc}")
+    elapsed = time.perf_counter() - started
+    throughput = document.length / elapsed / 1e6 if elapsed > 0 else float("inf")
+    print(f"code setting : {params.spec()}")
+    print(f"ingested     : {document.length} bytes in {document.block_count} blocks")
+    print(f"parities     : {document.block_count * params.alpha}")
+    print(f"elapsed      : {elapsed:.3f} s")
+    print(f"throughput   : {throughput:.1f} MB/s")
+    if args.verify:
+        read_back = b"".join(system.get_stream("ingest"))
+        expected_length = document.length
+        if len(read_back) != expected_length:
+            print("verify       : FAILED (length mismatch)")
+            return 1
+        if args.path == "-":
+            print("verify       : OK (length match; stdin content not re-readable)")
+            return 0
+        with open(args.path, "rb") as stream:
+            original = stream.read()
+        if read_back != original:
+            print("verify       : FAILED (content mismatch)")
+            return 1
+        print("verify       : OK (byte-exact round trip)")
+    return 0
+
+
 def main(argv: List[str] | None = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "ingest":
+        return ingest_main(argv[1:])
     parser = build_parser()
     args = parser.parse_args(argv)
     if args.list:
-        for name in sorted(EXPERIMENTS):
+        for name in sorted([*EXPERIMENTS, "ingest"]):
             print(name)
         return 0
+    if args.experiment == "ingest":
+        # Reached when flags precede the subcommand; 'ingest' has its own
+        # option set and must come first.
+        parser.error(
+            "'ingest' takes its own options and must be the first argument: "
+            "repro-experiments ingest <path> [--spec ...] [--verify]"
+        )
     if args.experiment == "all":
         for name in EXPERIMENTS:
             print(f"== {name} ==")

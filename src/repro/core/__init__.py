@@ -32,7 +32,13 @@ from repro.core.dynamic import (
     plan_alpha_upgrade,
     upgrade_alpha,
 )
-from repro.core.encoder import Entangler, encode_file_payloads, latest_strand_creators
+from repro.core.encoder import (
+    BatchEntangler,
+    EncodedBatch,
+    Entangler,
+    encode_file_payloads,
+    latest_strand_creators,
+)
 from repro.core.lattice import DataRepairOption, HelicalLattice, ParityRepairOption
 from repro.core.parameters import AEParameters, NodeCategory, StrandClass
 from repro.core.position import (
@@ -60,16 +66,28 @@ from repro.core.strands import (
     walk_forward,
 )
 from repro.core.tamper import TamperCost, average_tamper_cost, tamper_cost
-from repro.core.xor import as_payload, payload_to_bytes, xor_many, xor_payloads, zero_payload
+from repro.core.xor import (
+    as_payload,
+    as_payload_matrix,
+    payload_to_bytes,
+    xor_accumulate,
+    xor_into,
+    xor_many,
+    xor_payloads,
+    xor_rows,
+    zero_payload,
+)
 
 __all__ = [
     "AEParameters",
     "AlphaUpgrader",
+    "BatchEntangler",
     "Block",
     "BlockId",
     "DataId",
     "DataRepairOption",
     "Decoder",
+    "EncodedBatch",
     "EncodedBlock",
     "Entangler",
     "EpochHistory",
@@ -91,6 +109,7 @@ __all__ = [
     "WriteScheduler",
     "all_strands",
     "as_payload",
+    "as_payload_matrix",
     "average_tamper_cost",
     "compare_write_parallelism",
     "encode_file_payloads",
@@ -118,7 +137,10 @@ __all__ = [
     "upgrade_alpha",
     "walk_backward",
     "walk_forward",
+    "xor_accumulate",
+    "xor_into",
     "xor_many",
     "xor_payloads",
+    "xor_rows",
     "zero_payload",
 ]

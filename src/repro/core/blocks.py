@@ -28,7 +28,7 @@ from repro.core.xor import Payload, as_payload, payload_to_bytes
 from repro.exceptions import BlockSizeMismatchError
 
 
-@dataclass(frozen=True, order=True)
+@dataclass(frozen=True, order=True, slots=True)
 class DataId:
     """Identifier of a data block (a lattice node)."""
 
@@ -41,7 +41,7 @@ class DataId:
         return self.label()
 
 
-@dataclass(frozen=True, order=True)
+@dataclass(frozen=True, order=True, slots=True)
 class ParityId:
     """Identifier of a parity block (a lattice edge).
 

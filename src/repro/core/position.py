@@ -19,6 +19,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.core.parameters import AEParameters, NodeCategory, StrandClass
 from repro.exceptions import LatticeBoundsError
 
@@ -117,6 +119,31 @@ def strand_label(index: int, strand_class: StrandClass, params: AEParameters) ->
     if strand_class is StrandClass.HORIZONTAL:
         return horizontal_strand_label(index, params)
     return helical_strand_label(index, strand_class, params)
+
+
+def strand_labels(
+    indexes: np.ndarray, strand_class: StrandClass, params: AEParameters
+) -> np.ndarray:
+    """Vectorised :func:`strand_label` for an array of node indexes.
+
+    Used by the batch encoder to partition a whole batch into strands with
+    numpy arithmetic instead of one Python call per node.  Produces exactly
+    the labels of the scalar function.
+    """
+    idx = np.asarray(indexes, dtype=np.int64)
+    if strand_class is StrandClass.HORIZONTAL:
+        return (idx - 1) % params.s
+    if params.p == 0:
+        raise LatticeBoundsError(
+            f"{params.spec()} has no helical strands; cannot label {strand_class}"
+        )
+    if params.s == 1:
+        return (idx - 1) % params.p
+    row = (idx - 1) % params.s + 1
+    column = (idx - 1) // params.s + 1
+    if strand_class is StrandClass.RIGHT_HANDED:
+        return (column - row) % params.p
+    return (column + row) % params.p
 
 
 def nodes_in_column(column: int, s: int) -> range:

@@ -10,7 +10,9 @@ exercising the real encode/decode path.
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, Optional
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+import numpy as np
 
 from repro.core.blocks import BlockId
 from repro.core.xor import Payload, as_payload
@@ -92,6 +94,39 @@ class BlockStore:
         self._blocks[block_id] = as_payload(payload)
         self._writes += 1
 
+    def put_many(self, items: Iterable[Tuple[BlockId, Payload]]) -> int:
+        """Store a batch of blocks in one call, returning how many were stored.
+
+        The availability and capacity checks run once for the whole batch
+        (all-or-nothing: nothing is stored when the batch would overflow the
+        capacity), and the payload dictionary is updated in bulk.  This is the
+        amortised write path of the batched ingest pipeline.
+        """
+        if not self._available:
+            raise BlockUnavailableError(
+                f"location {self._location_id} is unavailable for writes"
+            )
+        staged = {
+            block_id: (
+                payload
+                if isinstance(payload, np.ndarray)
+                and payload.dtype == np.uint8
+                and payload.ndim == 1
+                else as_payload(payload)
+            )
+            for block_id, payload in items
+        }
+        if self._capacity is not None:
+            new_blocks = sum(1 for block_id in staged if block_id not in self._blocks)
+            if len(self._blocks) + new_blocks > self._capacity:
+                raise StorageFullError(
+                    f"location {self._location_id} cannot absorb {new_blocks} new "
+                    f"blocks (capacity {self._capacity}, holding {len(self._blocks)})"
+                )
+        self._blocks.update(staged)
+        self._writes += len(staged)
+        return len(staged)
+
     def get(self, block_id: BlockId) -> Payload:
         if not self._available:
             raise BlockUnavailableError(
@@ -110,6 +145,26 @@ class BlockStore:
             return None
         self._reads += 1
         return self._blocks[block_id]
+
+    def get_many(self, block_ids: Iterable[BlockId]) -> List[Payload]:
+        """Read a batch of blocks with one availability check.
+
+        Raises on the first unknown block; the read counter advances by the
+        number of payloads returned.
+        """
+        if not self._available:
+            raise BlockUnavailableError(
+                f"location {self._location_id} is unavailable for reads"
+            )
+        payloads: List[Payload] = []
+        for block_id in block_ids:
+            if block_id not in self._blocks:
+                raise UnknownBlockError(
+                    f"block {block_id!r} is not stored at location {self._location_id}"
+                )
+            payloads.append(self._blocks[block_id])
+        self._reads += len(payloads)
+        return payloads
 
     def delete(self, block_id: BlockId) -> None:
         if block_id not in self._blocks:

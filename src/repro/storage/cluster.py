@@ -8,7 +8,7 @@ availability view the decoder and the repair manager operate on.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
 from repro.core.blocks import Block, BlockId
 from repro.core.xor import Payload
@@ -113,6 +113,45 @@ class StorageCluster:
     def put_blocks(self, blocks: Iterable[Block]) -> None:
         for block in blocks:
             self.put_block(block)
+
+    def put_many(self, items: Iterable[Tuple[BlockId, Payload]]) -> int:
+        """Bulk write: place and store ``(block_id, payload)`` pairs.
+
+        Placement decisions are computed up front through the policy's bulk
+        :meth:`PlacementPolicy.locations_for`, payloads are grouped per
+        destination and each location receives one :meth:`BlockStore.put_many`
+        call, so per-block Python overhead is amortised over the batch.  The
+        directory is updated in bulk.  Returns the number of blocks stored.
+        """
+        pairs = list(items)
+        locations = self._placement.locations_for([block_id for block_id, _ in pairs])
+        placed: Dict[int, List[Tuple[BlockId, Payload]]] = {}
+        for pair, location_id in zip(pairs, locations):
+            placed.setdefault(location_id, []).append(pair)
+        stored = 0
+        for location_id, group in placed.items():
+            stored += self._stores[location_id].put_many(group)
+            self._directory.update((block_id, location_id) for block_id, _ in group)
+        return stored
+
+    def get_many(self, block_ids: Iterable[BlockId]) -> List[Payload]:
+        """Bulk read: fetch payloads grouped per location.
+
+        Raises when a block is unknown to the cluster or its location is down
+        (mirrors :meth:`get_block`); results come back in request order.
+        """
+        wanted = list(block_ids)
+        grouped: Dict[int, List[int]] = {}
+        for position, block_id in enumerate(wanted):
+            grouped.setdefault(self.location_of(block_id), []).append(position)
+        payloads: List[Optional[Payload]] = [None] * len(wanted)
+        for location_id, positions in grouped.items():
+            fetched = self._stores[location_id].get_many(
+                [wanted[position] for position in positions]
+            )
+            for position, payload in zip(positions, fetched):
+                payloads[position] = payload
+        return payloads  # type: ignore[return-value]
 
     def get_block(self, block_id: BlockId) -> Payload:
         """Return a payload; raises if the block is unknown or its location is down."""

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import hashlib
 from abc import ABC, abstractmethod
-from typing import Optional
+from typing import List, Optional, Sequence
 
 import numpy as np
 
@@ -37,6 +37,16 @@ class PlacementPolicy(ABC):
     @abstractmethod
     def location_for(self, block_id: BlockId) -> int:
         """Location index (0-based) assigned to ``block_id``."""
+
+    def locations_for(self, block_ids: Sequence[BlockId]) -> List[int]:
+        """Bulk variant of :meth:`location_for`, one entry per block.
+
+        The default delegates per block; policies override it to amortise
+        per-call overhead on the batched ingest path.  Results must be
+        identical to calling :meth:`location_for` on each id.
+        """
+        location_for = self.location_for
+        return [location_for(block_id) for block_id in block_ids]
 
     def describe(self) -> str:
         return f"{type(self).__name__}(n={self._location_count})"

@@ -11,11 +11,11 @@ integration tests drive.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, Iterable, Iterator, List, Optional
 
 from repro.core.blocks import BlockId, DataId, EncodedBlock, join_blocks
 from repro.core.decoder import Decoder
-from repro.core.encoder import DEFAULT_BLOCK_SIZE, Entangler
+from repro.core.encoder import DEFAULT_BLOCK_SIZE, BatchEntangler
 from repro.core.lattice import HelicalLattice
 from repro.core.parameters import AEParameters
 from repro.core.xor import Payload, payload_to_bytes
@@ -24,6 +24,9 @@ from repro.storage.cluster import StorageCluster
 from repro.storage.maintenance import MaintenancePolicy
 from repro.storage.placement import PlacementPolicy, RandomPlacement
 from repro.storage.repair import ClusterRepairManager, ClusterRepairReport
+
+#: Number of blocks encoded per batch by :meth:`EntangledStorageSystem.put_stream`.
+DEFAULT_BATCH_BLOCKS = 256
 
 
 @dataclass
@@ -72,12 +75,16 @@ class EntangledStorageSystem:
         placement: Optional[PlacementPolicy] = None,
         cluster: Optional[StorageCluster] = None,
         seed: int = 0,
+        batch_blocks: int = DEFAULT_BATCH_BLOCKS,
     ) -> None:
+        if batch_blocks < 1:
+            raise ValueError("batch_blocks must be at least 1")
         self._params = params
         self._block_size = block_size
+        self._batch_blocks = batch_blocks
         placement = placement or RandomPlacement(location_count, seed=seed)
         self._cluster = cluster or StorageCluster(location_count, placement)
-        self._encoder = Entangler(params, block_size)
+        self._encoder = BatchEntangler(params, block_size)
         self._documents: Dict[str, StoredDocument] = {}
 
     # ------------------------------------------------------------------
@@ -128,6 +135,48 @@ class EntangledStorageSystem:
         self._documents[name] = document
         return document
 
+    def put_stream(self, name: str, chunks: Iterable[bytes]) -> StoredDocument:
+        """Encode and store a document from an iterable of byte chunks.
+
+        This is the batched zero-copy ingest path: chunks of arbitrary sizes
+        are re-blocked into stacks of up to ``batch_blocks`` blocks, each stack
+        is entangled in one vectorised :meth:`BatchEntangler.entangle_batch`
+        pass and persisted through the cluster's bulk ``put_many`` write path.
+        The whole document is never materialised in memory; at most one batch
+        (``batch_blocks * block_size`` bytes) is buffered at a time.
+
+        Empty documents and payloads that are not a multiple of the block size
+        round-trip byte-exact: the final block is zero-padded for encoding and
+        the padding is stripped on read using the recorded byte length.
+
+        If ``chunks`` raises mid-stream the exception propagates and no
+        document is recorded, but batches already encoded stay in the lattice:
+        the lattice is append-only by design (paper, Sec. III-B: deletions
+        happen only at the beginning of the mesh), so entangled blocks cannot
+        be unwound.  Callers that need all-or-nothing ingest should stage the
+        stream (e.g. to a temporary file) before calling ``put_stream``.
+        """
+        buffer = bytearray()
+        batch_bytes = self._batch_blocks * self._block_size
+        data_ids: List[DataId] = []
+        length = 0
+        for chunk in chunks:
+            buffer += chunk
+            length += len(chunk)
+            while len(buffer) >= batch_bytes:
+                self._ingest_batch(buffer[:batch_bytes], data_ids)
+                del buffer[:batch_bytes]
+        if buffer:
+            self._ingest_batch(buffer, data_ids)
+        document = StoredDocument(name=name, data_ids=data_ids, length=length)
+        self._documents[name] = document
+        return document
+
+    def _ingest_batch(self, payload: bytearray, data_ids: List[DataId]) -> None:
+        batch = self._encoder.entangle_batch(payload)
+        self._cluster.put_many(batch.iter_blocks())
+        data_ids.extend(batch.data_ids)
+
     def append_block(self, payload) -> EncodedBlock:
         """Entangle and store a single block (streaming ingestion)."""
         encoded = self._encoder.entangle(payload)
@@ -158,6 +207,27 @@ class EntangledStorageSystem:
 
     def read_block_bytes(self, data_id: DataId, length: Optional[int] = None) -> bytes:
         return payload_to_bytes(self.get_block(data_id), length)
+
+    def get_stream(self, name: str) -> Iterator[bytes]:
+        """Stream a document back one block at a time, repairing as needed.
+
+        The counterpart of :meth:`put_stream`: yields chunks of at most
+        ``block_size`` bytes without assembling the document in memory, and
+        strips the zero padding of the final block using the stored length so
+        the concatenated chunks equal the original payload byte-exactly.
+        """
+        if name not in self._documents:
+            raise UnknownBlockError(f"unknown document {name!r}")
+        document = self._documents[name]
+
+        def blocks() -> Iterator[bytes]:
+            remaining = document.length
+            for data_id in document.data_ids:
+                take = min(remaining, self._block_size)
+                yield payload_to_bytes(self.get_block(data_id), take)
+                remaining -= take
+
+        return blocks()
 
     # ------------------------------------------------------------------
     # Failures and repair

@@ -1,0 +1,204 @@
+"""Tests for the batched XOR kernels and the vectorised batch encoder.
+
+The contract under test is the one the batched ingest pipeline rests on:
+``BatchEntangler`` must produce parities bit-identical to the sequential
+``Entangler`` (same block ids, same payloads, same strand-head state) for any
+AE(alpha, s, p) setting and any batch split, because the two encoders are
+interchangeable front-ends of the same lattice (paper, Sec. III-B).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.blocks import DataId, ParityId
+from repro.core.encoder import BatchEntangler, EncodedBatch, Entangler
+from repro.core.parameters import AEParameters, StrandClass
+from repro.core.position import strand_label, strand_labels
+from repro.core.xor import (
+    as_payload_matrix,
+    xor_accumulate,
+    xor_into,
+    xor_rows,
+)
+from repro.exceptions import BlockSizeMismatchError
+
+BLOCK = 64
+
+
+def random_matrix(rows: int, cols: int = BLOCK, seed: int = 7) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, 256, size=(rows, cols), dtype=np.uint8)
+
+
+class TestPayloadMatrix:
+    def test_bytes_exact_multiple_is_zero_copy(self):
+        raw = bytes(range(256)) * 2
+        matrix = as_payload_matrix(raw, 128)
+        assert matrix.shape == (4, 128)
+        assert matrix.tobytes() == raw
+        # The conversion reshapes a view over the buffer, no copy.
+        assert matrix.base is not None
+
+    def test_bytes_with_padding(self):
+        matrix = as_payload_matrix(b"abcde", 4)
+        assert matrix.shape == (2, 4)
+        assert matrix[0].tobytes() == b"abcd"
+        assert matrix[1].tobytes() == b"e\x00\x00\x00"
+
+    def test_empty_input(self):
+        assert as_payload_matrix(b"", 32).shape == (0, 32)
+        assert as_payload_matrix([], 32).shape == (0, 32)
+
+    def test_sequence_of_payloads(self):
+        matrix = as_payload_matrix([b"ab", b"cdef"], 4)
+        assert matrix.shape == (2, 4)
+        assert matrix[0].tobytes() == b"ab\x00\x00"
+
+    def test_2d_array_passthrough(self):
+        source = random_matrix(3, 16)
+        matrix = as_payload_matrix(source, 16)
+        assert matrix is source or matrix.base is source
+
+    def test_row_width_mismatch_rejected(self):
+        with pytest.raises(BlockSizeMismatchError):
+            as_payload_matrix(random_matrix(2, 8), 16)
+
+
+class TestKernels:
+    def test_xor_into_is_in_place(self):
+        a = random_matrix(1, 32)[0].copy()
+        b = random_matrix(1, 32, seed=8)[0]
+        expected = np.bitwise_xor(a, b)
+        result = xor_into(a, b)
+        assert result is a
+        assert np.array_equal(a, expected)
+
+    def test_xor_into_size_mismatch(self):
+        with pytest.raises(BlockSizeMismatchError):
+            xor_into(np.zeros(8, dtype=np.uint8), np.zeros(9, dtype=np.uint8))
+
+    def test_xor_rows_broadcasts(self):
+        matrix = random_matrix(5, 32)
+        vector = random_matrix(1, 32, seed=9)[0]
+        result = xor_rows(matrix, vector)
+        for row in range(5):
+            assert np.array_equal(result[row], np.bitwise_xor(matrix[row], vector))
+
+    def test_xor_accumulate_matches_running_xor(self):
+        matrix = random_matrix(6, 32)
+        expected = np.zeros_like(matrix)
+        running = np.zeros(32, dtype=np.uint8)
+        for row in range(6):
+            running = np.bitwise_xor(running, matrix[row])
+            expected[row] = running
+        result = xor_accumulate(matrix.copy())
+        assert np.array_equal(result, expected)
+
+    def test_xor_accumulate_with_initial(self):
+        matrix = random_matrix(4, 32)
+        head = random_matrix(1, 32, seed=11)[0]
+        expected = xor_accumulate(matrix.copy())
+        expected = np.bitwise_xor(expected, head)  # XOR distributes over the scan
+        result = xor_accumulate(matrix.copy(), initial=head)
+        assert np.array_equal(result, expected)
+
+
+class TestStrandLabelsVectorised:
+    @pytest.mark.parametrize("cls", list(StrandClass))
+    def test_matches_scalar_labels(self, any_params, cls):
+        if cls is not StrandClass.HORIZONTAL and any_params.p == 0:
+            pytest.skip("AE(1) has no helical strands")
+        indexes = np.arange(1, 200, dtype=np.int64)
+        vectorised = strand_labels(indexes, cls, any_params)
+        scalar = [strand_label(int(i), cls, any_params) for i in indexes]
+        assert vectorised.tolist() == scalar
+
+
+class TestBatchEquivalence:
+    """`BatchEntangler` must be bit-identical to the sequential encoder."""
+
+    @pytest.mark.parametrize(
+        "spec", ["AE(1,-,-)", "AE(2,2,2)", "AE(2,2,5)", "AE(3,2,5)", "AE(3,5,5)", "AE(3,1,4)", "AE(4,2,5)"]
+    )
+    @pytest.mark.parametrize("splits", [[(0, 41)], [(0, 1), (1, 2), (2, 41)], [(0, 13), (13, 41)]])
+    def test_bit_identical_to_sequential(self, spec, splits):
+        params = AEParameters.parse(spec)
+        data = random_matrix(41)
+        sequential = Entangler(params, BLOCK)
+        batched = BatchEntangler(params, BLOCK)
+        expected = [sequential.entangle(row) for row in data]
+        produced = []
+        for lo, hi in splits:
+            produced.extend(batched.entangle_batch(data[lo:hi]).encoded_blocks())
+        assert len(produced) == len(expected)
+        for want, got in zip(expected, produced):
+            assert want.data_id == got.data_id
+            assert np.array_equal(want.data.payload, got.data.payload)
+            assert [p.block_id for p in want.parities] == [p.block_id for p in got.parities]
+            for wp, gp in zip(want.parities, got.parities):
+                assert np.array_equal(wp.payload, gp.payload)
+        # The in-memory strand heads agree, so encoding can continue either way.
+        assert sequential._heads.snapshot() == batched._heads.snapshot()
+
+    def test_mixing_single_and_batched_calls(self, hec_params):
+        data = random_matrix(20)
+        sequential = Entangler(hec_params, BLOCK)
+        mixed = BatchEntangler(hec_params, BLOCK)
+        expected = [sequential.entangle(row) for row in data]
+        produced = [mixed.entangle(data[0])]
+        produced.extend(mixed.entangle_batch(data[1:15]).encoded_blocks())
+        produced.append(mixed.entangle(data[15]))
+        produced.extend(mixed.entangle_batch(data[16:]).encoded_blocks())
+        for want, got in zip(expected, produced):
+            assert want.data_id == got.data_id
+            for wp, gp in zip(want.parities, got.parities):
+                assert np.array_equal(wp.payload, gp.payload)
+
+    def test_empty_batch(self, hec_params):
+        encoder = BatchEntangler(hec_params, BLOCK)
+        batch = encoder.entangle_batch(b"")
+        assert batch.block_count == 0
+        assert encoder.blocks_encoded == 0
+
+    def test_encode_bytes_batched_round_trip(self, hec_params):
+        encoder = BatchEntangler(hec_params, BLOCK)
+        payload = b"entangled document content " * 11
+        batch, length = encoder.encode_bytes_batched(payload)
+        assert length == len(payload)
+        joined = batch.data.tobytes()[:length]
+        assert joined == payload
+
+
+class TestEncodedBatch:
+    def test_iter_blocks_order_and_ids(self, hec_params):
+        encoder = BatchEntangler(hec_params, BLOCK)
+        batch = encoder.entangle_batch(random_matrix(4))
+        blocks = list(batch.iter_blocks())
+        assert len(blocks) == 4 * (1 + hec_params.alpha)
+        assert blocks[0][0] == DataId(1)
+        assert blocks[1][0] == ParityId(1, StrandClass.HORIZONTAL)
+        # Payloads are views into the batch matrices, not copies.
+        assert blocks[0][1].base is not None
+
+    def test_parity_ids_match_iter_blocks(self, hec_params):
+        encoder = BatchEntangler(hec_params, BLOCK)
+        batch = encoder.entangle_batch(random_matrix(5))
+        from_iter = [bid for bid, _ in batch.iter_blocks() if isinstance(bid, ParityId)]
+        from_property = [pid for row in zip(*batch.parity_ids) for pid in row]
+        assert from_iter == from_property
+
+
+class TestCrashRecoveryInterop:
+    def test_restore_after_batched_encode(self, hec_params):
+        """A sequential encoder can restore from blocks a batch encoder wrote."""
+        batched = BatchEntangler(hec_params, BLOCK)
+        store = {}
+        for lo, hi in [(0, 9), (9, 23)]:
+            batch = batched.entangle_batch(random_matrix(23)[lo:hi])
+            for block_id, payload in batch.iter_blocks():
+                store[block_id] = payload
+        recovered = Entangler(hec_params, BLOCK)
+        recovered.restore(23, store.get)
+        assert recovered._heads.snapshot() == batched._heads.snapshot()

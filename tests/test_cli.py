@@ -58,3 +58,42 @@ class TestMain:
     def test_unknown_experiment_errors(self):
         with pytest.raises(SystemExit):
             main(["does-not-exist"])
+
+
+class TestIngest:
+    def test_ingest_file_with_verify(self, tmp_path, capsys):
+        source = tmp_path / "payload.bin"
+        source.write_bytes(b"entangle me " * 1000)
+        assert (
+            main(
+                [
+                    "ingest",
+                    str(source),
+                    "--block-size",
+                    "256",
+                    "--batch-blocks",
+                    "4",
+                    "--locations",
+                    "20",
+                    "--verify",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "AE(3,2,5)" in out
+        assert "throughput" in out
+        assert "OK (byte-exact round trip)" in out
+
+    def test_ingest_empty_file(self, tmp_path, capsys):
+        source = tmp_path / "empty.bin"
+        source.write_bytes(b"")
+        assert main(["ingest", str(source), "--verify"]) == 0
+        out = capsys.readouterr().out
+        assert "0 bytes in 0 blocks" in out
+
+    def test_ingest_custom_spec(self, tmp_path, capsys):
+        source = tmp_path / "payload.bin"
+        source.write_bytes(bytes(range(256)) * 8)
+        assert main(["ingest", str(source), "--spec", "AE(2,2,5)", "--block-size", "128"]) == 0
+        assert "AE(2,2,5)" in capsys.readouterr().out
