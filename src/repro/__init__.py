@@ -2,12 +2,28 @@
 
 The package implements the AE(alpha, s, p) family of entanglement codes and
 everything needed to evaluate them the way the paper does: baseline codes
-(Reed-Solomon, replication), a storage cluster substrate with failure
-injection, the entangled-storage-system use cases (geo-replicated backup and
-RAID-AE), the minimal-erasure fault-tolerance analysis and a vectorised
-disaster-recovery simulator.
+(Reed-Solomon, Azure/Xorbas LRC, flat XOR, replication), a storage cluster
+substrate with failure injection, a scheme-agnostic storage service that
+drives any of those codes through one put/get/repair API, the
+entangled-storage-system use cases (geo-replicated backup and RAID-AE), the
+minimal-erasure fault-tolerance analysis and a vectorised disaster-recovery
+simulator.
 
 Quickstart::
+
+    from repro import StorageConfig, StorageService
+
+    service = StorageService.open(StorageConfig(scheme="ae-3-2-5"))
+    service.put("archive", b"some archive content")
+    service.fail_locations(range(3))
+    report = service.repair()
+    assert service.get("archive") == b"some archive content"
+
+Any identifier the :mod:`repro.schemes` registry resolves works as the
+``scheme`` -- ``"rs-10-4"``, ``"lrc-azure"``, ``"rep-3"``, ``"xor-geo"``,
+... -- which is how the paper's Table IV comparisons become runnable
+scenarios (see ``repro-experiments compare``).  The lower-level encoder
+objects remain available::
 
     from repro import AEParameters, Entangler
 
@@ -68,10 +84,12 @@ checks, Sec. IV-B), ``InvalidParametersError`` (the validity rules of
 Sec. III-B), ``LatticeBoundsError`` (queries outside the entangled region),
 ``PlacementError`` / ``StorageFullError`` (the placement layer, Sec. V-C).
 
-The higher layers are imported from their subpackages:
-``repro.system.entangled_store.EntangledStorageSystem`` (put/get/repair plus
-the streaming ``put_stream``/``get_stream`` ingest pipeline),
-``repro.storage`` (cluster, placement, repair management) and
+The higher layers are re-exported or imported from their subpackages:
+``StorageService`` / ``StorageConfig`` (the scheme-agnostic front-end, from
+``repro.system.service``), ``RedundancyScheme`` / ``get_scheme`` (the
+pluggable redundancy protocol and registry, from ``repro.schemes``),
+``repro.system.entangled_store.EntangledStorageSystem`` (the AE-specific
+legacy shim), ``repro.storage`` (cluster, placement, repair management) and
 ``repro.analysis`` / ``repro.simulation`` (the paper's evaluation).
 """
 
@@ -106,8 +124,11 @@ from repro.exceptions import (
     StorageFullError,
     UnknownBlockError,
 )
+from repro.schemes import RedundancyScheme, SchemeCapabilities
+from repro.schemes import get as get_scheme
+from repro.system.service import StorageConfig, StorageService
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "AEParameters",
@@ -130,12 +151,17 @@ __all__ = [
     "NodeCategory",
     "ParityId",
     "PlacementError",
+    "RedundancyScheme",
     "RepairFailedError",
     "RepairReport",
     "ReproError",
+    "SchemeCapabilities",
+    "StorageConfig",
     "StorageFullError",
+    "StorageService",
     "StrandClass",
     "StrandId",
     "UnknownBlockError",
     "__version__",
+    "get_scheme",
 ]

@@ -1,19 +1,25 @@
 """Command line entry point: ``repro-experiments``.
 
-Runs the paper's experiments and prints the resulting tables, and exposes the
-batched ingest pipeline for ad-hoc throughput runs.  Examples::
+Runs the paper's experiments, and drives the scheme-agnostic storage service
+through three subcommands that all take ``--scheme`` (any identifier the
+:mod:`repro.schemes` registry resolves: ``ae-3-2-5``, ``rs-10-4``,
+``lrc-azure``, ``rep-3``, ``xor-geo``, ...)::
 
     repro-experiments --list
     repro-experiments fig11 --blocks 200000
     repro-experiments all --paper-scale
-    repro-experiments fig8 --method family
-    repro-experiments ingest archive.tar --spec "AE(3,2,5)" --verify
+    repro-experiments ingest archive.tar --scheme rs-10-4 --verify
+    repro-experiments repair --scheme lrc-azure --fail 4
+    repro-experiments compare --schemes ae-3-2-5,rs-10-4,rep-3
+    repro-experiments compare --smoke
 
 Every experiment id names the table or figure of the paper it regenerates
 (e.g. ``fig10`` is the write-performance comparison of Fig. 10, ``table4``
-the repair-cost table of Table IV).  ``ingest`` drives
-:meth:`EntangledStorageSystem.put_stream`, the vectorised encode-and-store
-path, and reports the achieved write throughput in MB/s.
+the repair-cost table of Table IV).  ``ingest`` pushes a file through the
+batched :meth:`StorageService.put_stream` path and reports write throughput;
+``repair`` injects a location disaster and repairs it; ``compare`` runs the
+same workload and failure trace across schemes and prints measured storage
+overhead and repair reads next to the analytic Table IV numbers.
 """
 
 from __future__ import annotations
@@ -167,7 +173,8 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "experiment id ('fig6-7'..'fig13' for the paper's figures, "
             "'table4'/'table6' for its tables, 'placement', 'reliability', "
-            "'repair-cost', 'markov', 'churn'), 'ingest', or 'all'"
+            "'repair-cost', 'markov', 'churn'), a subcommand ('ingest', "
+            "'repair', 'compare'), or 'all'"
         ),
     )
     parser.add_argument("--list", action="store_true", help="list available experiments")
@@ -203,31 +210,50 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _add_scheme_argument(parser: argparse.ArgumentParser) -> None:
+    from repro.schemes import DEFAULT_SCHEME
+
+    parser.add_argument(
+        "--scheme",
+        default=DEFAULT_SCHEME,
+        help=(
+            "redundancy scheme id from the repro.schemes registry "
+            f"(default {DEFAULT_SCHEME}); e.g. ae-3-2-5, rs-10-4, lrc-azure, "
+            "lrc-xorbas, rep-3, xor-geo, xor-raid5-5"
+        ),
+    )
+
+
 def build_ingest_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-experiments ingest",
         description=(
-            "Entangle a file through the batched zero-copy ingest pipeline "
-            "(EntangledStorageSystem.put_stream) and report write throughput."
+            "Push a file through the batched ingest pipeline "
+            "(StorageService.put_stream) under any redundancy scheme and "
+            "report write throughput."
         ),
     )
     parser.add_argument("path", help="file to ingest, or '-' to read standard input")
+    _add_scheme_argument(parser)
     parser.add_argument(
         "--spec",
-        default="AE(3,2,5)",
-        help="code setting AE(alpha,s,p); default AE(3,2,5), the paper's flagship",
+        default=None,
+        help=(
+            "legacy AE setting AE(alpha,s,p); overrides --scheme with the "
+            "matching entanglement scheme"
+        ),
     )
     parser.add_argument(
         "--block-size",
         type=int,
         default=4096,
-        help="data/parity block size in bytes (default 4096)",
+        help="data/redundancy block size in bytes (default 4096)",
     )
     parser.add_argument(
         "--batch-blocks",
         type=int,
         default=256,
-        help="blocks entangled per vectorised batch (default 256, i.e. 1 MiB at 4 KiB blocks)",
+        help="blocks encoded per vectorised batch (default 256, i.e. 1 MiB at 4 KiB blocks)",
     )
     parser.add_argument(
         "--locations",
@@ -245,6 +271,78 @@ def build_ingest_parser() -> argparse.ArgumentParser:
         "--verify",
         action="store_true",
         help="stream the document back (get_stream) and check it byte-exact",
+    )
+    return parser
+
+
+def build_repair_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments repair",
+        description=(
+            "Write a synthetic workload under any redundancy scheme, fail "
+            "storage locations, run the scheme's live repair path and verify "
+            "the document byte-exact."
+        ),
+    )
+    _add_scheme_argument(parser)
+    parser.add_argument(
+        "--blocks", type=int, default=120, help="data blocks to write (default 120)"
+    )
+    parser.add_argument(
+        "--block-size", type=int, default=1024, help="block size in bytes (default 1024)"
+    )
+    parser.add_argument(
+        "--locations", type=int, default=40, help="cluster locations (default 40)"
+    )
+    parser.add_argument(
+        "--fail", type=int, default=3, help="locations to fail (default 3)"
+    )
+    parser.add_argument("--seed", type=int, default=7, help="workload seed (default 7)")
+    return parser
+
+
+def build_compare_parser() -> argparse.ArgumentParser:
+    from repro.system.compare import DEFAULT_COMPARE_SCHEMES
+
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments compare",
+        description=(
+            "Run the same workload and failure trace across redundancy "
+            "schemes and print measured storage overhead and repair reads "
+            "next to the analytic Table IV numbers."
+        ),
+    )
+    parser.add_argument(
+        "--schemes",
+        default=",".join(DEFAULT_COMPARE_SCHEMES),
+        help="comma-separated scheme ids (default: the paper's comparison set)",
+    )
+    parser.add_argument(
+        "--blocks",
+        type=int,
+        default=240,
+        help="data blocks per workload (default 240, a multiple of every default stripe width)",
+    )
+    parser.add_argument(
+        "--block-size", type=int, default=1024, help="block size in bytes (default 1024)"
+    )
+    parser.add_argument(
+        "--locations", type=int, default=60, help="cluster locations (default 60)"
+    )
+    parser.add_argument(
+        "--fail", type=int, default=3, help="locations to fail in the disaster trace (default 3)"
+    )
+    parser.add_argument("--seed", type=int, default=7, help="workload seed (default 7)")
+    parser.add_argument(
+        "--victims",
+        type=int,
+        default=3,
+        help="data blocks probed for the measured single-failure repair cost (default 3)",
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny fast configuration for CI (60 blocks of 512 bytes, 30 locations)",
     )
     return parser
 
@@ -268,37 +366,44 @@ def _read_chunks(path: str, chunk_size: int):
 
 def ingest_main(argv: List[str] | None = None) -> int:
     """Entry point of ``repro-experiments ingest``."""
+    from repro.codes.entanglement import ae_scheme_id
     from repro.core.parameters import AEParameters as _AEParameters
     from repro.exceptions import ReproError
-    from repro.system.entangled_store import EntangledStorageSystem
+    from repro.system.service import StorageConfig, StorageService
 
     parser = build_ingest_parser()
     args = parser.parse_args(argv)
     if args.chunk_size < 1:
         parser.error("--chunk-size must be at least 1 byte")
     try:
-        params = _AEParameters.parse(args.spec)
-        system = EntangledStorageSystem(
-            params,
-            location_count=args.locations,
-            block_size=args.block_size,
-            batch_blocks=args.batch_blocks,
+        scheme_id = args.scheme
+        if args.spec is not None:
+            scheme_id = ae_scheme_id(_AEParameters.parse(args.spec))
+        service = StorageService.open(
+            StorageConfig(
+                scheme=scheme_id,
+                location_count=args.locations,
+                block_size=args.block_size,
+                batch_blocks=args.batch_blocks,
+            )
         )
         started = time.perf_counter()
-        document = system.put_stream("ingest", _read_chunks(args.path, args.chunk_size))
+        document = service.put_stream("ingest", _read_chunks(args.path, args.chunk_size))
     except (ReproError, ValueError) as exc:
         parser.error(str(exc))
     except OSError as exc:
         parser.error(f"cannot read {args.path!r}: {exc.strerror or exc}")
     elapsed = time.perf_counter() - started
     throughput = document.length / elapsed / 1e6 if elapsed > 0 else float("inf")
-    print(f"code setting : {params.spec()}")
+    redundancy = service.cluster.stats().blocks - document.block_count
+    print(f"code setting : {service.capabilities.name}")
+    print(f"scheme       : {service.scheme.scheme_id}")
     print(f"ingested     : {document.length} bytes in {document.block_count} blocks")
-    print(f"parities     : {document.block_count * params.alpha}")
+    print(f"redundancy   : {redundancy} blocks")
     print(f"elapsed      : {elapsed:.3f} s")
     print(f"throughput   : {throughput:.1f} MB/s")
     if args.verify:
-        read_back = b"".join(system.get_stream("ingest"))
+        read_back = b"".join(service.get_stream("ingest"))
         expected_length = document.length
         if len(read_back) != expected_length:
             print("verify       : FAILED (length mismatch)")
@@ -315,23 +420,106 @@ def ingest_main(argv: List[str] | None = None) -> int:
     return 0
 
 
+def repair_main(argv: List[str] | None = None) -> int:
+    """Entry point of ``repro-experiments repair``."""
+    import random
+
+    from repro.exceptions import ReproError
+    from repro.system.service import StorageConfig, StorageService
+
+    parser = build_repair_parser()
+    args = parser.parse_args(argv)
+    if not 0 <= args.fail <= args.locations:
+        parser.error("--fail must lie between 0 and --locations")
+    rng = random.Random(args.seed)
+    payload = rng.randbytes(args.blocks * args.block_size)
+    try:
+        service = StorageService.open(
+            StorageConfig(
+                scheme=args.scheme,
+                location_count=args.locations,
+                block_size=args.block_size,
+                seed=args.seed,
+            )
+        )
+        service.put("workload", payload)
+        failed = rng.sample(range(args.locations), args.fail)
+        service.fail_locations(failed)
+        report = service.repair()
+    except (ReproError, ValueError) as exc:
+        parser.error(str(exc))
+    print(f"code setting : {service.capabilities.name}")
+    print(f"scheme       : {service.scheme.scheme_id}")
+    print(f"failed       : locations {sorted(failed)}")
+    print(f"repair       : {report.summary()}")
+    try:
+        intact = service.get("workload") == payload
+    except ReproError:
+        intact = False
+    print(f"verify       : {'OK (byte-exact round trip)' if intact else 'FAILED (data loss)'}")
+    return 0 if intact else 1
+
+
+def compare_main(argv: List[str] | None = None) -> int:
+    """Entry point of ``repro-experiments compare``."""
+    from repro.exceptions import ReproError
+    from repro.simulation.metrics import format_table
+    from repro.system.compare import compare_schemes
+
+    parser = build_compare_parser()
+    args = parser.parse_args(argv)
+    if args.smoke:
+        args.blocks, args.block_size = 60, 512
+        args.locations, args.fail, args.victims = 30, 2, 2
+    scheme_ids = [scheme.strip() for scheme in args.schemes.split(",") if scheme.strip()]
+    if not scheme_ids:
+        parser.error("--schemes must name at least one scheme")
+    try:
+        results = compare_schemes(
+            scheme_ids,
+            data_blocks=args.blocks,
+            block_size=args.block_size,
+            location_count=args.locations,
+            fail_locations=args.fail,
+            seed=args.seed,
+            victims=args.victims,
+        )
+    except (ReproError, ValueError) as exc:
+        parser.error(str(exc))
+    print(format_table([result.as_row() for result in results]))
+    mismatched = [r.scheme_id for r in results if not r.reads_match_analytic]
+    if mismatched:
+        print(f"measured single-failure reads DIVERGE from Table IV for: {mismatched}")
+        return 1
+    print("measured single-failure reads match the analytic Table IV costs")
+    return 0
+
+
+#: Subcommands with their own option sets (must come first on the command line).
+SUBCOMMANDS: Dict[str, Callable[[List[str]], int]] = {
+    "ingest": ingest_main,
+    "repair": repair_main,
+    "compare": compare_main,
+}
+
+
 def main(argv: List[str] | None = None) -> int:
     if argv is None:
         argv = sys.argv[1:]
-    if argv and argv[0] == "ingest":
-        return ingest_main(argv[1:])
+    if argv and argv[0] in SUBCOMMANDS:
+        return SUBCOMMANDS[argv[0]](argv[1:])
     parser = build_parser()
     args = parser.parse_args(argv)
     if args.list:
-        for name in sorted([*EXPERIMENTS, "ingest"]):
+        for name in sorted([*EXPERIMENTS, *SUBCOMMANDS]):
             print(name)
         return 0
-    if args.experiment == "ingest":
-        # Reached when flags precede the subcommand; 'ingest' has its own
-        # option set and must come first.
+    if args.experiment in SUBCOMMANDS:
+        # Reached when flags precede the subcommand; subcommands have their
+        # own option sets and must come first.
         parser.error(
-            "'ingest' takes its own options and must be the first argument: "
-            "repro-experiments ingest <path> [--spec ...] [--verify]"
+            f"{args.experiment!r} takes its own options and must be the first "
+            f"argument: repro-experiments {args.experiment} [--scheme ...]"
         )
     if args.experiment == "all":
         for name in EXPERIMENTS:

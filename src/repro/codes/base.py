@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.core.xor import Payload, as_payload
 from repro.exceptions import BlockSizeMismatchError, DecodingError
@@ -119,6 +119,25 @@ class StripeCode(ABC):
         blocks); non-MDS codes override it.
         """
         return len(set(available_positions)) >= self._k
+
+    def repair_read_positions(
+        self, position: int, available_positions: Sequence[int]
+    ) -> Optional[List[int]]:
+        """The cheapest set of positions to read to repair ``position``.
+
+        ``available_positions`` lists the stripe positions believed readable.
+        Returns ``None`` when they cannot determine the block.  The default
+        implements the MDS plan -- any ``k`` surviving blocks -- which makes
+        the measured read count of a single-failure repair equal the
+        analytic :attr:`single_failure_cost`; locality-aware codes override
+        it (LRC reads the local group, flat XOR the smallest parity
+        equation, replication one surviving copy).
+        """
+        candidates = sorted(set(available_positions) - {position})
+        if not self.can_decode(candidates):
+            return None
+        subset = candidates[: self._k]
+        return subset if self.can_decode(subset) else candidates
 
     # ------------------------------------------------------------------
     # Helpers

@@ -1,0 +1,155 @@
+"""Alpha entanglement behind the scheme-agnostic redundancy protocol.
+
+:class:`EntanglementScheme` wraps the helical-lattice machinery -- the
+vectorised :class:`~repro.core.encoder.BatchEntangler` on the write path and
+the :class:`~repro.core.decoder.Decoder` on the read/repair path -- behind
+the :class:`~repro.schemes.base.RedundancyScheme` interface, so the storage
+front-end can drive AE codes and the stripe-code baselines through the same
+verbs.  The scheme is *streaming*: the lattice grows with every encoded
+batch, parities chain across documents, and blocks are never physically
+deleted (paper, Sec. III-B: deletions happen only at the beginning of the
+mesh).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set
+
+from repro.core.blocks import BlockId, is_data
+from repro.core.decoder import Decoder
+from repro.core.encoder import DEFAULT_BLOCK_SIZE, BatchEntangler
+from repro.core.lattice import HelicalLattice
+from repro.core.parameters import AEParameters
+from repro.core.xor import Payload
+from repro.exceptions import RepairFailedError
+from repro.schemes.base import (
+    BlockFetcher,
+    CountingFetcher,
+    EncodedPart,
+    RedundancyScheme,
+    SchemeCapabilities,
+    SchemeRepairOutcome,
+)
+
+__all__ = ["EntanglementScheme", "ae_scheme_id"]
+
+
+def _sort_key(block_id):
+    if is_data(block_id):
+        return (block_id.index, 0, "")
+    return (block_id.index, 1, block_id.strand_class.value)
+
+
+def ae_scheme_id(params: AEParameters) -> str:
+    """The registry identifier of an AE setting, e.g. ``"ae-3-2-5"``."""
+    if params.is_single:
+        return "ae-1"
+    return f"ae-{params.alpha}-{params.s}-{params.p}"
+
+
+class EntanglementScheme(RedundancyScheme):
+    """AE(alpha, s, p) entanglement as a pluggable redundancy scheme."""
+
+    def __init__(
+        self,
+        params: AEParameters,
+        block_size: int = DEFAULT_BLOCK_SIZE,
+        scheme_id: Optional[str] = None,
+    ) -> None:
+        super().__init__(scheme_id or ae_scheme_id(params), block_size)
+        self._entangler = BatchEntangler(params, block_size)
+
+    @property
+    def params(self) -> AEParameters:
+        return self._entangler.params
+
+    @property
+    def lattice(self) -> HelicalLattice:
+        return self._entangler.lattice
+
+    @property
+    def entangler(self) -> BatchEntangler:
+        return self._entangler
+
+    def capabilities(self) -> SchemeCapabilities:
+        params = self.params
+        return SchemeCapabilities(
+            scheme_id=self.scheme_id,
+            name=params.spec(),
+            kind="ae",
+            storage_overhead=params.storage_overhead,
+            single_failure_reads=params.single_failure_cost,
+            streaming=True,
+            erasable=False,
+        )
+
+    # ------------------------------------------------------------------
+    # Write path
+    # ------------------------------------------------------------------
+    def encode(self, payloads) -> EncodedPart:
+        batch = self._entangler.entangle_batch(payloads)
+        return EncodedPart(
+            data_ids=list(batch.data_ids), blocks=list(batch.iter_blocks())
+        )
+
+    # ------------------------------------------------------------------
+    # Read / repair path
+    # ------------------------------------------------------------------
+    def read_block(self, block_id, fetch: BlockFetcher) -> Payload:
+        return Decoder(self.lattice, fetch, self._block_size).get(block_id)
+
+    def repair(self, missing: Set[object], fetch: BlockFetcher) -> SchemeRepairOutcome:
+        """Round-based lattice repair (paper, Sec. V-C4).
+
+        Blocks repaired in one round become inputs of the next; within a
+        round the decoder only sees blocks available before the round
+        started.  Every payload fetched -- from the source or from the
+        overlay of earlier rounds -- counts as one read.
+        """
+        outcome = SchemeRepairOutcome()
+        pending = {
+            block_id for block_id in missing if self.lattice.has_block(block_id)
+        }
+        outcome.unrecovered = sorted(
+            (block_id for block_id in missing if block_id not in pending),
+            key=_sort_key,
+        )
+        overlay: Dict[BlockId, Payload] = {}
+        snapshot: Dict[BlockId, Payload] = {}
+
+        def combined(block_id):
+            payload = snapshot.get(block_id)
+            return payload if payload is not None else fetch(block_id)
+
+        counter = CountingFetcher(combined)
+        while pending:
+            snapshot = dict(overlay)
+            decoder = Decoder(self.lattice, counter, self._block_size, max_depth=0)
+            repaired_this_round: List[BlockId] = []
+            for block_id in sorted(pending, key=_sort_key):
+                try:
+                    payload = decoder.repair(block_id)
+                except RepairFailedError:
+                    continue
+                overlay[block_id] = payload
+                repaired_this_round.append(block_id)
+            if not repaired_this_round:
+                break
+            outcome.rounds += 1
+            for block_id in repaired_this_round:
+                pending.discard(block_id)
+        outcome.recovered = overlay
+        outcome.blocks_read = counter.reads
+        outcome.unrecovered.extend(sorted(pending, key=_sort_key))
+        return outcome
+
+    # ------------------------------------------------------------------
+    # Metadata
+    # ------------------------------------------------------------------
+    def is_data_block(self, block_id) -> bool:
+        return is_data(block_id)
+
+    def document_blocks(self, data_ids: Sequence[object]) -> List[object]:
+        # Parities are shared lattice state and must survive document
+        # deletion; only the data handles belong to the document.
+        return list(data_ids)

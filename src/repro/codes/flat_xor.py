@@ -132,6 +132,52 @@ class FlatXorCode(StripeCode):
                     progress = True
         return set(range(self.k)) <= known
 
+    def repair_read_positions(
+        self, position: int, available_positions: Sequence[int]
+    ) -> List[int] | None:
+        """Read the smallest fully available parity equation covering
+        ``position``; fall back to the peeling decoder's full view."""
+        available = set(available_positions) - {position}
+        for equation, parity_position in sorted(
+            (
+                (equation, self.k + parity_index)
+                for parity_index, equation in enumerate(self._equations)
+            ),
+            key=lambda pair: len(pair[0]),
+        ):
+            if position < self.k:
+                if position not in equation:
+                    continue
+                needed = (set(equation) - {position}) | {parity_position}
+            elif parity_position == position:
+                needed = set(equation)
+            else:
+                continue
+            if needed <= available:
+                return sorted(needed)
+        return super().repair_read_positions(position, available_positions)
+
+    def repair(self, position: int, available: Dict[int, Payload]) -> Payload:
+        """Rebuild ``position`` from a single parity equation when one is
+        fully available, falling back to the peeling decoder otherwise."""
+        if position in available:
+            return np.asarray(available[position], dtype=np.uint8)
+        for parity_index, equation in sorted(
+            enumerate(self._equations), key=lambda pair: len(pair[1])
+        ):
+            parity_position = self.k + parity_index
+            if position < self.k:
+                if position not in equation:
+                    continue
+                needed = (set(equation) - {position}) | {parity_position}
+            elif parity_position == position:
+                needed = set(equation)
+            else:
+                continue
+            if all(member in available for member in needed):
+                return xor_many([available[member] for member in sorted(needed)])
+        return super().repair(position, available)
+
     def tolerated_failures(self) -> int:
         """Largest number of arbitrary failures always tolerated (Hamming-style)."""
         for failures in range(1, self.n + 1):

@@ -27,7 +27,7 @@ import numpy as np
 
 from repro.codes.base import StripeCode
 from repro.codes.gf256 import gf_dot_bytes, gf_inverse, gf_mul, gf_mul_bytes, gf_pow
-from repro.core.xor import Payload, xor_many
+from repro.core.xor import Payload, as_payload, xor_many
 from repro.exceptions import DecodingError, InvalidParametersError
 
 __all__ = ["LocalReconstructionCode", "azure_lrc", "xorbas_lrc"]
@@ -200,6 +200,32 @@ class LocalReconstructionCode(StripeCode):
     def repair_cost(self, position: int) -> int:
         """Number of blocks read by the cheapest repair of ``position``."""
         return len(self.local_repair_positions(position))
+
+    def repair_read_positions(
+        self, position: int, available_positions: Sequence[int]
+    ) -> List[int] | None:
+        """Prefer the local repair group; fall back to a global decode."""
+        available = set(available_positions) - {position}
+        local = self.local_repair_positions(position)
+        if set(local) <= available:
+            return list(local)
+        return super().repair_read_positions(position, available_positions)
+
+    def repair(self, position: int, available: Dict[int, Payload]) -> Payload:
+        """Rebuild ``position``, using the XOR-only local path when possible.
+
+        A data block whose group members and local parity survive -- or a
+        local parity whose group survives -- is rebuilt by XORing the local
+        group, the ``k / l``-read repair the code exists for; anything else
+        falls back to the global GF(2^8) decode of the base class.
+        """
+        if position in available:
+            return as_payload(available[position])
+        if position < self.k + self._local_groups:
+            local = self.local_repair_positions(position)
+            if all(member in available for member in local):
+                return xor_many([available[member] for member in local])
+        return super().repair(position, available)
 
 
 # ----------------------------------------------------------------------

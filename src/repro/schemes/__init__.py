@@ -1,0 +1,154 @@
+"""String-keyed registry of redundancy schemes.
+
+Every scheme the evaluation compares is reachable from one identifier::
+
+    import repro.schemes as schemes
+
+    scheme = schemes.get("ae-3-2-5")      # alpha entanglement AE(3,2,5)
+    scheme = schemes.get("rs-10-4")       # Reed-Solomon RS(10,4)
+    scheme = schemes.get("lrc-azure")     # Azure LRC(12,2,2)
+    scheme = schemes.get("lrc-xorbas")    # HDFS-Xorbas LRC(10,2,4)
+    scheme = schemes.get("rep-3")         # 3-way replication
+    scheme = schemes.get("xor-geo")       # Facebook warm-BLOB geo XOR
+    scheme = schemes.get("xor-raid5-5")   # RAID-5 single parity over 5 blocks
+
+Identifiers are ``family-args`` strings; :func:`available` lists the
+families.  New families are added with :func:`register` -- the factory
+receives the dash-separated argument list and the block size and returns a
+:class:`~repro.schemes.base.RedundancyScheme` instance.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Sequence
+
+from repro.codes.lrc import LocalReconstructionCode, azure_lrc, xorbas_lrc
+from repro.codes.flat_xor import FlatXorCode, geo_xor_code, mirrored_pairs_code, raid5_code
+from repro.codes.reed_solomon import ReedSolomonCode
+from repro.codes.replication import ReplicationCode
+from repro.exceptions import InvalidParametersError
+from repro.schemes.base import (
+    BlockFetcher,
+    CountingFetcher,
+    EncodedPart,
+    RedundancyScheme,
+    SchemeCapabilities,
+    SchemeRepairOutcome,
+)
+from repro.schemes.stripe import StripeBlockId, StripeScheme
+
+__all__ = [
+    "BlockFetcher",
+    "CountingFetcher",
+    "DEFAULT_SCHEME",
+    "EncodedPart",
+    "RedundancyScheme",
+    "SchemeCapabilities",
+    "SchemeRepairOutcome",
+    "StripeBlockId",
+    "StripeScheme",
+    "available",
+    "get",
+    "register",
+]
+
+#: The flagship setting of the paper, used wherever a default is needed.
+DEFAULT_SCHEME = "ae-3-2-5"
+
+#: A factory builds a scheme from the dash-separated id arguments.
+SchemeFactory = Callable[[str, Sequence[str], int], RedundancyScheme]
+
+_FAMILIES: Dict[str, SchemeFactory] = {}
+_EXAMPLES: Dict[str, str] = {}
+
+
+def register(family: str, factory: SchemeFactory, example: str) -> None:
+    """Register a scheme family under ``family`` (the id prefix)."""
+    _FAMILIES[family.lower()] = factory
+    _EXAMPLES[family.lower()] = example
+
+
+def available() -> Dict[str, str]:
+    """Registered families mapped to an example identifier."""
+    return dict(_EXAMPLES)
+
+
+def get(scheme_id: str, block_size: int = 4096) -> RedundancyScheme:
+    """Resolve a scheme identifier to a fresh scheme instance."""
+    cleaned = scheme_id.strip().lower()
+    family, _, rest = cleaned.partition("-")
+    if family not in _FAMILIES:
+        raise InvalidParametersError(
+            f"unknown redundancy scheme {scheme_id!r}; families: "
+            + ", ".join(sorted(_FAMILIES))
+        )
+    args = [part for part in rest.split("-") if part] if rest else []
+    try:
+        return _FAMILIES[family](cleaned, args, block_size)
+    except (ValueError, IndexError) as exc:
+        raise InvalidParametersError(
+            f"cannot parse scheme id {scheme_id!r} "
+            f"(example: {_EXAMPLES[family]!r}): {exc}"
+        ) from exc
+
+
+# ----------------------------------------------------------------------
+# Built-in families
+# ----------------------------------------------------------------------
+def _ae_factory(scheme_id: str, args: Sequence[str], block_size: int) -> RedundancyScheme:
+    # Imported lazily: repro.codes.entanglement imports this package.
+    from repro.codes.entanglement import EntanglementScheme
+    from repro.core.parameters import AEParameters
+
+    if len(args) == 1 and args[0] == "1":
+        params = AEParameters.single()
+    elif len(args) == 3:
+        params = AEParameters(int(args[0]), int(args[1]), int(args[2]))
+    else:
+        raise ValueError("expected ae-1 or ae-<alpha>-<s>-<p>")
+    return EntanglementScheme(params, block_size=block_size, scheme_id=scheme_id)
+
+
+def _rs_factory(scheme_id: str, args: Sequence[str], block_size: int) -> RedundancyScheme:
+    if len(args) != 2:
+        raise ValueError("expected rs-<k>-<m>")
+    return StripeScheme(
+        ReedSolomonCode(int(args[0]), int(args[1])), scheme_id, block_size
+    )
+
+
+def _lrc_factory(scheme_id: str, args: Sequence[str], block_size: int) -> RedundancyScheme:
+    if args == ["azure"]:
+        code: LocalReconstructionCode = azure_lrc()
+    elif args == ["xorbas"]:
+        code = xorbas_lrc()
+    elif len(args) == 3:
+        code = LocalReconstructionCode(int(args[0]), int(args[1]), int(args[2]))
+    else:
+        raise ValueError("expected lrc-azure, lrc-xorbas or lrc-<k>-<l>-<r>")
+    return StripeScheme(code, scheme_id, block_size)
+
+
+def _rep_factory(scheme_id: str, args: Sequence[str], block_size: int) -> RedundancyScheme:
+    if len(args) != 1:
+        raise ValueError("expected rep-<copies>")
+    return StripeScheme(ReplicationCode(int(args[0])), scheme_id, block_size)
+
+
+def _xor_factory(scheme_id: str, args: Sequence[str], block_size: int) -> RedundancyScheme:
+    if args == ["geo"]:
+        code: FlatXorCode = geo_xor_code()
+    elif len(args) == 2 and args[0] == "raid5":
+        code = raid5_code(int(args[1]))
+    elif len(args) == 2 and args[0] == "mirror":
+        code = mirrored_pairs_code(int(args[1]))
+    else:
+        raise ValueError("expected xor-geo, xor-raid5-<k> or xor-mirror-<k>")
+    return StripeScheme(code, scheme_id, block_size)
+
+
+register("ae", _ae_factory, "ae-3-2-5")
+register("rs", _rs_factory, "rs-10-4")
+register("lrc", _lrc_factory, "lrc-azure")
+register("rep", _rep_factory, "rep-3")
+register("xor", _xor_factory, "xor-geo")

@@ -1,0 +1,191 @@
+"""The scheme-agnostic redundancy protocol.
+
+Every redundancy scheme the paper evaluates -- alpha entanglement codes and
+the stripe-code baselines (Reed-Solomon, Azure/Xorbas LRC, flat XOR codes,
+replication) -- is driven through one interface: :class:`RedundancyScheme`.
+The protocol covers the four verbs a storage front-end needs
+(:meth:`~RedundancyScheme.encode`, :meth:`~RedundancyScheme.read_block`,
+:meth:`~RedundancyScheme.repair`, :meth:`~RedundancyScheme.document_blocks`)
+plus capability metadata (:class:`SchemeCapabilities`) that carries the
+analytic Table IV quantities, so measured and closed-form costs can be printed
+side by side.
+
+Adapters:
+
+* :class:`repro.codes.entanglement.EntanglementScheme` -- AE(alpha, s, p)
+  over the helical lattice (wraps the batched encoder and lattice decoder);
+* :class:`repro.schemes.stripe.StripeScheme` -- any
+  :class:`repro.codes.base.StripeCode` subclass.
+
+Instances are resolved from string identifiers through the registry in
+:mod:`repro.schemes` (``repro.schemes.get("rs-10-4")``).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.core.xor import Payload
+
+if TYPE_CHECKING:  # imported lazily at runtime to avoid a package cycle
+    from repro.codes.base import CodeCosts
+
+#: A block source returns the payload of a block or ``None`` when unavailable.
+BlockFetcher = Callable[[object], Optional[Payload]]
+
+
+@dataclass(frozen=True)
+class SchemeCapabilities:
+    """Capability metadata of a redundancy scheme.
+
+    ``storage_overhead`` is the additional storage as a fraction of the
+    original data and ``single_failure_reads`` the number of surviving blocks
+    read to repair one missing block -- together they are the scheme's
+    analytic Table IV row (see :meth:`costs`).  ``streaming`` marks append-only
+    schemes whose global state grows with every write (the AE lattice);
+    ``erasable`` marks schemes whose blocks can be physically deleted without
+    invalidating other documents' redundancy (stripe codes: yes, entanglement:
+    no, the lattice is append-only).
+    """
+
+    scheme_id: str
+    name: str
+    kind: str
+    storage_overhead: float
+    single_failure_reads: int
+    streaming: bool = False
+    erasable: bool = True
+
+    def costs(self) -> "CodeCosts":
+        """The scheme's analytic Table IV row."""
+        from repro.codes.base import CodeCosts
+
+        return CodeCosts(
+            name=self.name,
+            additional_storage_percent=self.storage_overhead * 100.0,
+            single_failure_cost=self.single_failure_reads,
+        )
+
+
+@dataclass
+class EncodedPart:
+    """Result of encoding one batch of data blocks.
+
+    ``data_ids`` holds one identifier per input block, in input order -- these
+    are the handles a document records.  ``blocks`` holds every block the
+    batch produced (data, redundancy and, for stripe codes, zero padding) as
+    ``(block_id, payload)`` pairs ready for a bulk cluster write.
+    """
+
+    data_ids: List[object] = field(default_factory=list)
+    blocks: List[Tuple[object, Payload]] = field(default_factory=list)
+
+    @property
+    def block_count(self) -> int:
+        return len(self.blocks)
+
+
+@dataclass
+class SchemeRepairOutcome:
+    """Result of a scheme-level repair pass.
+
+    ``recovered`` maps repaired block identifiers to their rebuilt payloads
+    (the caller decides where to write them); ``blocks_read`` counts every
+    payload the repair fetched, the measured counterpart of the analytic
+    single-failure cost; ``rounds`` is the number of repair rounds used
+    (> 1 only for entanglement after large disasters, Table VI).
+    """
+
+    recovered: Dict[object, Payload] = field(default_factory=dict)
+    blocks_read: int = 0
+    rounds: int = 0
+    unrecovered: List[object] = field(default_factory=list)
+
+    @property
+    def repaired_count(self) -> int:
+        return len(self.recovered)
+
+
+class RedundancyScheme(ABC):
+    """Uniform encode / read / repair interface over one redundancy scheme.
+
+    A scheme instance is bound to a block size and owns whatever per-stream
+    state its code family needs (the strand heads of an entanglement encoder,
+    the stripe counter of a stripe code).  It never talks to storage directly:
+    reads go through a :data:`BlockFetcher` callable supplied by the caller,
+    which keeps the scheme reusable against a cluster, a payload dict or a
+    network client.
+    """
+
+    def __init__(self, scheme_id: str, block_size: int) -> None:
+        self._scheme_id = scheme_id
+        self._block_size = block_size
+
+    @property
+    def scheme_id(self) -> str:
+        """The registry identifier of this instance, e.g. ``"rs-10-4"``."""
+        return self._scheme_id
+
+    @property
+    def block_size(self) -> int:
+        return self._block_size
+
+    @abstractmethod
+    def capabilities(self) -> SchemeCapabilities:
+        """Capability metadata, including the analytic Table IV costs."""
+
+    @abstractmethod
+    def encode(self, payloads) -> EncodedPart:
+        """Encode a batch of data blocks into storable blocks.
+
+        ``payloads`` may be a byte string (split into zero-padded blocks), a
+        ``(n, block_size)`` uint8 matrix or a sequence of block payloads --
+        the accepted inputs of :func:`repro.core.xor.as_payload_matrix`.
+        """
+
+    @abstractmethod
+    def read_block(self, block_id, fetch: BlockFetcher) -> Payload:
+        """Return the payload of one block, repairing through redundancy when
+        the direct fetch fails.  Raises
+        :class:`repro.exceptions.RepairFailedError` when no recovery path is
+        available."""
+
+    @abstractmethod
+    def repair(self, missing: Set[object], fetch: BlockFetcher) -> SchemeRepairOutcome:
+        """Rebuild as many of ``missing`` blocks as possible from ``fetch``."""
+
+    @abstractmethod
+    def is_data_block(self, block_id) -> bool:
+        """True when ``block_id`` identifies a data (not redundancy) block."""
+
+    @abstractmethod
+    def document_blocks(self, data_ids: Sequence[object]) -> List[object]:
+        """All block identifiers backing the given data blocks.
+
+        For stripe codes this is every position of every stripe the data ids
+        touch (including redundancy and padding) -- the set a delete must
+        clean up.  Entanglement returns only the data ids themselves: parities
+        are woven into the append-only lattice and must survive deletion.
+        """
+
+    def default_placement(self, location_count: int, seed: int = 0):
+        """The placement policy used when the caller does not supply one."""
+        from repro.storage.placement import RandomPlacement
+
+        return RandomPlacement(location_count, seed=seed)
+
+
+class CountingFetcher:
+    """Wraps a :data:`BlockFetcher` and counts successful reads."""
+
+    def __init__(self, fetch: BlockFetcher) -> None:
+        self._fetch = fetch
+        self.reads = 0
+
+    def __call__(self, block_id) -> Optional[Payload]:
+        payload = self._fetch(block_id)
+        if payload is not None:
+            self.reads += 1
+        return payload

@@ -165,6 +165,31 @@ class StorageCluster:
             return None
         return self._stores[location_id].try_get(block_id)
 
+    def delete_block(self, block_id: BlockId) -> int:
+        """Remove a block from the cluster, returning the location that held it.
+
+        The placement index (directory) entry is always removed; the payload
+        is deleted from the backing store when the location is reachable.  A
+        block whose location is currently down is forgotten by the directory
+        only -- its stale payload is dropped whenever the store is wiped.
+        """
+        location_id = self.location_of(block_id)
+        store = self._stores[location_id]
+        if store.available and store.contains(block_id):
+            store.delete(block_id)
+        del self._directory[block_id]
+        return location_id
+
+    def delete_blocks(self, block_ids: Iterable[BlockId]) -> int:
+        """Bulk :meth:`delete_block`; unknown blocks are skipped.  Returns the
+        number of directory entries removed."""
+        deleted = 0
+        for block_id in block_ids:
+            if block_id in self._directory:
+                self.delete_block(block_id)
+                deleted += 1
+        return deleted
+
     def location_of(self, block_id: BlockId) -> int:
         if block_id not in self._directory:
             raise UnknownBlockError(f"block {block_id!r} is not stored in the cluster")

@@ -1,13 +1,29 @@
-"""Entangled storage system use cases (paper, Section IV).
+"""Storage system layer: the scheme-agnostic service and its use cases.
 
-* :mod:`repro.system.entangled_store` -- a generic put/get/repair system over
-  a cluster of storage locations;
+* :mod:`repro.system.service` -- :class:`StorageService`, the
+  put/get/delete/repair front-end over any redundancy scheme;
+* :mod:`repro.system.compare` -- the same workload and failure trace run
+  across schemes, measured next to the analytic Table IV costs;
+* :mod:`repro.system.entangled_store` -- the AE-specific legacy shim;
 * :mod:`repro.system.backup` -- the geo-replicated cooperative backup network;
 * :mod:`repro.system.raid` -- entangled mirror arrays and RAID-AE;
 * :mod:`repro.system.keys` -- deterministic block keys and location mapping.
 """
 
 from repro.system.archive import ArchiveEntry, ArchiveStore
+from repro.system.compare import (
+    DEFAULT_COMPARE_SCHEMES,
+    SchemeComparison,
+    compare_schemes,
+    single_failure_reads_measured,
+)
+from repro.system.service import (
+    DEFAULT_BATCH_BLOCKS,
+    ServiceRepairReport,
+    ServiceStatus,
+    StorageConfig,
+    StorageService,
+)
 from repro.system.backup import (
     BackupDocument,
     BackupNode,
@@ -33,6 +49,15 @@ __all__ = [
     "ArchiveEntry",
     "ArchiveStore",
     "BackupDocument",
+    "DEFAULT_BATCH_BLOCKS",
+    "DEFAULT_COMPARE_SCHEMES",
+    "SchemeComparison",
+    "ServiceRepairReport",
+    "ServiceStatus",
+    "StorageConfig",
+    "StorageService",
+    "compare_schemes",
+    "single_failure_reads_measured",
     "BackupNode",
     "BlockKey",
     "CooperativeBackupNetwork",

@@ -1,45 +1,47 @@
-"""A complete entangled storage system: encode, place, read, repair.
+"""Back-compat shim: the AE-specific storage system of earlier releases.
 
-``EntangledStorageSystem`` ties the pieces together the way Section IV of the
-paper describes: an entanglement encoder produces data and parity blocks, a
-placement policy maps them to the locations of a storage cluster, reads fall
-back to lattice repair when locations are unavailable, and a repair manager
-restores redundancy after disasters.  It is the object the examples and the
-integration tests drive.
+``EntangledStorageSystem`` predates the scheme-agnostic
+:class:`~repro.system.service.StorageService`; it is now a thin subclass
+that pins the redundancy scheme to alpha entanglement and keeps the original
+surface (``params``/``lattice`` properties, :class:`SystemStatus`,
+policy-driven :meth:`repair` returning a
+:class:`~repro.storage.repair.ClusterRepairReport`).  New code should open a
+:class:`StorageService` instead::
+
+    # before                                  # after
+    EntangledStorageSystem(params, ...)       StorageService.open(
+                                                  StorageConfig(scheme="ae-3-2-5", ...))
+
+Everything else (``put``/``put_stream``/``get_stream``/``read``/
+``fail_locations``) behaves identically through the service.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Iterator, List, Optional
+from typing import List, Optional
 
-from repro.core.blocks import BlockId, DataId, EncodedBlock, join_blocks
-from repro.core.decoder import Decoder
-from repro.core.encoder import DEFAULT_BLOCK_SIZE, BatchEntangler
+from repro.codes.entanglement import EntanglementScheme
+from repro.core.blocks import DataId, EncodedBlock
+from repro.core.encoder import DEFAULT_BLOCK_SIZE
 from repro.core.lattice import HelicalLattice
 from repro.core.parameters import AEParameters
-from repro.core.xor import Payload, payload_to_bytes
-from repro.exceptions import UnknownBlockError
 from repro.storage.cluster import StorageCluster
 from repro.storage.maintenance import MaintenancePolicy
 from repro.storage.placement import PlacementPolicy, RandomPlacement
 from repro.storage.repair import ClusterRepairManager, ClusterRepairReport
+from repro.system.service import (
+    DEFAULT_BATCH_BLOCKS,
+    StorageService,
+    StoredDocument,
+)
 
-#: Number of blocks encoded per batch by :meth:`EntangledStorageSystem.put_stream`.
-DEFAULT_BATCH_BLOCKS = 256
-
-
-@dataclass
-class StoredDocument:
-    """Metadata of one document stored in the system."""
-
-    name: str
-    data_ids: List[DataId]
-    length: int
-
-    @property
-    def block_count(self) -> int:
-        return len(self.data_ids)
+__all__ = [
+    "DEFAULT_BATCH_BLOCKS",
+    "EntangledStorageSystem",
+    "StoredDocument",
+    "SystemStatus",
+]
 
 
 @dataclass
@@ -64,7 +66,7 @@ class SystemStatus:
         )
 
 
-class EntangledStorageSystem:
+class EntangledStorageSystem(StorageService):
     """High-level put/get/repair interface over a cluster and an AE lattice."""
 
     def __init__(
@@ -77,167 +79,49 @@ class EntangledStorageSystem:
         seed: int = 0,
         batch_blocks: int = DEFAULT_BATCH_BLOCKS,
     ) -> None:
-        if batch_blocks < 1:
-            raise ValueError("batch_blocks must be at least 1")
-        self._params = params
-        self._block_size = block_size
-        self._batch_blocks = batch_blocks
+        scheme = EntanglementScheme(params, block_size)
         placement = placement or RandomPlacement(location_count, seed=seed)
-        self._cluster = cluster or StorageCluster(location_count, placement)
-        self._encoder = BatchEntangler(params, block_size)
-        self._documents: Dict[str, StoredDocument] = {}
+        cluster = cluster or StorageCluster(location_count, placement)
+        super().__init__(scheme, cluster, batch_blocks=batch_blocks)
 
     # ------------------------------------------------------------------
-    # Introspection
+    # AE-specific introspection
     # ------------------------------------------------------------------
     @property
     def params(self) -> AEParameters:
-        return self._params
-
-    @property
-    def block_size(self) -> int:
-        return self._block_size
-
-    @property
-    def cluster(self) -> StorageCluster:
-        return self._cluster
+        return self.scheme.params  # type: ignore[attr-defined]
 
     @property
     def lattice(self) -> HelicalLattice:
-        return self._encoder.lattice
-
-    @property
-    def documents(self) -> Dict[str, StoredDocument]:
-        return dict(self._documents)
+        return self.scheme.lattice  # type: ignore[attr-defined]
 
     def status(self) -> SystemStatus:
-        unavailable = self._cluster.unavailable_blocks()
+        unavailable = self.cluster.unavailable_blocks()
         return SystemStatus(
             data_blocks=self.lattice.size,
             parity_blocks=self.lattice.parity_count,
             unavailable_blocks=len(unavailable),
-            unavailable_data_blocks=sum(1 for b in unavailable if isinstance(b, DataId)),
-            locations=self._cluster.location_count,
-            unavailable_locations=len(self._cluster.unavailable_locations()),
-            documents=len(self._documents),
+            unavailable_data_blocks=sum(
+                1 for b in unavailable if isinstance(b, DataId)
+            ),
+            locations=self.cluster.location_count,
+            unavailable_locations=len(self.cluster.unavailable_locations()),
+            documents=len(self.documents),
         )
 
     # ------------------------------------------------------------------
-    # Writes
+    # AE-specific writes
     # ------------------------------------------------------------------
-    def put(self, name: str, data: bytes) -> StoredDocument:
-        """Encode and store a document, returning its handle."""
-        encoded_blocks, length = self._encoder.encode_bytes(data)
-        data_ids = [encoded.data_id for encoded in encoded_blocks]
-        for encoded in encoded_blocks:
-            self._store_encoded(encoded)
-        document = StoredDocument(name=name, data_ids=data_ids, length=length)
-        self._documents[name] = document
-        return document
-
-    def put_stream(self, name: str, chunks: Iterable[bytes]) -> StoredDocument:
-        """Encode and store a document from an iterable of byte chunks.
-
-        This is the batched zero-copy ingest path: chunks of arbitrary sizes
-        are re-blocked into stacks of up to ``batch_blocks`` blocks, each stack
-        is entangled in one vectorised :meth:`BatchEntangler.entangle_batch`
-        pass and persisted through the cluster's bulk ``put_many`` write path.
-        The whole document is never materialised in memory; at most one batch
-        (``batch_blocks * block_size`` bytes) is buffered at a time.
-
-        Empty documents and payloads that are not a multiple of the block size
-        round-trip byte-exact: the final block is zero-padded for encoding and
-        the padding is stripped on read using the recorded byte length.
-
-        If ``chunks`` raises mid-stream the exception propagates and no
-        document is recorded, but batches already encoded stay in the lattice:
-        the lattice is append-only by design (paper, Sec. III-B: deletions
-        happen only at the beginning of the mesh), so entangled blocks cannot
-        be unwound.  Callers that need all-or-nothing ingest should stage the
-        stream (e.g. to a temporary file) before calling ``put_stream``.
-        """
-        buffer = bytearray()
-        batch_bytes = self._batch_blocks * self._block_size
-        data_ids: List[DataId] = []
-        length = 0
-        for chunk in chunks:
-            buffer += chunk
-            length += len(chunk)
-            while len(buffer) >= batch_bytes:
-                self._ingest_batch(buffer[:batch_bytes], data_ids)
-                del buffer[:batch_bytes]
-        if buffer:
-            self._ingest_batch(buffer, data_ids)
-        document = StoredDocument(name=name, data_ids=data_ids, length=length)
-        self._documents[name] = document
-        return document
-
-    def _ingest_batch(self, payload: bytearray, data_ids: List[DataId]) -> None:
-        batch = self._encoder.entangle_batch(payload)
-        self._cluster.put_many(batch.iter_blocks())
-        data_ids.extend(batch.data_ids)
-
     def append_block(self, payload) -> EncodedBlock:
         """Entangle and store a single block (streaming ingestion)."""
-        encoded = self._encoder.entangle(payload)
-        self._store_encoded(encoded)
+        encoded = self.scheme.entangler.entangle(payload)  # type: ignore[attr-defined]
+        for block in encoded.all_blocks():
+            self.cluster.put_block(block)
         return encoded
 
-    def _store_encoded(self, encoded: EncodedBlock) -> None:
-        for block in encoded.all_blocks():
-            self._cluster.put_block(block)
-
     # ------------------------------------------------------------------
-    # Reads
+    # Policy-driven repair (the paper's maintenance regimes)
     # ------------------------------------------------------------------
-    def get_block(self, block_id: BlockId) -> Payload:
-        """Read one block, repairing it through the lattice when unreachable."""
-        decoder = Decoder(
-            self.lattice, self._cluster.try_get_block, self._block_size
-        )
-        return decoder.get(block_id)
-
-    def read(self, name: str) -> bytes:
-        """Read a full document back, repairing blocks as needed."""
-        if name not in self._documents:
-            raise UnknownBlockError(f"unknown document {name!r}")
-        document = self._documents[name]
-        payloads = [self.get_block(data_id) for data_id in document.data_ids]
-        return join_blocks(payloads, document.length)
-
-    def read_block_bytes(self, data_id: DataId, length: Optional[int] = None) -> bytes:
-        return payload_to_bytes(self.get_block(data_id), length)
-
-    def get_stream(self, name: str) -> Iterator[bytes]:
-        """Stream a document back one block at a time, repairing as needed.
-
-        The counterpart of :meth:`put_stream`: yields chunks of at most
-        ``block_size`` bytes without assembling the document in memory, and
-        strips the zero padding of the final block using the stored length so
-        the concatenated chunks equal the original payload byte-exactly.
-        """
-        if name not in self._documents:
-            raise UnknownBlockError(f"unknown document {name!r}")
-        document = self._documents[name]
-
-        def blocks() -> Iterator[bytes]:
-            remaining = document.length
-            for data_id in document.data_ids:
-                take = min(remaining, self._block_size)
-                yield payload_to_bytes(self.get_block(data_id), take)
-                remaining -= take
-
-        return blocks()
-
-    # ------------------------------------------------------------------
-    # Failures and repair
-    # ------------------------------------------------------------------
-    def fail_locations(self, location_ids) -> None:
-        self._cluster.fail_locations(location_ids)
-
-    def restore_locations(self, location_ids=None) -> None:
-        self._cluster.restore_locations(location_ids)
-
     def repair(
         self,
         policy: MaintenancePolicy = MaintenancePolicy.FULL,
@@ -245,10 +129,6 @@ class EntangledStorageSystem:
     ) -> ClusterRepairReport:
         """Run round-based repair of every unreachable block under ``policy``."""
         manager = ClusterRepairManager(
-            self.lattice, self._cluster, self._block_size, policy
+            self.lattice, self.cluster, self.block_size, policy
         )
         return manager.repair(max_rounds=max_rounds)
-
-    def verify_document(self, name: str, expected: bytes) -> bool:
-        """Convenience used by examples/tests: read back and compare."""
-        return self.read(name) == expected

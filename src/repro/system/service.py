@@ -1,0 +1,351 @@
+"""The scheme-agnostic storage front-end.
+
+:class:`StorageService` is the public face of the repository: one
+put/get/delete/fail/repair API over a :class:`~repro.storage.cluster.StorageCluster`
+and *any* redundancy scheme implementing the
+:class:`~repro.schemes.base.RedundancyScheme` protocol -- alpha entanglement
+or any of the paper's stripe-code baselines.  Services are opened from a
+:class:`StorageConfig`::
+
+    from repro import StorageConfig, StorageService
+
+    service = StorageService.open(StorageConfig(scheme="rs-10-4"))
+    service.put("report", payload)
+    service.fail_locations(range(3))
+    report = service.repair()
+    assert service.get("report") == payload
+
+The legacy :class:`~repro.system.entangled_store.EntangledStorageSystem` is a
+thin AE-specific shim over this class.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Iterable, Iterator, List, Optional, Union
+
+import repro.schemes as schemes
+from repro.core.blocks import join_blocks
+from repro.core.encoder import DEFAULT_BLOCK_SIZE
+from repro.core.xor import Payload, payload_to_bytes
+from repro.exceptions import UnknownBlockError
+from repro.schemes.base import RedundancyScheme, SchemeCapabilities
+from repro.storage.cluster import StorageCluster
+from repro.storage.placement import PlacementPolicy
+
+#: Number of blocks encoded per batch by :meth:`StorageService.put_stream`.
+DEFAULT_BATCH_BLOCKS = 256
+
+
+@dataclass
+class StoredDocument:
+    """Metadata of one document stored in the system."""
+
+    name: str
+    data_ids: List[object]
+    length: int
+
+    @property
+    def block_count(self) -> int:
+        return len(self.data_ids)
+
+
+@dataclass(frozen=True)
+class StorageConfig:
+    """Configuration of a :class:`StorageService`.
+
+    ``scheme`` is either a registry identifier (``"ae-3-2-5"``, ``"rs-10-4"``,
+    ``"lrc-azure"``, ...) or an already-built scheme instance.
+    """
+
+    scheme: Union[str, RedundancyScheme] = schemes.DEFAULT_SCHEME
+    location_count: int = 100
+    block_size: int = DEFAULT_BLOCK_SIZE
+    placement: Optional[PlacementPolicy] = None
+    cluster: Optional[StorageCluster] = None
+    seed: int = 0
+    batch_blocks: int = DEFAULT_BATCH_BLOCKS
+
+    def resolve_scheme(self) -> RedundancyScheme:
+        if isinstance(self.scheme, RedundancyScheme):
+            return self.scheme
+        return schemes.get(self.scheme, block_size=self.block_size)
+
+
+@dataclass
+class ServiceStatus:
+    """Snapshot of the health of a storage service."""
+
+    scheme: str
+    blocks: int
+    unavailable_blocks: int
+    unavailable_data_blocks: int
+    locations: int
+    unavailable_locations: int
+    documents: int
+    bytes_stored: int
+
+    def summary(self) -> str:
+        return (
+            f"[{self.scheme}] {self.blocks} blocks on {self.locations} locations "
+            f"({self.unavailable_locations} down); {self.unavailable_blocks} blocks "
+            f"unreachable ({self.unavailable_data_blocks} data); "
+            f"{self.documents} documents, {self.bytes_stored} bytes"
+        )
+
+
+@dataclass
+class ServiceRepairReport:
+    """Outcome of a scheme-agnostic repair run."""
+
+    scheme: str
+    repaired: List[object] = field(default_factory=list)
+    unrecovered: List[object] = field(default_factory=list)
+    blocks_read: int = 0
+    rounds: int = 0
+    data_loss: int = 0
+
+    @property
+    def repaired_count(self) -> int:
+        return len(self.repaired)
+
+    def summary(self) -> str:
+        return (
+            f"[{self.scheme}] repaired {self.repaired_count} blocks in "
+            f"{self.rounds} rounds ({self.blocks_read} reads); "
+            f"data loss {self.data_loss}, {len(self.unrecovered)} blocks unrecovered"
+        )
+
+
+class StorageService:
+    """High-level put/get/delete/repair interface over any redundancy scheme."""
+
+    def __init__(
+        self,
+        scheme: RedundancyScheme,
+        cluster: StorageCluster,
+        batch_blocks: int = DEFAULT_BATCH_BLOCKS,
+    ) -> None:
+        if batch_blocks < 1:
+            raise ValueError("batch_blocks must be at least 1")
+        self._scheme = scheme
+        self._cluster = cluster
+        self._batch_blocks = batch_blocks
+        self._documents: Dict[str, StoredDocument] = {}
+
+    @classmethod
+    def open(cls, config: Optional[StorageConfig] = None, **overrides) -> "StorageService":
+        """Open a service from a config (plus keyword overrides)."""
+        config = replace(config or StorageConfig(), **overrides)
+        scheme = config.resolve_scheme()
+        cluster = config.cluster
+        if cluster is None:
+            placement = config.placement or scheme.default_placement(
+                config.location_count, seed=config.seed
+            )
+            cluster = StorageCluster(config.location_count, placement)
+        return cls(scheme, cluster, batch_blocks=config.batch_blocks)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def scheme(self) -> RedundancyScheme:
+        return self._scheme
+
+    @property
+    def capabilities(self) -> SchemeCapabilities:
+        return self._scheme.capabilities()
+
+    @property
+    def cluster(self) -> StorageCluster:
+        return self._cluster
+
+    @property
+    def block_size(self) -> int:
+        return self._scheme.block_size
+
+    @property
+    def batch_blocks(self) -> int:
+        return self._batch_blocks
+
+    @property
+    def documents(self) -> Dict[str, StoredDocument]:
+        return dict(self._documents)
+
+    def status(self) -> ServiceStatus:
+        stats = self._cluster.stats()
+        unavailable = self._cluster.unavailable_blocks()
+        return ServiceStatus(
+            scheme=self._scheme.scheme_id,
+            blocks=stats.blocks,
+            unavailable_blocks=len(unavailable),
+            unavailable_data_blocks=sum(
+                1 for block_id in unavailable if self._scheme.is_data_block(block_id)
+            ),
+            locations=stats.locations,
+            unavailable_locations=stats.locations - stats.available_locations,
+            documents=len(self._documents),
+            bytes_stored=stats.bytes_stored,
+        )
+
+    # ------------------------------------------------------------------
+    # Writes
+    # ------------------------------------------------------------------
+    def put(self, name: str, data: bytes) -> StoredDocument:
+        """Encode and store a document, returning its handle.
+
+        Re-using a name replaces the document: for erasable schemes the
+        blocks of the previous version are deleted once the new version is
+        fully stored.
+        """
+        part = self._scheme.encode(data)
+        self._cluster.put_many(part.blocks)
+        document = StoredDocument(name=name, data_ids=part.data_ids, length=len(data))
+        self._reclaim(name)
+        self._documents[name] = document
+        return document
+
+    def _reclaim(self, name: str) -> None:
+        """Delete the blocks of a document about to be replaced."""
+        previous = self._documents.get(name)
+        if previous is None or not self._scheme.capabilities().erasable:
+            return
+        self._cluster.delete_blocks(self._scheme.document_blocks(previous.data_ids))
+
+    def put_stream(self, name: str, chunks: Iterable[bytes]) -> StoredDocument:
+        """Encode and store a document from an iterable of byte chunks.
+
+        Chunks of arbitrary sizes are re-blocked into batches of up to
+        ``batch_blocks`` blocks; each batch is encoded in one scheme pass and
+        persisted through the cluster's bulk write path, so at most one batch
+        is buffered in memory.  Empty documents and payloads that are not a
+        multiple of the block size round-trip byte-exact (the final block is
+        zero-padded for encoding; padding is stripped on read).
+
+        If ``chunks`` raises mid-stream the exception propagates and no
+        document is recorded, but batches already encoded stay in the scheme
+        state (for entanglement the lattice is append-only by design).
+        """
+        buffer = bytearray()
+        batch_bytes = self._batch_blocks * self.block_size
+        data_ids: List[object] = []
+        length = 0
+        for chunk in chunks:
+            buffer += chunk
+            length += len(chunk)
+            while len(buffer) >= batch_bytes:
+                self._ingest_batch(buffer[:batch_bytes], data_ids)
+                del buffer[:batch_bytes]
+        if buffer:
+            self._ingest_batch(buffer, data_ids)
+        document = StoredDocument(name=name, data_ids=data_ids, length=length)
+        self._reclaim(name)
+        self._documents[name] = document
+        return document
+
+    def _ingest_batch(self, payload: bytearray, data_ids: List[object]) -> None:
+        part = self._scheme.encode(payload)
+        self._cluster.put_many(part.blocks)
+        data_ids.extend(part.data_ids)
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+    def get_block(self, block_id) -> Payload:
+        """Read one block, repairing it through the scheme when unreachable."""
+        return self._scheme.read_block(block_id, self._cluster.try_get_block)
+
+    def get(self, name: str) -> bytes:
+        """Read a full document back, repairing blocks as needed."""
+        document = self._document(name)
+        payloads = [self.get_block(data_id) for data_id in document.data_ids]
+        return join_blocks(payloads, document.length)
+
+    #: Back-compat alias of :meth:`get`.
+    read = get
+
+    def read_block_bytes(self, data_id, length: Optional[int] = None) -> bytes:
+        return payload_to_bytes(self.get_block(data_id), length)
+
+    def get_stream(self, name: str) -> Iterator[bytes]:
+        """Stream a document back one block at a time, repairing as needed."""
+        document = self._document(name)
+
+        def blocks() -> Iterator[bytes]:
+            remaining = document.length
+            for data_id in document.data_ids:
+                take = min(remaining, self.block_size)
+                yield payload_to_bytes(self.get_block(data_id), take)
+                remaining -= take
+
+        return blocks()
+
+    def verify_document(self, name: str, expected: bytes) -> bool:
+        """Convenience used by examples/tests: read back and compare."""
+        return self.get(name) == expected
+
+    def _document(self, name: str) -> StoredDocument:
+        if name not in self._documents:
+            raise UnknownBlockError(f"unknown document {name!r}")
+        return self._documents[name]
+
+    # ------------------------------------------------------------------
+    # Deletes
+    # ------------------------------------------------------------------
+    def delete(self, name: str) -> List[object]:
+        """Delete a document, returning the block ids physically removed.
+
+        For erasable schemes (all stripe codes) every block backing the
+        document -- data, redundancy and stripe padding -- is removed from
+        its location and from the cluster's placement index.  For
+        entanglement the lattice is append-only, so only the document
+        metadata is dropped and the returned list is empty; the blocks keep
+        protecting their lattice neighbourhood.
+        """
+        document = self._document(name)
+        del self._documents[name]
+        if not self._scheme.capabilities().erasable:
+            return []
+        removed: List[object] = []
+        for block_id in self._scheme.document_blocks(document.data_ids):
+            if self._cluster.knows(block_id):
+                self._cluster.delete_block(block_id)
+                removed.append(block_id)
+        return removed
+
+    # ------------------------------------------------------------------
+    # Failures and repair
+    # ------------------------------------------------------------------
+    def fail_locations(self, location_ids) -> None:
+        self._cluster.fail_locations(location_ids)
+
+    def restore_locations(self, location_ids=None) -> None:
+        self._cluster.restore_locations(location_ids)
+
+    def repair(self) -> ServiceRepairReport:
+        """Rebuild every unreachable block through the scheme's repair path.
+
+        Recovered payloads are written back to healthy locations (the
+        placement index is updated), so a subsequent location restore cannot
+        resurrect stale replicas as the only copy.
+        """
+        missing = self._cluster.unavailable_blocks()
+        outcome = self._scheme.repair(missing, self._cluster.try_get_block)
+        avoid = tuple(self._cluster.unavailable_locations())
+        for block_id, payload in outcome.recovered.items():
+            self._cluster.relocate(block_id, payload, avoid=avoid)
+        return ServiceRepairReport(
+            scheme=self._scheme.scheme_id,
+            repaired=sorted(
+                outcome.recovered, key=lambda b: (getattr(b, "index", 0), repr(b))
+            ),
+            unrecovered=list(outcome.unrecovered),
+            blocks_read=outcome.blocks_read,
+            rounds=outcome.rounds,
+            data_loss=sum(
+                1
+                for block_id in outcome.unrecovered
+                if self._scheme.is_data_block(block_id)
+            ),
+        )

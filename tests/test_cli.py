@@ -97,3 +97,128 @@ class TestIngest:
         source.write_bytes(bytes(range(256)) * 8)
         assert main(["ingest", str(source), "--spec", "AE(2,2,5)", "--block-size", "128"]) == 0
         assert "AE(2,2,5)" in capsys.readouterr().out
+
+
+class TestIngestScheme:
+    def test_ingest_with_stripe_scheme(self, tmp_path, capsys):
+        source = tmp_path / "payload.bin"
+        source.write_bytes(b"stripe me " * 500)
+        assert (
+            main(
+                [
+                    "ingest",
+                    str(source),
+                    "--scheme",
+                    "rs-10-4",
+                    "--block-size",
+                    "256",
+                    "--locations",
+                    "20",
+                    "--verify",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "RS(10,4)" in out
+        assert "scheme       : rs-10-4" in out
+        assert "OK (byte-exact round trip)" in out
+
+    def test_ingest_unknown_scheme_errors(self, tmp_path):
+        source = tmp_path / "payload.bin"
+        source.write_bytes(b"x" * 100)
+        with pytest.raises(SystemExit):
+            main(["ingest", str(source), "--scheme", "not-a-scheme"])
+
+
+class TestRepairSubcommand:
+    def test_repair_roundtrip(self, capsys):
+        assert (
+            main(
+                [
+                    "repair",
+                    "--scheme",
+                    "lrc-azure",
+                    "--blocks",
+                    "48",
+                    "--block-size",
+                    "256",
+                    "--locations",
+                    "30",
+                    "--fail",
+                    "2",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "LRC(12,2,2)" in out
+        assert "OK (byte-exact round trip)" in out
+
+    def test_repair_rejects_bad_fail_count(self):
+        with pytest.raises(SystemExit):
+            main(["repair", "--fail", "99", "--locations", "10"])
+
+
+class TestCompareSubcommand:
+    def test_compare_smoke_table(self, capsys):
+        assert main(["compare", "--smoke"]) == 0
+        out = capsys.readouterr().out
+        # One row per default scheme, measured next to analytic.
+        for scheme_id in ("ae-3-2-5", "rs-10-4", "lrc-azure", "lrc-xorbas", "rep-3", "xor-geo"):
+            assert scheme_id in out
+        assert "1-failure reads (analytic)" in out
+        assert "1-failure reads (measured)" in out
+        assert "measured single-failure reads match the analytic Table IV costs" in out
+
+    def test_compare_custom_scheme_list(self, capsys):
+        assert (
+            main(
+                [
+                    "compare",
+                    "--schemes",
+                    "ae-2-2-5,rep-2",
+                    "--blocks",
+                    "30",
+                    "--block-size",
+                    "256",
+                    "--locations",
+                    "20",
+                    "--fail",
+                    "1",
+                    "--victims",
+                    "2",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "ae-2-2-5" in out
+        assert "2-way replication" in out
+
+    def test_compare_rejects_empty_scheme_list(self):
+        with pytest.raises(SystemExit):
+            main(["compare", "--schemes", ","])
+
+    def test_list_includes_subcommands(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "compare" in out
+        assert "repair" in out
+        assert "ingest" in out
+
+
+class TestIngestSpecErrors:
+    def test_malformed_spec_exits_2(self, tmp_path):
+        source = tmp_path / "payload.bin"
+        source.write_bytes(b"x" * 100)
+        with pytest.raises(SystemExit) as excinfo:
+            main(["ingest", str(source), "--spec", "AE(9,9)"])
+        assert excinfo.value.code == 2
+
+    def test_invalid_spec_parameters_exit_2(self, tmp_path):
+        source = tmp_path / "payload.bin"
+        source.write_bytes(b"x" * 100)
+        with pytest.raises(SystemExit) as excinfo:
+            main(["ingest", str(source), "--spec", "AE(2,5,2)"])  # p < s invalid
+        assert excinfo.value.code == 2

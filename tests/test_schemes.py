@@ -1,0 +1,260 @@
+"""Tests for the redundancy-scheme protocol, the registry and the codes
+import surface."""
+
+from __future__ import annotations
+
+import inspect
+
+import pytest
+
+import repro.codes
+import repro.schemes as schemes
+from repro.codes.base import StripeCode
+from repro.codes.entanglement import EntanglementScheme, ae_scheme_id
+from repro.codes.flat_xor import geo_xor_code, raid5_code
+from repro.codes.lrc import azure_lrc
+from repro.codes.replication import ReplicationCode
+from repro.core.parameters import AEParameters
+from repro.exceptions import InvalidParametersError, RepairFailedError
+from repro.schemes.stripe import StripeBlockId, StripeScheme
+
+#: The identifiers the acceptance criteria require the registry to resolve.
+REQUIRED_IDS = [
+    "ae-1",
+    "ae-2-2-5",
+    "ae-3-2-5",
+    "rs-10-4",
+    "rs-8-2",
+    "lrc-azure",
+    "lrc-xorbas",
+    "rep-2",
+    "rep-3",
+    "xor-geo",
+    "xor-raid5-5",
+    "xor-mirror-4",
+]
+
+
+class TestRegistry:
+    @pytest.mark.parametrize("scheme_id", REQUIRED_IDS)
+    def test_resolves_required_ids(self, scheme_id):
+        scheme = schemes.get(scheme_id, block_size=256)
+        assert isinstance(scheme, schemes.RedundancyScheme)
+        assert scheme.scheme_id == scheme_id
+        assert scheme.block_size == 256
+        capabilities = scheme.capabilities()
+        assert capabilities.scheme_id == scheme_id
+        assert capabilities.single_failure_reads >= 1
+        assert capabilities.storage_overhead > 0
+
+    def test_every_family_has_an_example(self):
+        families = schemes.available()
+        assert {"ae", "rs", "lrc", "rep", "xor"} <= set(families)
+        for example in families.values():
+            assert schemes.get(example, block_size=128) is not None
+
+    def test_fresh_instance_per_get(self):
+        assert schemes.get("rs-10-4") is not schemes.get("rs-10-4")
+
+    def test_unknown_family_raises(self):
+        with pytest.raises(InvalidParametersError, match="unknown redundancy scheme"):
+            schemes.get("zfec-10-4")
+
+    @pytest.mark.parametrize("bad", ["rs-10", "rs-a-b", "ae-2", "lrc-foo", "rep", "xor-raid6-4"])
+    def test_malformed_ids_raise(self, bad):
+        with pytest.raises(InvalidParametersError):
+            schemes.get(bad)
+
+    def test_register_custom_family(self):
+        def factory(scheme_id, args, block_size):
+            return StripeScheme(ReplicationCode(int(args[0])), scheme_id, block_size)
+
+        schemes.register("mirrortest", factory, "mirrortest-2")
+        try:
+            scheme = schemes.get("mirrortest-4")
+            assert scheme.capabilities().name == "4-way replication"
+        finally:
+            schemes._FAMILIES.pop("mirrortest")
+            schemes._EXAMPLES.pop("mirrortest")
+
+    def test_ae_scheme_id_round_trip(self):
+        params = AEParameters.triple(2, 5)
+        assert ae_scheme_id(params) == "ae-3-2-5"
+        resolved = schemes.get(ae_scheme_id(params))
+        assert resolved.params == params
+        assert ae_scheme_id(AEParameters.single()) == "ae-1"
+
+    def test_capabilities_match_table4_analytics(self):
+        assert schemes.get("ae-3-2-5").capabilities().costs().single_failure_cost == 2
+        assert schemes.get("rs-10-4").capabilities().costs().single_failure_cost == 10
+        azure = schemes.get("lrc-azure").capabilities().costs()
+        assert azure.single_failure_cost == 6  # local group of LRC(12,2,2)
+        assert schemes.get("rep-3").capabilities().costs().single_failure_cost == 1
+        assert schemes.get("xor-geo").capabilities().costs().single_failure_cost == 2
+        assert schemes.get("rs-10-4").capabilities().costs().additional_storage_percent == 40.0
+        assert schemes.get("ae-3-2-5").capabilities().costs().additional_storage_percent == 300.0
+
+
+class TestSchemeProtocol:
+    """Scheme-level encode → lose blocks → read/repair, against a plain dict."""
+
+    @pytest.mark.parametrize("scheme_id", REQUIRED_IDS)
+    def test_roundtrip_and_single_failure_reads(self, scheme_id):
+        block_size = 128
+        scheme = schemes.get(scheme_id, block_size=block_size)
+        payload = bytes((7 * i + 3) % 251 for i in range(block_size * 24))
+        part = scheme.encode(payload)
+        assert len(part.data_ids) == 24
+        store = {block_id: blob for block_id, blob in part.blocks}
+
+        victim = part.data_ids[12]
+        expected = bytes(store[victim])
+        del store[victim]
+
+        # Degraded read rebuilds the block through the scheme.
+        rebuilt = scheme.read_block(victim, store.get)
+        assert bytes(rebuilt) == expected
+
+        # Live repair reads exactly the analytic single-failure cost.
+        outcome = scheme.repair({victim}, store.get)
+        assert victim in outcome.recovered
+        assert bytes(outcome.recovered[victim]) == expected
+        assert outcome.blocks_read == scheme.capabilities().single_failure_reads
+        assert not outcome.unrecovered
+
+    def test_repair_reports_unrecoverable_blocks(self):
+        scheme = schemes.get("xor-geo", block_size=64)
+        part = scheme.encode(bytes(range(64)) * 2)
+        store = dict(part.blocks)
+        # Lose a whole stripe: data 0, data 1 and the parity.
+        for block_id in list(store):
+            del store[block_id]
+        outcome = scheme.repair(set(part.data_ids), store.get)
+        assert not outcome.recovered
+        assert sorted(outcome.unrecovered) == sorted(part.data_ids)
+        with pytest.raises(RepairFailedError):
+            scheme.read_block(part.data_ids[0], store.get)
+
+    def test_stripe_padding_completes_final_stripe(self):
+        scheme = schemes.get("rs-10-4", block_size=32)
+        part = scheme.encode(b"x" * 32 * 7)  # 7 data blocks: one padded stripe
+        assert len(part.data_ids) == 7
+        assert len(part.blocks) == 14  # 10 data slots (3 padding) + 4 parities
+        assert scheme.document_blocks(part.data_ids) == [
+            StripeBlockId(0, position) for position in range(14)
+        ]
+
+    def test_entanglement_document_blocks_are_metadata_only(self):
+        scheme = schemes.get("ae-3-2-5", block_size=32)
+        part = scheme.encode(b"y" * 32 * 4)
+        assert scheme.document_blocks(part.data_ids) == part.data_ids
+        assert not scheme.capabilities().erasable
+        assert scheme.capabilities().streaming
+
+    def test_is_data_block(self):
+        ae = schemes.get("ae-2-2-5", block_size=32)
+        part = ae.encode(b"z" * 64)
+        assert all(ae.is_data_block(block_id) for block_id in part.data_ids)
+        redundancy = [b for b, _ in part.blocks if b not in set(part.data_ids)]
+        assert redundancy and not any(ae.is_data_block(b) for b in redundancy)
+
+        rs = schemes.get("rs-8-2", block_size=32)
+        assert rs.is_data_block(StripeBlockId(0, 7))
+        assert not rs.is_data_block(StripeBlockId(0, 8))
+
+
+class TestRepairReadPlans:
+    """StripeCode.repair_read_positions drives the measured repair costs."""
+
+    def test_rs_reads_any_k(self):
+        code = schemes.get("rs-10-4").code
+        plan = code.repair_read_positions(3, [p for p in range(14) if p != 3])
+        assert plan is not None and len(plan) == 10
+
+    def test_replication_reads_one_copy(self):
+        code = ReplicationCode(3)
+        assert len(code.repair_read_positions(0, [1, 2])) == 1
+
+    def test_lrc_prefers_local_group(self):
+        code = azure_lrc()  # LRC(12,2,2), groups of 6
+        plan = code.repair_read_positions(2, [p for p in range(16) if p != 2])
+        assert sorted(plan) == [0, 1, 3, 4, 5, 12]  # group 0 members + local parity
+        # Local parity down: falls back to a decodable global plan.
+        degraded = code.repair_read_positions(
+            2, [p for p in range(16) if p not in (2, 12)]
+        )
+        assert degraded is not None and code.can_decode(degraded)
+
+    def test_flat_xor_reads_smallest_equation(self):
+        code = geo_xor_code()
+        assert sorted(code.repair_read_positions(0, [1, 2])) == [1, 2]
+        code5 = raid5_code(5)
+        assert len(code5.repair_read_positions(1, [0, 2, 3, 4, 5])) == 5
+
+
+class TestImportSurface:
+    """`from repro.codes import *` stays in sync with the registry."""
+
+    def test_all_entries_resolve(self):
+        for name in repro.codes.__all__:
+            assert getattr(repro.codes, name) is not None
+
+    def test_all_is_sorted_and_unique(self):
+        exported = list(repro.codes.__all__)
+        assert exported == sorted(exported)
+        assert len(exported) == len(set(exported))
+
+    def test_public_submodule_definitions_are_exported(self):
+        import repro.codes.base
+        import repro.codes.entanglement
+        import repro.codes.flat_xor
+        import repro.codes.gf256
+        import repro.codes.lrc
+        import repro.codes.reed_solomon
+        import repro.codes.replication
+
+        submodules = [
+            repro.codes.base,
+            repro.codes.entanglement,
+            repro.codes.flat_xor,
+            repro.codes.gf256,
+            repro.codes.lrc,
+            repro.codes.reed_solomon,
+            repro.codes.replication,
+        ]
+        exported = set(repro.codes.__all__)
+        for module in submodules:
+            for name, value in vars(module).items():
+                if name.startswith("_"):
+                    continue
+                if not (inspect.isclass(value) or inspect.isfunction(value)):
+                    continue
+                if getattr(value, "__module__", None) != module.__name__:
+                    continue
+                assert name in exported, f"{module.__name__}.{name} missing from repro.codes.__all__"
+
+    def test_registry_families_map_to_exported_classes(self):
+        """Every family the registry serves resolves to a class exported
+        from repro.codes."""
+        exported = set(repro.codes.__all__)
+        for required in ("EntanglementScheme", "ReedSolomonCode",
+                         "LocalReconstructionCode", "ReplicationCode",
+                         "FlatXorCode", "StripeScheme", "StripeBlockId",
+                         "get_scheme", "register_scheme", "available_schemes",
+                         "DEFAULT_SCHEME", "RedundancyScheme"):
+            assert required in exported
+        for family, example in schemes.available().items():
+            scheme = schemes.get(example, block_size=64)
+            if isinstance(scheme, StripeScheme):
+                assert type(scheme.code).__name__ in exported
+            else:
+                assert type(scheme).__name__ in exported
+
+    def test_star_import_namespace(self):
+        namespace = {}
+        exec("from repro.codes import *", namespace)
+        assert "get_scheme" in namespace
+        assert "EntanglementScheme" in namespace
+        assert "StripeCode" in namespace
+        assert issubclass(namespace["ReedSolomonCode"], StripeCode)
+        assert isinstance(namespace["get_scheme"]("ae-1"), EntanglementScheme)
