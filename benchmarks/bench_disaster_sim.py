@@ -1,0 +1,198 @@
+"""Scheme-agnostic disaster-simulation engine: throughput + legacy equivalence.
+
+Two acceptance checks for the discrete-event engine
+(:mod:`repro.simulation.engine`):
+
+1. at fixed seeds the engine reproduces the legacy per-scheme models'
+   disaster metrics exactly (AE lattice, RS stripes, replication).  The
+   shim classes are subclasses of the engine adapters, so comparing against
+   them only guards the shim mapping; the hard-coded ``GOLDEN`` numbers
+   below were recorded from the *pre-engine* models and anchor the
+   historical behaviour independently;
+2. the event loop stays fast enough for paper-scale runs -- the benchmark
+   reports blocks/sec and events/sec.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.simulation.engine import SimulationEngine, simulate_disasters
+from repro.simulation.experiments import ExperimentConfig, sample_disaster
+from repro.simulation.lattice_model import AELatticeModel
+from repro.simulation.metrics import format_table
+from repro.simulation.replication_model import ReplicationModel
+from repro.simulation.rs_model import RSStripeModel
+from repro.core.parameters import AEParameters
+from repro.storage.failures import ChurnTrace
+from repro.storage.maintenance import MaintenancePolicy
+
+from conftest import bench_blocks
+
+FRACTIONS = (0.10, 0.30, 0.50)
+
+#: Fixed-seed metrics recorded from the pre-engine models (seed 7, 20,000
+#: blocks, 100 locations).  Independent of the shim classes, so a behaviour
+#: regression in the engine itself cannot hide behind the shims.
+GOLDEN = {
+    ("ae-3-2-5", 10): dict(data_loss=0, rounds=3, repaired_data=1945),
+    ("ae-3-2-5", 30): dict(data_loss=0, rounds=6, repaired_data=5978),
+    ("ae-3-2-5", 50): dict(data_loss=20, rounds=16, repaired_data=10023),
+    ("rs-10-4", 10): dict(data_loss=67, vulnerable_data=103, blocks_read=12380),
+    ("rs-10-4", 30): dict(data_loss=3387, vulnerable_data=4833, blocks_read=11190),
+    ("rs-10-4", 50): dict(data_loss=9521, vulnerable_data=8719, blocks_read=1760),
+    ("rep-3", 10): dict(data_loss=19, vulnerable_data=495),
+    ("rep-3", 30): dict(data_loss=504, vulnerable_data=3705),
+    ("rep-3", 50): dict(data_loss=2525, vulnerable_data=7590),
+}
+
+
+def test_engine_matches_pre_refactor_goldens():
+    """Engine outcomes equal the recorded pre-engine model metrics."""
+    config = _config()
+    for (scheme_id, percent), expected in GOLDEN.items():
+        offset = {10: 0, 30: 2, 50: 4}[percent]
+        failed = sample_disaster(config, percent / 100.0, offset)
+        engine = SimulationEngine(
+            scheme_id, config.data_blocks, config.location_count, config.seed
+        )
+        policy = (
+            MaintenancePolicy.FULL
+            if scheme_id.startswith("ae")
+            else MaintenancePolicy.MINIMAL
+        )
+        outcome = engine.run_outcome(failed, policy=policy)
+        for metric, value in expected.items():
+            assert getattr(outcome, metric) == value, (scheme_id, percent, metric)
+
+
+def _config() -> ExperimentConfig:
+    # Equivalence is asserted at a fixed reduced scale so the check is exact
+    # and fast; the throughput benchmark below uses REPRO_BENCH_BLOCKS.
+    return ExperimentConfig.quick(20_000)
+
+
+def test_engine_matches_legacy_ae_model(print_tables):
+    """Engine(ae-3-2-5) == AELatticeModel, metric by metric, per disaster."""
+    config = _config()
+    engine = SimulationEngine(
+        "ae-3-2-5", config.data_blocks, config.location_count, config.seed
+    )
+    legacy = AELatticeModel(
+        AEParameters.triple(2, 5), config.data_blocks, config.location_count, config.seed
+    )
+    for offset, fraction in enumerate(FRACTIONS):
+        failed = sample_disaster(config, fraction, offset)
+        outcome = engine.run_outcome(failed)
+        reference = legacy.run_repair(failed, repair_parities=True)
+        assert outcome.data_loss == reference.data_loss
+        assert outcome.vulnerable_data == reference.vulnerable_data
+        assert outcome.rounds == reference.rounds
+        assert outcome.repaired_data == reference.repaired_data
+        assert outcome.repaired_redundancy == reference.repaired_parities
+        assert outcome.single_failure_repairs == reference.data_repaired_first_round
+        minimal = engine.run_outcome(failed, policy=MaintenancePolicy.MINIMAL)
+        reference_minimal = legacy.run_repair(failed, repair_parities=False)
+        assert minimal.data_loss == reference_minimal.data_loss
+        assert minimal.vulnerable_data == reference_minimal.vulnerable_data
+
+
+def test_engine_matches_legacy_rs_model(print_tables):
+    """Engine(rs-k-m) == RSStripeModel for the paper's RS settings."""
+    config = _config()
+    for k, m in ((10, 4), (4, 12)):
+        engine = SimulationEngine(
+            f"rs-{k}-{m}", config.data_blocks, config.location_count, config.seed
+        )
+        legacy = RSStripeModel(k, m, config.data_blocks, config.location_count, config.seed)
+        for offset, fraction in enumerate(FRACTIONS):
+            failed = sample_disaster(config, fraction, offset)
+            outcome = engine.run_outcome(failed, policy=MaintenancePolicy.MINIMAL)
+            reference = legacy.run_repair(failed)
+            assert outcome.data_loss == reference.data_loss
+            assert outcome.vulnerable_data == reference.vulnerable_data
+            assert outcome.repaired_data == reference.repaired_data
+            assert outcome.single_failure_repairs == reference.single_failure_repairs
+            assert outcome.blocks_read == reference.blocks_read_for_repair
+            assert outcome.initially_missing_data == reference.initially_missing_data
+
+
+def test_engine_matches_legacy_replication_model(print_tables):
+    """Engine(rep-n) == ReplicationModel for the paper's replication factors."""
+    config = _config()
+    for copies in (2, 3, 4):
+        engine = SimulationEngine(
+            f"rep-{copies}", config.data_blocks, config.location_count, config.seed
+        )
+        legacy = ReplicationModel(
+            copies, config.data_blocks, config.location_count, config.seed
+        )
+        for offset, fraction in enumerate(FRACTIONS):
+            failed = sample_disaster(config, fraction, offset)
+            outcome = engine.run_outcome(failed, policy=MaintenancePolicy.MINIMAL)
+            reference = legacy.run_repair(failed)
+            assert outcome.data_loss == reference.data_loss
+            assert outcome.vulnerable_data == reference.vulnerable_data
+            full = engine.run_outcome(failed, policy=MaintenancePolicy.FULL)
+            assert (
+                full.repaired_data + full.repaired_redundancy
+                == reference.repaired_copies
+            )
+
+
+def test_engine_throughput(print_tables):
+    """Events/sec and blocks/sec of the engine across scheme families."""
+    blocks = min(bench_blocks(), 200_000)
+    rows = []
+    for scheme_id in ("ae-3-2-5", "rs-10-4", "rep-3", "lrc-azure", "xor-geo"):
+        engine = SimulationEngine(scheme_id, blocks, 100, seed=7)
+        started = time.perf_counter()
+        events = 0
+        for offset, fraction in enumerate(FRACTIONS):
+            engine.run_disaster(
+                sample_disaster(ExperimentConfig(data_blocks=blocks), fraction, offset)
+            )
+            events += 1
+        elapsed = time.perf_counter() - started
+        rows.append(
+            {
+                "scheme": engine.scheme_name,
+                "blocks": blocks,
+                "events/sec": round(events / elapsed, 2),
+                "blocks/sec": int(events * blocks / elapsed),
+            }
+        )
+        # The availability-only engine must stay far above any byte-level
+        # simulation: at least one full-population disaster per 30 s.
+        assert events / elapsed > 0.1
+    if print_tables:
+        print("\nEngine throughput (disaster events over full populations)\n" + format_table(rows))
+
+
+def test_engine_covers_every_registered_family(print_tables):
+    """The acceptance matrix: six schemes, 10-50% disasters, metrics produced."""
+    scheme_ids = ("ae-3-2-5", "rs-10-4", "rep-3", "lrc-azure", "lrc-xorbas", "xor-geo")
+    results = simulate_disasters(
+        scheme_ids, data_blocks=5_000, location_count=50, seed=7,
+        fractions=(0.10, 0.30, 0.50),
+    )
+    assert len(results) == len(scheme_ids) * 3
+    for metrics in results:
+        assert 0 <= metrics.data_loss <= metrics.data_blocks
+        assert 0 <= metrics.vulnerable_data <= metrics.data_blocks
+    if print_tables:
+        print("\nScheme-agnostic disaster metrics\n"
+              + format_table([metrics.as_row() for metrics in results]))
+
+
+def test_engine_churn_event_loop(print_tables):
+    """The event loop replays churn traces with arrivals restoring data."""
+    trace = ChurnTrace.poisson(50, 20, departure_rate=0.1, return_rate=0.5, seed=11)
+    engine = SimulationEngine("rs-10-4", 5_000, 50, seed=7)
+    run = engine.run_events(trace)
+    assert len(run.steps) == len(trace.events)
+    assert 0.0 <= run.min_availability <= run.mean_availability <= 1.0
+    if print_tables:
+        print("\nChurn replay (rs-10-4)\n" + format_table([run.as_row()]))

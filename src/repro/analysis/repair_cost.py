@@ -189,14 +189,23 @@ def replication_repair_model(copies: int) -> SchemeRepairModel:
 
 
 def repair_model_for(spec: SchemeSpec, expected_rounds: float = 1.0) -> SchemeRepairModel:
-    """Build the repair model matching a Table IV scheme specification."""
+    """Build the repair model matching any scheme specification.
+
+    Resolves through the :mod:`repro.schemes` registry (via
+    :func:`~repro.simulation.metrics.describe_scheme`), so every registered
+    family -- including LRC and flat XOR -- gets an analytic repair model,
+    not just the three the paper tabulates.  ``expected_rounds`` only
+    applies to AE codes (stripe codes repair each block in one shot).
+    """
     description = describe_scheme(spec)
-    if description.kind == "ae":
-        return ae_repair_model(spec, expected_rounds)  # type: ignore[arg-type]
-    if description.kind == "rs":
-        k, m = spec  # type: ignore[misc]
-        return rs_repair_model(k, m)
-    return replication_repair_model(spec)  # type: ignore[arg-type]
+    rounds_factor = max(expected_rounds, 1.0) if description.kind == "ae" else 1.0
+    return SchemeRepairModel(
+        name=description.name,
+        kind=description.kind,
+        single_failure_reads=description.single_failure_cost,
+        storage_overhead=description.additional_storage_percent / 100.0,
+        rounds_factor=rounds_factor,
+    )
 
 
 # ----------------------------------------------------------------------

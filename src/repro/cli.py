@@ -12,6 +12,9 @@ through three subcommands that all take ``--scheme`` (any identifier the
     repro-experiments repair --scheme lrc-azure --fail 4
     repro-experiments compare --schemes ae-3-2-5,rs-10-4,rep-3
     repro-experiments compare --smoke
+    repro-experiments simulate --schemes ae-3-2-5,lrc-azure,xor-geo --disaster 0.3
+    repro-experiments simulate --churn trace.json --policy minimal
+    repro-experiments simulate --smoke
 
 Every experiment id names the table or figure of the paper it regenerates
 (e.g. ``fig10`` is the write-performance comparison of Fig. 10, ``table4``
@@ -19,7 +22,9 @@ the repair-cost table of Table IV).  ``ingest`` pushes a file through the
 batched :meth:`StorageService.put_stream` path and reports write throughput;
 ``repair`` injects a location disaster and repairs it; ``compare`` runs the
 same workload and failure trace across schemes and prints measured storage
-overhead and repair reads next to the analytic Table IV numbers.
+overhead and repair reads next to the analytic Table IV numbers;
+``simulate`` runs the scheme-agnostic discrete-event disaster/churn engine
+over any registered schemes at any disaster sizes.
 """
 
 from __future__ import annotations
@@ -347,6 +352,142 @@ def build_compare_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def build_simulate_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments simulate",
+        description=(
+            "Run the scheme-agnostic discrete-event disaster & churn "
+            "simulation engine: disaster-recovery metrics (data loss, "
+            "vulnerable data, repair rounds, single-failure fraction) for "
+            "any registered schemes at any disaster sizes, plus optional "
+            "churn-trace replay."
+        ),
+    )
+    parser.add_argument(
+        "--schemes",
+        default="ae-3-2-5,rs-10-4,rep-3,lrc-azure,lrc-xorbas,xor-geo",
+        help=(
+            "comma-separated scheme ids from the repro.schemes registry "
+            "(default covers the paper's families plus LRC and flat XOR)"
+        ),
+    )
+    parser.add_argument(
+        "--disaster",
+        default="0.1,0.2,0.3,0.4,0.5",
+        help=(
+            "comma-separated disaster fractions in [0, 1] "
+            "(default: the paper's 10%%-50%% range)"
+        ),
+    )
+    parser.add_argument(
+        "--blocks",
+        type=int,
+        default=20_000,
+        help="data blocks per scheme (default 20,000; the paper uses 1,000,000)",
+    )
+    parser.add_argument(
+        "--locations",
+        type=int,
+        default=100,
+        help="storage locations (default 100, the paper's setup)",
+    )
+    parser.add_argument("--seed", type=int, default=7, help="placement/disaster seed (default 7)")
+    parser.add_argument(
+        "--policy",
+        choices=["full", "minimal", "none"],
+        default="full",
+        help=(
+            "maintenance policy: 'full' repairs data and redundancy, "
+            "'minimal' repairs data only (the Fig. 12 regime), 'none' "
+            "measures raw exposure"
+        ),
+    )
+    parser.add_argument(
+        "--max-repairs-per-round",
+        type=int,
+        default=None,
+        help="optional MaintenanceBudget cap on blocks repaired per round",
+    )
+    parser.add_argument(
+        "--churn",
+        default=None,
+        metavar="TRACE.json",
+        help=(
+            "replay a ChurnTrace JSON file (ChurnTrace.save format) through "
+            "the event loop and print per-scheme availability"
+        ),
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny fast configuration for CI (2,000 blocks, 40 locations)",
+    )
+    return parser
+
+
+def simulate_main(argv: List[str] | None = None) -> int:
+    """Entry point of ``repro-experiments simulate``."""
+    from repro.exceptions import ReproError
+    from repro.simulation.engine import SimulationEngine, simulate_disasters
+    from repro.storage.failures import ChurnTrace
+    from repro.storage.maintenance import MaintenanceBudget, MaintenancePolicy
+
+    parser = build_simulate_parser()
+    args = parser.parse_args(argv)
+    if args.smoke:
+        args.blocks, args.locations = 2_000, 40
+        args.disaster = "0.1,0.3,0.5"
+    scheme_ids = [scheme.strip() for scheme in args.schemes.split(",") if scheme.strip()]
+    if not scheme_ids:
+        parser.error("--schemes must name at least one scheme")
+    try:
+        fractions = [float(part) for part in args.disaster.split(",") if part.strip()]
+    except ValueError as exc:
+        parser.error(f"cannot parse --disaster fractions: {exc}")
+    policy = MaintenancePolicy(args.policy)
+    budget = (
+        MaintenanceBudget(max_repairs_per_round=args.max_repairs_per_round)
+        if args.max_repairs_per_round is not None
+        else None
+    )
+    try:
+        results = simulate_disasters(
+            scheme_ids,
+            data_blocks=args.blocks,
+            location_count=args.locations,
+            seed=args.seed,
+            fractions=fractions,
+            policy=policy,
+            budget=budget,
+        )
+    except (ReproError, ValueError) as exc:
+        parser.error(str(exc))
+    print(f"policy       : {policy.value} ({policy.describe()})")
+    print(f"placement    : {args.blocks} data blocks over {args.locations} locations")
+    print(format_table([metrics.as_row() for metrics in results]))
+    if args.churn is not None:
+        try:
+            trace = ChurnTrace.load(args.churn)
+        except OSError as exc:
+            parser.error(f"cannot read {args.churn!r}: {exc.strerror or exc}")
+        except ReproError as exc:
+            parser.error(str(exc))
+        runs = []
+        try:
+            for scheme_id in scheme_ids:
+                engine = SimulationEngine(
+                    scheme_id, args.blocks, args.locations, args.seed,
+                    policy=policy, budget=budget,
+                )
+                runs.append(engine.run_events(trace))
+        except ReproError as exc:
+            parser.error(str(exc))
+        print()
+        print(f"churn replay : {args.churn} ({len(trace.events)} events)")
+        print(format_table([run.as_row() for run in runs]))
+    return 0
+
+
 def _read_chunks(path: str, chunk_size: int):
     if path == "-":
         stream = sys.stdin.buffer
@@ -500,6 +641,7 @@ SUBCOMMANDS: Dict[str, Callable[[List[str]], int]] = {
     "ingest": ingest_main,
     "repair": repair_main,
     "compare": compare_main,
+    "simulate": simulate_main,
 }
 
 

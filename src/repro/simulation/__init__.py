@@ -1,8 +1,12 @@
-"""Vectorised disaster-recovery simulator and experiment runner (paper, Sec. V-C).
+"""Scheme-agnostic discrete-event disaster & churn simulation (paper, Sec. V-C).
 
-The models in this subpackage track *availability only* -- exactly like the
-paper's table-driven simulation -- which lets the experiments run at the
-paper's scale (one million data blocks, 100 locations) in seconds.
+The subpackage tracks *availability only* -- exactly like the paper's
+table-driven simulation -- which lets the experiments run at the paper's
+scale (one million data blocks, 100 locations) in seconds.  The engine
+(:mod:`repro.simulation.engine`) simulates any scheme the
+:mod:`repro.schemes` registry resolves; the legacy per-scheme models
+(``AELatticeModel``, ``RSStripeModel``, ``ReplicationModel``) remain
+importable as thin shims over it.
 """
 
 from repro.simulation.churn import (
@@ -12,6 +16,23 @@ from repro.simulation.churn import (
     ChurnSimulator,
     availability_nines,
     compare_schemes_under_churn,
+)
+from repro.simulation.engine import (
+    EngineOutcome,
+    EngineRun,
+    LatticeSimulation,
+    SimulatedPlacement,
+    SimulationEngine,
+    SimulationEvent,
+    StepMetrics,
+    StripeDisasterState,
+    StripeSimulation,
+    build_simulation,
+    normalise_events,
+    sample_disaster_locations,
+    simulate_disasters,
+    vectorised_input_indices,
+    vectorised_output_indices,
 )
 from repro.simulation.traces import (
     LifetimeModel,
@@ -30,6 +51,9 @@ from repro.simulation.experiments import (
     FIG13_SCHEMES,
     REPLICATION_FACTORS,
     RS_SETTINGS,
+    build_ae_models,
+    build_replication_models,
+    build_rs_models,
     costs_table,
     data_loss_experiment,
     placement_balance_report,
@@ -39,12 +63,7 @@ from repro.simulation.experiments import (
     single_failure_experiment,
     vulnerable_data_experiment,
 )
-from repro.simulation.lattice_model import (
-    AELatticeModel,
-    LatticeRepairOutcome,
-    vectorised_input_indices,
-    vectorised_output_indices,
-)
+from repro.simulation.lattice_model import AELatticeModel, LatticeRepairOutcome
 from repro.simulation.metrics import (
     DisasterMetrics,
     PAPER_SCHEMES,
@@ -52,6 +71,7 @@ from repro.simulation.metrics import (
     describe_scheme,
     format_table,
     scheme_costs,
+    scheme_id_for,
 )
 from repro.simulation.replication_model import ReplicationModel, ReplicationOutcome
 from repro.simulation.rs_model import RSStripeModel, StripeRepairOutcome
@@ -64,46 +84,63 @@ from repro.simulation.workload import (
 
 __all__ = [
     "AELatticeModel",
+    "AE_SETTINGS",
     "ChurnConfig",
     "ChurnResult",
     "ChurnSample",
     "ChurnSimulator",
-    "LifetimeModel",
-    "NodeSession",
-    "SessionTrace",
-    "TraceStatistics",
-    "AE_SETTINGS",
     "DISASTER_FRACTIONS",
     "DisasterMetrics",
+    "EngineOutcome",
+    "EngineRun",
     "ExperimentConfig",
     "FIG13_SCHEMES",
     "LatticeRepairOutcome",
+    "LatticeSimulation",
+    "LifetimeModel",
+    "NodeSession",
     "PAPER_SCHEMES",
     "REPLICATION_FACTORS",
+    "RSStripeModel",
     "RS_SETTINGS",
     "ReplicationModel",
     "ReplicationOutcome",
-    "RSStripeModel",
     "SchemeDescription",
+    "SessionTrace",
+    "SimulatedPlacement",
+    "SimulationEngine",
+    "SimulationEvent",
+    "StepMetrics",
+    "StripeDisasterState",
     "StripeRepairOutcome",
+    "StripeSimulation",
+    "TraceStatistics",
     "WorkloadSpec",
     "availability_nines",
+    "build_ae_models",
+    "build_replication_models",
+    "build_rs_models",
+    "build_simulation",
     "compare_schemes_under_churn",
     "costs_table",
-    "datacenter_disk_trace",
-    "exponential_lifetimes",
     "data_loss_experiment",
+    "datacenter_disk_trace",
     "describe_scheme",
     "document_bytes",
+    "exponential_lifetimes",
     "format_table",
     "mixed_file_sizes",
+    "normalise_events",
     "p2p_session_trace",
     "payload_stream",
     "placement_balance_report",
     "repair_rounds_experiment",
     "run_all",
     "sample_disaster",
+    "sample_disaster_locations",
     "scheme_costs",
+    "scheme_id_for",
+    "simulate_disasters",
     "single_failure_experiment",
     "vectorised_input_indices",
     "vectorised_output_indices",

@@ -5,7 +5,7 @@ motivation, however, is the *continuously* unreliable environment -- a p2p
 network where "nodes join and leave frequently" and "maintenance swallows up
 most of the node's resources".  This module adds the missing dynamic view: a
 time-stepped simulator that replays a :class:`~repro.simulation.traces.SessionTrace`
-over the availability-only scheme models and reports, per time step,
+over the scheme-agnostic simulation engine and reports, per time step,
 
 * **instantaneous availability** -- the fraction of data blocks that can be
   served right now, either directly or by decoding from online blocks;
@@ -13,28 +13,27 @@ over the availability-only scheme models and reports, per time step,
 * **durability** -- data permanently lost when the simulation ends and only
   the nodes still online (plus any that will eventually return) hold blocks.
 
-The same models as the disaster experiments are reused (AE lattice, RS
-stripes, replication), so the comparison inherits the paper's placement and
-repair semantics.  Availability is usually summarised in "nines"
-(``-log10(1 - availability)``); the Blake & Rodrigues observation quoted in
-the paper -- replication needs enormous overhead to reach high availability
-while erasure codes get there much more cheaply -- falls out of this metric.
+Schemes are resolved through the :mod:`repro.schemes` registry (the same
+placements as the disaster experiments), so any registered scheme --
+including LRC and flat XOR, which the legacy per-scheme models could not
+simulate -- can be put under churn.  Availability is usually summarised in
+"nines" (``-log10(1 - availability)``); the Blake & Rodrigues observation
+quoted in the paper -- replication needs enormous overhead to reach high
+availability while erasure codes get there much more cheaply -- falls out of
+this metric.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Union
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
-from repro.core.parameters import AEParameters
 from repro.exceptions import InvalidParametersError
-from repro.simulation.lattice_model import AELatticeModel
+from repro.simulation.engine import SimulatedPlacement, build_simulation
 from repro.simulation.metrics import SchemeSpec, describe_scheme
-from repro.simulation.replication_model import ReplicationModel
-from repro.simulation.rs_model import RSStripeModel
 from repro.simulation.traces import SessionTrace
 
 __all__ = [
@@ -143,7 +142,7 @@ class ChurnResult:
 
 
 class ChurnSimulator:
-    """Replay a session trace against the availability models of each scheme."""
+    """Replay a session trace against the engine's placement of each scheme."""
 
     def __init__(self, trace: SessionTrace, config: Optional[ChurnConfig] = None) -> None:
         self._trace = trace
@@ -160,19 +159,13 @@ class ChurnSimulator:
     # ------------------------------------------------------------------
     # Model construction
     # ------------------------------------------------------------------
-    def _build_model(
-        self, spec: SchemeSpec
-    ) -> Union[AELatticeModel, RSStripeModel, ReplicationModel]:
-        description = describe_scheme(spec)
-        locations = self._trace.node_count
-        blocks = self._config.data_blocks
-        seed = self._config.seed
-        if description.kind == "ae":
-            return AELatticeModel(spec, blocks, locations, seed=seed)  # type: ignore[arg-type]
-        if description.kind == "rs":
-            k, m = spec  # type: ignore[misc]
-            return RSStripeModel(k, m, blocks, locations, seed=seed)
-        return ReplicationModel(spec, blocks, locations, seed=seed)  # type: ignore[arg-type]
+    def _build_model(self, spec: SchemeSpec) -> SimulatedPlacement:
+        return build_simulation(
+            spec,
+            self._config.data_blocks,
+            self._trace.node_count,
+            seed=self._config.seed,
+        )
 
     # ------------------------------------------------------------------
     # Simulation
@@ -189,7 +182,7 @@ class ChurnSimulator:
         samples: List[ChurnSample] = []
         for time in self._sample_times():
             offline = np.flatnonzero(self._trace.offline_mask_at(time))
-            unavailable = self._unavailable_data(model, offline)
+            unavailable = model.unavailable_data(offline)
             samples.append(
                 ChurnSample(
                     time_hours=time,
@@ -203,7 +196,7 @@ class ChurnSimulator:
         final_offline = np.flatnonzero(
             self._trace.offline_mask_at(self._trace.horizon_hours - 1e-9)
         )
-        final_loss = self._unavailable_data(model, final_offline)
+        final_loss = model.unavailable_data(final_offline)
         return ChurnResult(
             scheme=description.name,
             storage_overhead_percent=description.additional_storage_percent,
@@ -213,18 +206,6 @@ class ChurnSimulator:
 
     def run_many(self, specs: Sequence[SchemeSpec]) -> List[ChurnResult]:
         return [self.run(spec) for spec in specs]
-
-    # ------------------------------------------------------------------
-    @staticmethod
-    def _unavailable_data(
-        model: Union[AELatticeModel, RSStripeModel, ReplicationModel],
-        offline_locations: np.ndarray,
-    ) -> int:
-        """Data blocks that cannot be served given the offline locations."""
-        if offline_locations.size == 0:
-            return 0
-        outcome = model.run_repair(offline_locations)
-        return int(outcome.data_loss)
 
 
 def compare_schemes_under_churn(

@@ -9,24 +9,34 @@ Each experiment follows the paper's setup:
 * disasters that take 10% to 50% of the locations offline at once;
 * the repair process then rebuilds what it can, and the metrics are collected.
 
-The experiment functions return plain lists of dictionaries (one per table
-row), so they can be printed with :func:`repro.simulation.metrics.format_table`,
+Every experiment routes through the scheme-agnostic
+:class:`~repro.simulation.engine.SimulationEngine`, so the scheme lists below
+are plain registry identifiers -- add ``"lrc-azure"`` or ``"xor-geo"`` to a
+list (or call :func:`repro.simulation.engine.simulate_disasters` directly)
+and the same experiment covers schemes the paper never plotted.  The
+experiment functions return plain lists of dictionaries (one per table row),
+so they can be printed with :func:`repro.simulation.metrics.format_table`,
 asserted against in tests and re-used by the benchmark harnesses.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.core.parameters import AEParameters
 from repro.exceptions import InvalidParametersError
-from repro.simulation.lattice_model import AELatticeModel, LatticeRepairOutcome
-from repro.simulation.metrics import DisasterMetrics, describe_scheme, scheme_costs
+from repro.simulation.engine import (
+    SimulationEngine,
+    sample_disaster_locations,
+)
+from repro.simulation.lattice_model import AELatticeModel
+from repro.simulation.metrics import scheme_costs, scheme_id_for
 from repro.simulation.replication_model import ReplicationModel
 from repro.simulation.rs_model import RSStripeModel
+from repro.storage.maintenance import MaintenancePolicy
 
 #: Disaster sizes used throughout the paper.
 DISASTER_FRACTIONS: Tuple[float, ...] = (0.10, 0.20, 0.30, 0.40, 0.50)
@@ -78,14 +88,34 @@ def sample_disaster(
     """Locations taken down by a disaster of the given size."""
     if not 0.0 <= fraction <= 1.0:
         raise InvalidParametersError("disaster fraction must lie in [0, 1]")
-    rng = np.random.default_rng(config.seed + 1000 * offset)
-    count = int(round(config.location_count * fraction))
-    return np.sort(rng.choice(config.location_count, size=count, replace=False))
+    return sample_disaster_locations(
+        config.location_count, fraction, config.seed, offset
+    )
 
 
 # ----------------------------------------------------------------------
-# Model construction helpers
+# Engine construction helpers
 # ----------------------------------------------------------------------
+def _engines(
+    config: ExperimentConfig, scheme_ids: Sequence[str]
+) -> List[SimulationEngine]:
+    """One engine (placement built once, reused across fractions) per scheme."""
+    return [
+        SimulationEngine(
+            scheme_id, config.data_blocks, config.location_count, config.seed
+        )
+        for scheme_id in scheme_ids
+    ]
+
+
+def _comparison_scheme_ids() -> List[str]:
+    """The Figs. 11/12 comparison set, in the historical row order."""
+    ids = [f"rs-{k}-{m}" for k, m in RS_SETTINGS]
+    ids.extend(scheme_id_for(params) for params in AE_SETTINGS)
+    ids.extend(f"rep-{copies}" for copies in REPLICATION_FACTORS)
+    return ids
+
+
 def build_ae_models(
     config: ExperimentConfig, settings: Sequence[AEParameters] = AE_SETTINGS
 ) -> Dict[str, AELatticeModel]:
@@ -127,21 +157,15 @@ def data_loss_experiment(
 ) -> List[Dict[str, object]]:
     """Data blocks the decoder failed to repair, per scheme and disaster size."""
     config = config or ExperimentConfig.quick()
+    engines = _engines(config, _comparison_scheme_ids())
     rows: List[Dict[str, object]] = []
-    ae_models = build_ae_models(config)
-    rs_models = build_rs_models(config)
-    replication_models = build_replication_models(config)
     for offset, fraction in enumerate(config.disaster_fractions):
         failed = sample_disaster(config, fraction, offset)
-        for name, model in {**rs_models}.items():
-            outcome = model.run_repair(failed)
-            rows.append(_row(name, fraction, config, data_loss=outcome.data_loss))
-        for name, model in ae_models.items():
-            outcome = model.run_repair(failed, repair_parities=True)
-            rows.append(_row(name, fraction, config, data_loss=outcome.data_loss))
-        for name, model in replication_models.items():
-            outcome = model.run_repair(failed)
-            rows.append(_row(name, fraction, config, data_loss=outcome.data_loss))
+        for engine in engines:
+            metrics = engine.run_disaster(failed, disaster_fraction=fraction)
+            rows.append(
+                _row(metrics.scheme, fraction, config, data_loss=metrics.data_loss)
+            )
     return rows
 
 
@@ -153,31 +177,21 @@ def vulnerable_data_experiment(
 ) -> List[Dict[str, object]]:
     """Data blocks left without redundancy after minimal-maintenance repairs."""
     config = config or ExperimentConfig.quick()
+    engines = _engines(config, _comparison_scheme_ids())
     rows: List[Dict[str, object]] = []
-    ae_models = build_ae_models(config)
-    rs_models = build_rs_models(config)
-    replication_models = build_replication_models(config)
     for offset, fraction in enumerate(config.disaster_fractions):
         failed = sample_disaster(config, fraction, offset)
-        for name, model in rs_models.items():
-            outcome = model.run_repair(failed)
+        for engine in engines:
+            metrics = engine.run_disaster(
+                failed, disaster_fraction=fraction, policy=MaintenancePolicy.MINIMAL
+            )
             rows.append(
                 _row(
-                    name,
+                    metrics.scheme,
                     fraction,
                     config,
-                    vulnerable=outcome.vulnerable_data,
+                    vulnerable=metrics.vulnerable_data,
                 )
-            )
-        for name, model in ae_models.items():
-            outcome = model.run_repair(failed, repair_parities=False)
-            rows.append(
-                _row(name, fraction, config, vulnerable=outcome.vulnerable_data)
-            )
-        for name, model in replication_models.items():
-            outcome = model.run_repair(failed)
-            rows.append(
-                _row(name, fraction, config, vulnerable=outcome.vulnerable_data)
             )
     return rows
 
@@ -190,29 +204,19 @@ def single_failure_experiment(
 ) -> List[Dict[str, object]]:
     """Share of repairs that were single-failure repairs (RS(4,12) vs AE codes)."""
     config = config or ExperimentConfig.quick()
+    scheme_ids = ["rs-4-12"] + [scheme_id_for(params) for params in AE_SETTINGS]
+    engines = _engines(config, scheme_ids)
     rows: List[Dict[str, object]] = []
-    ae_models = build_ae_models(config)
-    rs_model = build_rs_models(config, settings=((4, 12),))["RS(4,12)"]
     for offset, fraction in enumerate(config.disaster_fractions):
         failed = sample_disaster(config, fraction, offset)
-        rs_outcome = rs_model.run_repair(failed)
-        rows.append(
-            {
-                "scheme": "RS(4,12)",
-                "disaster (%)": int(round(fraction * 100)),
-                "single failures (% of repairs)": round(
-                    rs_outcome.single_failure_fraction * 100.0, 1
-                ),
-            }
-        )
-        for name, model in ae_models.items():
-            outcome = model.run_repair(failed, repair_parities=True)
+        for engine in engines:
+            metrics = engine.run_disaster(failed, disaster_fraction=fraction)
             rows.append(
                 {
-                    "scheme": name,
+                    "scheme": metrics.scheme,
                     "disaster (%)": int(round(fraction * 100)),
                     "single failures (% of repairs)": round(
-                        outcome.single_failure_fraction * 100.0, 1
+                        metrics.single_failure_fraction * 100.0, 1
                     ),
                 }
             )
@@ -227,14 +231,14 @@ def repair_rounds_experiment(
 ) -> List[Dict[str, object]]:
     """Number of repair rounds needed by each AE setting per disaster size."""
     config = config or ExperimentConfig.quick()
+    engines = _engines(config, [scheme_id_for(params) for params in AE_SETTINGS])
     rows: List[Dict[str, object]] = []
-    ae_models = build_ae_models(config)
-    for name, model in ae_models.items():
-        row: Dict[str, object] = {"code": name}
+    for engine in engines:
+        row: Dict[str, object] = {"code": engine.scheme_name}
         for offset, fraction in enumerate(config.disaster_fractions):
             failed = sample_disaster(config, fraction, offset)
-            outcome = model.run_repair(failed, repair_parities=True)
-            row[f"{int(round(fraction * 100))}%"] = outcome.rounds
+            metrics = engine.run_disaster(failed, disaster_fraction=fraction)
+            row[f"{int(round(fraction * 100))}%"] = metrics.repair_rounds
         rows.append(row)
     return rows
 
@@ -256,25 +260,28 @@ def placement_balance_report(
     """Blocks-per-location statistics and the stripe-spreading observation."""
     config = config or ExperimentConfig.quick()
     rows: List[Dict[str, object]] = []
-    rs_model = build_rs_models(config, settings=((10, 4),))["RS(10,4)"]
-    counts = np.bincount(
-        rs_model.block_location.ravel(), minlength=config.location_count
+    rs_engine = SimulationEngine(
+        "rs-10-4", config.data_blocks, config.location_count, config.seed
     )
+    rs_placement = rs_engine.placement
+    counts = rs_placement.blocks_per_location()
     rows.append(
         {
-            "scheme": "RS(10,4)",
+            "scheme": rs_placement.name,
             "blocks": int(counts.sum()),
             "mean blocks/location": round(float(counts.mean()), 1),
             "std blocks/location": round(float(counts.std(ddof=1)), 2),
-            "stripes fully spread": rs_model.stripes_fully_spread(),
-            "stripes": rs_model.stripes,
+            "stripes fully spread": rs_placement.stripes_fully_spread(),
+            "stripes": rs_placement.stripes,
         }
     )
-    ae_model = build_ae_models(config, settings=(AEParameters.triple(2, 5),))["AE(3,2,5)"]
-    ae_counts = ae_model.blocks_per_location()
+    ae_engine = SimulationEngine(
+        "ae-3-2-5", config.data_blocks, config.location_count, config.seed
+    )
+    ae_counts = ae_engine.placement.blocks_per_location()
     rows.append(
         {
-            "scheme": "AE(3,2,5)",
+            "scheme": ae_engine.scheme_name,
             "blocks": int(ae_counts.sum()),
             "mean blocks/location": round(float(ae_counts.mean()), 1),
             "std blocks/location": round(float(ae_counts.std(ddof=1)), 2),

@@ -1,96 +1,38 @@
-"""Vectorised availability model of an AE lattice for large-scale simulations.
+"""Vectorised availability model of an AE lattice (legacy shim).
 
-The disaster-recovery experiments of the paper (Figs. 11-13, Table VI) use one
-million data blocks.  Simulating them with payload-carrying objects would be
-needlessly slow: the experiment only needs to know *which* blocks are
-available, not their contents (exactly like the paper's table-driven
-simulation of Table V).  This module therefore keeps the whole lattice as a
-handful of numpy arrays:
-
-* ``data_available``   -- shape ``(n,)`` booleans;
-* ``parity_available`` -- shape ``(n, alpha)`` booleans, entry ``(i, c)`` being
-  the parity created by node ``i+1`` on strand class ``c``;
-* ``input_creator``    -- shape ``(n, alpha)`` int64, the creator of the input
-  parity of node ``i+1`` on class ``c`` (0 at strand starts).
-
-Repair rounds are whole-array operations, so a 50% disaster over a million
-blocks takes seconds rather than hours.
+.. deprecated::
+    This module is kept for backwards compatibility.  The vectorised lattice
+    simulation now lives in :class:`repro.simulation.engine.LatticeSimulation`
+    (the scheme-agnostic engine's AE adapter); :class:`AELatticeModel` is a
+    thin shim over it that preserves the historical constructor and the
+    ``run_repair(failed, repair_parities=..., max_rounds=...)`` ->
+    :class:`LatticeRepairOutcome` surface.  New code should use
+    :class:`~repro.simulation.engine.SimulationEngine` with an ``ae-*``
+    registry identifier.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import List
 
 import numpy as np
 
-from repro.core.parameters import AEParameters, StrandClass
-from repro.exceptions import InvalidParametersError
+from repro.core.parameters import AEParameters
+from repro.simulation.engine import (
+    EngineOutcome,
+    LatticeSimulation,
+    vectorised_input_indices,
+    vectorised_output_indices,
+)
+from repro.storage.maintenance import MaintenancePolicy
 
-
-def vectorised_input_indices(params: AEParameters, n: int) -> np.ndarray:
-    """Input-parity creators for nodes ``1..n`` and every strand class.
-
-    Returns an ``(n, alpha)`` int64 array; entry 0 means "virtual zero parity"
-    (the strand starts at that node).  This is the vectorised equivalent of
-    :func:`repro.core.rules.input_index`.
-    """
-    indices = np.arange(1, n + 1, dtype=np.int64)
-    s, p = params.s, params.p
-    columns = []
-    for strand_class in params.strand_classes:
-        if strand_class is StrandClass.HORIZONTAL:
-            h = indices - s
-        elif s == 1:
-            h = indices - p
-        else:
-            remainder = indices % s
-            is_top = remainder == 1
-            is_bottom = remainder == 0
-            if strand_class is StrandClass.RIGHT_HANDED:
-                h = np.where(
-                    is_top,
-                    indices - s * p + (s * s - 1),
-                    indices - (s + 1),
-                )
-            else:  # left-handed
-                h = np.where(
-                    is_bottom,
-                    indices - s * p + (s - 1) ** 2,
-                    indices - (s - 1),
-                )
-        columns.append(np.maximum(h, 0))
-    return np.stack(columns, axis=1)
-
-
-def vectorised_output_indices(params: AEParameters, n: int) -> np.ndarray:
-    """Successor nodes ``j`` for nodes ``1..n`` and every class (Table II)."""
-    indices = np.arange(1, n + 1, dtype=np.int64)
-    s, p = params.s, params.p
-    columns = []
-    for strand_class in params.strand_classes:
-        if strand_class is StrandClass.HORIZONTAL:
-            j = indices + s
-        elif s == 1:
-            j = indices + p
-        else:
-            remainder = indices % s
-            is_top = remainder == 1
-            is_bottom = remainder == 0
-            if strand_class is StrandClass.RIGHT_HANDED:
-                j = np.where(
-                    is_bottom,
-                    indices + s * p - (s * s - 1),
-                    indices + s + 1,
-                )
-            else:  # left-handed
-                j = np.where(
-                    is_top,
-                    indices + s * p - (s - 1) ** 2,
-                    indices + s - 1,
-                )
-        columns.append(j)
-    return np.stack(columns, axis=1)
+__all__ = [
+    "AELatticeModel",
+    "LatticeRepairOutcome",
+    "vectorised_input_indices",
+    "vectorised_output_indices",
+]
 
 
 @dataclass
@@ -116,9 +58,32 @@ class LatticeRepairOutcome:
             return 0.0
         return self.data_repaired_first_round / self.repaired_data
 
+    @classmethod
+    def from_engine(cls, outcome: EngineOutcome) -> "LatticeRepairOutcome":
+        return cls(
+            scheme=outcome.scheme,
+            data_blocks=outcome.data_blocks,
+            initially_missing_data=outcome.initially_missing_data,
+            initially_missing_parities=outcome.initially_missing_redundancy,
+            repaired_data=outcome.repaired_data,
+            repaired_parities=outcome.repaired_redundancy,
+            data_repaired_first_round=outcome.single_failure_repairs,
+            rounds=outcome.rounds,
+            repaired_per_round=list(outcome.repaired_per_round),
+            data_loss=outcome.data_loss,
+            vulnerable_data=outcome.vulnerable_data,
+        )
 
-class AELatticeModel:
-    """Availability-only model of an AE(alpha, s, p) lattice with ``n`` data blocks."""
+
+class AELatticeModel(LatticeSimulation):
+    """Availability-only model of an AE(alpha, s, p) lattice (legacy shim).
+
+    .. deprecated::
+        Thin shim over :class:`~repro.simulation.engine.LatticeSimulation`;
+        kept so historical call sites (and their fixed-seed results) remain
+        intact.  Prefer the scheme-agnostic
+        :class:`~repro.simulation.engine.SimulationEngine`.
+    """
 
     def __init__(
         self,
@@ -127,79 +92,7 @@ class AELatticeModel:
         location_count: int = 100,
         seed: int = 0,
     ) -> None:
-        if data_blocks < 1:
-            raise InvalidParametersError("data_blocks must be positive")
-        if location_count < 1:
-            raise InvalidParametersError("location_count must be positive")
-        self._params = params
-        self._n = data_blocks
-        self._locations = location_count
-        rng = np.random.default_rng(seed)
-        alpha = params.alpha
-        #: Random placement: every block (data and parity) gets a location.
-        self.data_location = rng.integers(0, location_count, size=data_blocks, dtype=np.int64)
-        self.parity_location = rng.integers(
-            0, location_count, size=(data_blocks, alpha), dtype=np.int64
-        )
-        #: Lattice wiring.
-        self.input_creator = vectorised_input_indices(params, data_blocks)
-        self.output_node = vectorised_output_indices(params, data_blocks)
-
-    # ------------------------------------------------------------------
-    # Shape
-    # ------------------------------------------------------------------
-    @property
-    def params(self) -> AEParameters:
-        return self._params
-
-    @property
-    def data_blocks(self) -> int:
-        return self._n
-
-    @property
-    def parity_blocks(self) -> int:
-        return self._n * self._params.alpha
-
-    @property
-    def total_blocks(self) -> int:
-        return self._n + self.parity_blocks
-
-    @property
-    def location_count(self) -> int:
-        return self._locations
-
-    def blocks_per_location(self) -> np.ndarray:
-        """Histogram of blocks per location (placement balance check)."""
-        counts = np.bincount(self.data_location, minlength=self._locations)
-        counts = counts + np.bincount(
-            self.parity_location.ravel(), minlength=self._locations
-        )
-        return counts
-
-    # ------------------------------------------------------------------
-    # Disaster + repair
-    # ------------------------------------------------------------------
-    def availability_after(self, failed_locations: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
-        """Initial availability arrays after the given locations fail."""
-        failed_mask = np.zeros(self._locations, dtype=bool)
-        failed_mask[np.asarray(failed_locations, dtype=np.int64)] = True
-        data_available = ~failed_mask[self.data_location]
-        parity_available = ~failed_mask[self.parity_location]
-        return data_available, parity_available
-
-    def _input_parity_available(self, parity_available: np.ndarray) -> np.ndarray:
-        """Availability of the input parity of every (node, class) pair.
-
-        Virtual zero parities (strand starts) are always available.
-        """
-        alpha = self._params.alpha
-        result = np.ones((self._n, alpha), dtype=bool)
-        for c in range(alpha):
-            creators = self.input_creator[:, c]
-            has_input = creators >= 1
-            idx = np.clip(creators - 1, 0, self._n - 1)
-            result[:, c] = np.where(has_input, parity_available[idx, c], True)
-        return result
+        super().__init__(params, data_blocks, location_count, seed)
 
     def run_repair(
         self,
@@ -209,68 +102,13 @@ class AELatticeModel:
     ) -> LatticeRepairOutcome:
         """Round-based repair until a fixpoint (or ``max_rounds``).
 
-        ``repair_parities=False`` models minimal maintenance: parities are not
-        rebuilt, only data blocks are (Fig. 12).
+        ``repair_parities=False`` models minimal maintenance: parities are
+        not rebuilt, only data blocks are (Fig. 12).
         """
-        data_available, parity_available = self.availability_after(failed_locations)
-        initially_missing_data = int((~data_available).sum())
-        initially_missing_parities = int((~parity_available).sum())
-        repaired_per_round: List[int] = []
-        data_repaired_first_round = 0
-        repaired_data_total = 0
-        repaired_parity_total = 0
-        alpha = self._params.alpha
-
-        for round_number in range(1, max_rounds + 1):
-            input_avail = self._input_parity_available(parity_available)
-            # Data block repair: some strand has both adjacent parities.
-            data_repairable = (~data_available) & np.any(
-                input_avail & parity_available, axis=1
-            )
-            # Parity repair (two dp-tuples).
-            if repair_parities:
-                left_ok = data_available[:, None] & input_avail
-                successor = self.output_node  # (n, alpha)
-                successor_exists = successor <= self._n
-                succ_idx = np.clip(successor - 1, 0, self._n - 1)
-                right_data = data_available[succ_idx]
-                right_parity = parity_available[succ_idx, np.arange(alpha)[None, :]]
-                right_ok = successor_exists & right_data & right_parity
-                parity_repairable = (~parity_available) & (left_ok | right_ok)
-            else:
-                parity_repairable = np.zeros_like(parity_available)
-
-            repaired_now = int(data_repairable.sum()) + int(parity_repairable.sum())
-            if repaired_now == 0:
-                break
-            if round_number == 1:
-                data_repaired_first_round = int(data_repairable.sum())
-            repaired_data_total += int(data_repairable.sum())
-            repaired_parity_total += int(parity_repairable.sum())
-            repaired_per_round.append(repaired_now)
-            data_available = data_available | data_repairable
-            parity_available = parity_available | parity_repairable
-
-        data_loss = int((~data_available).sum())
-        vulnerable = self._vulnerable_data(data_available, parity_available)
-        return LatticeRepairOutcome(
-            scheme=self._params.spec(),
-            data_blocks=self._n,
-            initially_missing_data=initially_missing_data,
-            initially_missing_parities=initially_missing_parities,
-            repaired_data=repaired_data_total,
-            repaired_parities=repaired_parity_total,
-            data_repaired_first_round=data_repaired_first_round,
-            rounds=len(repaired_per_round),
-            repaired_per_round=repaired_per_round,
-            data_loss=data_loss,
-            vulnerable_data=vulnerable,
+        policy = (
+            MaintenancePolicy.FULL if repair_parities else MaintenancePolicy.MINIMAL
         )
-
-    def _vulnerable_data(
-        self, data_available: np.ndarray, parity_available: np.ndarray
-    ) -> int:
-        """Data blocks present but no longer protected by any complete pp-tuple."""
-        input_avail = self._input_parity_available(parity_available)
-        protected = np.any(input_avail & parity_available, axis=1)
-        return int((data_available & ~protected).sum())
+        outcome = super(AELatticeModel, self).run_repair(
+            failed_locations, policy=policy, max_rounds=max_rounds
+        )
+        return LatticeRepairOutcome.from_engine(outcome)

@@ -10,21 +10,54 @@ The disaster experiments report four metrics:
   single-failure repairs (Fig. 13);
 * **repair rounds** -- how many rounds the AE decoder needed (Table VI).
 
-``scheme_costs`` reproduces the analytic rows of Table IV (additional storage
-and single-failure repair cost per scheme).
+Scheme naming is unified with the :mod:`repro.schemes` registry: a scheme
+specification is primarily a registry identifier string (``"ae-3-2-5"``,
+``"rs-10-4"``, ``"lrc-azure"``, ``"rep-3"``, ``"xor-geo"``, ...), and
+:func:`describe_scheme` / :func:`scheme_costs` resolve it through the
+registry's :class:`~repro.schemes.base.SchemeCapabilities` instead of a
+parallel hand-written cost table.  The legacy shorthand specs -- an
+:class:`AEParameters` setting, an RS ``(k, m)`` tuple or a replication
+factor ``int`` -- are still accepted and normalised by
+:func:`scheme_id_for`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Union
+from typing import Dict, List, Sequence, Union
 
 from repro.codes.base import CodeCosts
 from repro.core.parameters import AEParameters
 from repro.exceptions import InvalidParametersError
 
-#: A scheme specification: an AE setting, an RS (k, m) pair, or a replication factor.
-SchemeSpec = Union[AEParameters, tuple, int]
+#: A scheme specification: a registry identifier string, an AE setting, an
+#: RS ``(k, m)`` pair, or a replication factor.
+SchemeSpec = Union[str, AEParameters, tuple, int]
+
+
+def scheme_id_for(spec: SchemeSpec) -> str:
+    """Normalise any scheme specification to its registry identifier.
+
+    ``"rs-10-4"`` stays as is; ``AEParameters.triple(2, 5)`` becomes
+    ``"ae-3-2-5"``, ``(10, 4)`` becomes ``"rs-10-4"`` and ``3`` becomes
+    ``"rep-3"``.
+    """
+    if isinstance(spec, str):
+        return spec.strip().lower()
+    if isinstance(spec, AEParameters):
+        if spec.is_single:
+            return "ae-1"
+        return f"ae-{spec.alpha}-{spec.s}-{spec.p}"
+    if isinstance(spec, tuple) and len(spec) == 2:
+        k, m = spec
+        if k < 1 or m < 0:
+            raise InvalidParametersError(f"invalid RS spec {spec!r}")
+        return f"rs-{k}-{m}"
+    if isinstance(spec, int) and not isinstance(spec, bool):
+        if spec < 2:
+            raise InvalidParametersError("replication factor must be >= 2")
+        return f"rep-{spec}"
+    raise InvalidParametersError(f"unrecognised scheme specification {spec!r}")
 
 
 @dataclass(frozen=True)
@@ -32,9 +65,10 @@ class SchemeDescription:
     """Uniform naming/cost description of every scheme in the evaluation."""
 
     name: str
-    kind: str  # "ae", "rs" or "replication"
+    kind: str  # "ae", "rs", "lrc", "xor" or "replication"
     additional_storage_percent: float
     single_failure_cost: int
+    scheme_id: str = ""
 
     def costs(self) -> CodeCosts:
         return CodeCosts(
@@ -45,48 +79,50 @@ class SchemeDescription:
 
 
 def describe_scheme(spec: SchemeSpec) -> SchemeDescription:
-    """Build the Table IV row of one scheme specification."""
-    if isinstance(spec, AEParameters):
+    """Build the Table IV row of one scheme specification.
+
+    The description is resolved through the :mod:`repro.schemes` registry,
+    so every registered family (including LRC and flat XOR) gets a row, and
+    the analytic numbers are the same ``SchemeCapabilities`` the live
+    :class:`~repro.system.service.StorageService` reports.
+    """
+    import repro.schemes as schemes
+
+    scheme_id = scheme_id_for(spec)
+    parts = scheme_id.split("-")
+    if len(parts) == 3 and parts[0] == "rs" and parts[2] == "0" and parts[1].isdigit():
+        # The legacy RS(k, 0) edge case (striping without parities), which
+        # the registry cannot serve but the historical cost table described.
+        k = int(parts[1])
         return SchemeDescription(
-            name=spec.spec(),
-            kind="ae",
-            additional_storage_percent=spec.alpha * 100.0,
-            single_failure_cost=spec.single_failure_cost,
-        )
-    if isinstance(spec, tuple) and len(spec) == 2:
-        k, m = spec
-        if k < 1 or m < 0:
-            raise InvalidParametersError(f"invalid RS spec {spec!r}")
-        return SchemeDescription(
-            name=f"RS({k},{m})",
+            name=f"RS({k},0)",
             kind="rs",
-            additional_storage_percent=m / k * 100.0,
+            additional_storage_percent=0.0,
             single_failure_cost=k,
+            scheme_id=scheme_id,
         )
-    if isinstance(spec, int):
-        if spec < 2:
-            raise InvalidParametersError("replication factor must be >= 2")
-        return SchemeDescription(
-            name=f"{spec}-way replication",
-            kind="replication",
-            additional_storage_percent=(spec - 1) * 100.0,
-            single_failure_cost=1,
-        )
-    raise InvalidParametersError(f"unrecognised scheme specification {spec!r}")
+    capabilities = schemes.get(scheme_id, block_size=64).capabilities()
+    return SchemeDescription(
+        name=capabilities.name,
+        kind=capabilities.kind,
+        additional_storage_percent=capabilities.storage_overhead * 100.0,
+        single_failure_cost=capabilities.single_failure_reads,
+        scheme_id=scheme_id,
+    )
 
 
 #: The schemes of Table IV (replication rows beyond 2/3/4-way are trivial).
 PAPER_SCHEMES: Sequence[SchemeSpec] = (
-    (10, 4),
-    (8, 2),
-    (5, 5),
-    (4, 12),
-    AEParameters.single(),
-    AEParameters.double(2, 5),
-    AEParameters.triple(2, 5),
-    2,
-    3,
-    4,
+    "rs-10-4",
+    "rs-8-2",
+    "rs-5-5",
+    "rs-4-12",
+    "ae-1",
+    "ae-2-2-5",
+    "ae-3-2-5",
+    "rep-2",
+    "rep-3",
+    "rep-4",
 )
 
 
@@ -108,6 +144,9 @@ class DisasterMetrics:
     single_failure_fraction: float = 0.0
     repaired_data: int = 0
     blocks_read: int = 0
+    #: Data blocks repairable but left missing because the maintenance
+    #: budget ran out -- reported separately from loss.
+    deferred_data: int = 0
 
     @property
     def data_loss_fraction(self) -> float:
@@ -118,7 +157,7 @@ class DisasterMetrics:
         return self.vulnerable_data / self.data_blocks if self.data_blocks else 0.0
 
     def as_row(self) -> Dict[str, object]:
-        return {
+        row = {
             "scheme": self.scheme,
             "disaster (%)": int(round(self.disaster_fraction * 100)),
             "data loss (blocks)": self.data_loss,
@@ -126,13 +165,18 @@ class DisasterMetrics:
             "repair rounds": self.repair_rounds,
             "single failures (%)": round(self.single_failure_fraction * 100.0, 1),
         }
+        if self.deferred_data:
+            row["deferred repairs (blocks)"] = self.deferred_data
+        return row
 
 
 def format_table(rows: Sequence[Dict[str, object]]) -> str:
     """Render a list of dict rows as an aligned plain-text table."""
     if not rows:
         return "(no rows)"
-    headers = list(rows[0].keys())
+    # Union of keys in first-seen order, so optional columns (e.g. deferred
+    # repairs under a maintenance budget) appear even when absent from row 0.
+    headers = list(dict.fromkeys(key for row in rows for key in row))
     widths = {
         header: max(len(str(header)), *(len(str(row.get(header, ""))) for row in rows))
         for header in headers

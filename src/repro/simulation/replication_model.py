@@ -1,10 +1,14 @@
-"""Vectorised availability model of n-way replication for large-scale simulations.
+"""Vectorised availability model of n-way replication (legacy shim).
 
-Replication is the third family of redundancy schemes in the paper's disaster
-study (Figs. 11 and 12): every data block is stored as ``n`` full copies on
-independently chosen locations.  A block is lost only when *all* of its copies
-sit on failed locations; it is left without redundancy when exactly one copy
-survives and no maintenance restores the others.
+.. deprecated::
+    This module is kept for backwards compatibility.  Replication is now
+    simulated by :class:`repro.simulation.engine.StripeSimulation` driving a
+    :class:`~repro.codes.replication.ReplicationCode` (a ``(1, n-1)`` stripe
+    code); :class:`ReplicationModel` is a thin shim over it that preserves
+    the historical constructor and the ``run_repair(failed)`` ->
+    :class:`ReplicationOutcome` surface.  New code should use
+    :class:`~repro.simulation.engine.SimulationEngine` with a ``rep-n``
+    registry identifier.
 """
 
 from __future__ import annotations
@@ -13,7 +17,11 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.codes.replication import ReplicationCode
 from repro.exceptions import InvalidParametersError
+from repro.simulation.engine import StripeSimulation
+
+__all__ = ["ReplicationModel", "ReplicationOutcome"]
 
 
 @dataclass
@@ -34,8 +42,15 @@ class ReplicationOutcome:
         return 1.0 if self.repaired_copies else 0.0
 
 
-class ReplicationModel:
-    """Availability-only model of ``copies``-way replication."""
+class ReplicationModel(StripeSimulation):
+    """Availability-only model of ``copies``-way replication (legacy shim).
+
+    .. deprecated::
+        Thin shim over :class:`~repro.simulation.engine.StripeSimulation`;
+        kept so historical call sites (and their fixed-seed results) remain
+        intact.  Prefer the scheme-agnostic
+        :class:`~repro.simulation.engine.SimulationEngine`.
+    """
 
     def __init__(
         self,
@@ -46,49 +61,37 @@ class ReplicationModel:
     ) -> None:
         if copies < 2:
             raise InvalidParametersError("replication requires at least 2 copies")
-        if data_blocks < 1:
-            raise InvalidParametersError("data_blocks must be positive")
-        self.copies = copies
-        self._data_blocks = data_blocks
-        self._locations = location_count
-        rng = np.random.default_rng(seed)
-        #: Location of every copy, shape (data_blocks, copies).
-        self.copy_location = rng.integers(
-            0, location_count, size=(data_blocks, copies), dtype=np.int64
+        super().__init__(
+            ReplicationCode(copies),
+            data_blocks,
+            location_count,
+            seed,
+            scheme_id=f"rep-{copies}",
         )
+        self.copies = copies
 
     @property
     def scheme(self) -> str:
-        return f"{self.copies}-way replication"
+        return self.name
 
     @property
-    def data_blocks(self) -> int:
-        return self._data_blocks
-
-    @property
-    def location_count(self) -> int:
-        return self._locations
+    def copy_location(self) -> np.ndarray:
+        """Location of every copy, shape (data_blocks, copies)."""
+        return self.block_location
 
     def run_repair(self, failed_locations: np.ndarray) -> ReplicationOutcome:
         """Apply a disaster; copies on surviving locations allow full repair."""
-        failed_mask = np.zeros(self._locations, dtype=bool)
-        failed_mask[np.asarray(failed_locations, dtype=np.int64)] = True
-        copy_unavailable = failed_mask[self.copy_location]  # (blocks, copies)
-        unavailable_count = copy_unavailable.sum(axis=1)
-        surviving = self.copies - unavailable_count
-        data_loss = int((surviving == 0).sum())
-        # Minimal maintenance restores nothing beyond the primary copy, so a
-        # block is vulnerable when a single copy survives.
-        vulnerable = int((surviving == 1).sum())
+        state = self.evaluate(failed_locations)
+        missing_copies = int(state.missing_count.sum())
         # Full repair copies each missing replica from a surviving one (blocks
         # whose every copy failed cannot be repaired at all).
-        repaired = int(copy_unavailable[surviving > 0].sum())
+        repaired = int(state.missing_count[state.decodable].sum())
         return ReplicationOutcome(
-            scheme=self.scheme,
-            data_blocks=self._data_blocks,
+            scheme=self.name,
+            data_blocks=self.data_blocks,
             copies=self.copies,
-            initially_missing_copies=int(unavailable_count.sum()),
-            data_loss=data_loss,
-            vulnerable_data=vulnerable,
+            initially_missing_copies=missing_copies,
+            data_loss=int(state.data_missing_count[~state.decodable].sum()),
+            vulnerable_data=int(state.vulnerable_minimal.sum()),
             repaired_copies=repaired,
         )

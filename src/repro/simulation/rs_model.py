@@ -1,22 +1,57 @@
-"""Vectorised availability model of RS(k, m) stripes for large-scale simulations.
+"""Vectorised availability model of RS(k, m) stripes (legacy shim).
 
-The paper's disaster experiments store one million data blocks with several
-Reed-Solomon settings and measure data loss, residual redundancy and repair
-efficiency (Figs. 11-13).  As with the AE model, the simulation only tracks
-availability: a stripe with at most ``m`` unavailable blocks is repairable;
-one with more loses its unavailable data blocks (the paper counts exactly
-those as lost, treating the surviving data blocks of a damaged stripe as
-available).
+.. deprecated::
+    This module is kept for backwards compatibility.  Stripe populations are
+    now simulated by :class:`repro.simulation.engine.StripeSimulation`, the
+    scheme-agnostic engine's adapter for *any*
+    :class:`~repro.codes.base.StripeCode` (Reed-Solomon, LRC, flat XOR,
+    replication); :class:`RSStripeModel` is a thin shim over it that
+    preserves the historical constructor and the ``run_repair(failed)`` ->
+    :class:`StripeRepairOutcome` surface.  New code should use
+    :class:`~repro.simulation.engine.SimulationEngine` with an ``rs-k-m``
+    registry identifier.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
 
 import numpy as np
 
-from repro.exceptions import InvalidParametersError
+from typing import Dict, List, Sequence
+
+from repro.codes.base import StripeCode
+from repro.codes.reed_solomon import ReedSolomonCode
+from repro.core.xor import Payload, as_payload
+from repro.exceptions import DecodingError, InvalidParametersError
+from repro.simulation.engine import StripeSimulation
+
+__all__ = ["RSStripeModel", "StripeRepairOutcome"]
+
+
+class _ParityFreeStripes(StripeCode):
+    """RS(k, 0) edge case of the legacy model: striping without parities.
+
+    ``ReedSolomonCode`` requires at least one parity, but the historical
+    ``RSStripeModel`` accepted ``m = 0`` (a stripe is decodable only when
+    nothing is missing).  This degenerate code keeps that parameter space.
+    """
+
+    def __init__(self, k: int) -> None:
+        super().__init__(k, 0)
+
+    @property
+    def name(self) -> str:
+        return f"RS({self.k},0)"
+
+    def encode(self, data_blocks: Sequence[Payload]) -> List[Payload]:
+        self._normalise_stripe(data_blocks)
+        return []
+
+    def decode(self, available: Dict[int, Payload]) -> List[Payload]:
+        if any(position not in available for position in range(self.k)):
+            raise DecodingError("RS(k,0) has no redundancy to decode from")
+        return [as_payload(available[position]) for position in range(self.k)]
 
 
 @dataclass
@@ -42,8 +77,15 @@ class StripeRepairOutcome:
         return self.single_failure_repairs / self.repaired_data
 
 
-class RSStripeModel:
-    """Availability-only model of RS(k, m) protecting ``data_blocks`` blocks."""
+class RSStripeModel(StripeSimulation):
+    """Availability-only model of RS(k, m) stripes (legacy shim).
+
+    .. deprecated::
+        Thin shim over :class:`~repro.simulation.engine.StripeSimulation`;
+        kept so historical call sites (and their fixed-seed results) remain
+        intact.  Prefer the scheme-agnostic
+        :class:`~repro.simulation.engine.SimulationEngine`.
+    """
 
     def __init__(
         self,
@@ -55,103 +97,40 @@ class RSStripeModel:
     ) -> None:
         if k < 1 or m < 0:
             raise InvalidParametersError(f"invalid RS setting ({k},{m})")
-        if data_blocks < 1:
-            raise InvalidParametersError("data_blocks must be positive")
+        code = ReedSolomonCode(k, m) if m >= 1 else _ParityFreeStripes(k)
+        super().__init__(
+            code,
+            data_blocks,
+            location_count,
+            seed,
+            scheme_id=f"rs-{k}-{m}",
+        )
         self.k = k
         self.m = m
-        self._data_blocks = data_blocks
-        self._locations = location_count
-        self.stripes = -(-data_blocks // k)
-        rng = np.random.default_rng(seed)
-        #: Locations of every block, shape (stripes, k + m); data first.
-        self.block_location = rng.integers(
-            0, location_count, size=(self.stripes, k + m), dtype=np.int64
-        )
-        #: Mask of data positions that actually hold data (the last stripe may
-        #: be partially filled).
-        self.data_mask = np.zeros((self.stripes, k), dtype=bool)
-        self.data_mask.ravel()[:data_blocks] = True
 
-    # ------------------------------------------------------------------
     @property
     def scheme(self) -> str:
-        return f"RS({self.k},{self.m})"
+        return self.name
 
-    @property
-    def data_blocks(self) -> int:
-        return self._data_blocks
-
-    @property
-    def encoded_blocks(self) -> int:
-        return self.stripes * self.m
-
-    @property
-    def location_count(self) -> int:
-        return self._locations
-
-    def stripes_fully_spread(self) -> int:
-        """Stripes whose n blocks all landed on distinct locations.
-
-        Reproduces the placement-skew observation of Sec. V-C ("only 38,429
-        stripes had their 14 blocks distributed to different locations").
-        """
-        n = self.k + self.m
-        sorted_locations = np.sort(self.block_location, axis=1)
-        distinct = (np.diff(sorted_locations, axis=1) != 0).sum(axis=1) + 1
-        return int((distinct == n).sum())
-
-    # ------------------------------------------------------------------
     def run_repair(self, failed_locations: np.ndarray) -> StripeRepairOutcome:
-        """Apply a disaster and compute the paper's stripe metrics."""
-        failed_mask = np.zeros(self._locations, dtype=bool)
-        failed_mask[np.asarray(failed_locations, dtype=np.int64)] = True
-        unavailable = failed_mask[self.block_location]  # (stripes, k + m)
-        data_unavailable = unavailable[:, : self.k] & self.data_mask
-        missing_per_stripe = unavailable[:, : self.k] & self.data_mask
-        missing_per_stripe = np.concatenate(
-            [missing_per_stripe, unavailable[:, self.k :]], axis=1
-        )
-        missing_count = missing_per_stripe.sum(axis=1)
+        """Apply a disaster and compute the paper's stripe metrics.
 
-        decodable = missing_count <= self.m
-        # Data loss: unavailable data blocks in undecodable stripes.
-        data_loss = int(data_unavailable[~decodable].sum())
-        missing_data_count = data_unavailable.sum(axis=1)
-        repaired_data = int(missing_data_count[decodable].sum())
-        initially_missing_data = int(data_unavailable.sum())
-        initially_missing_blocks = int(missing_per_stripe.sum())
-
-        # Single-failure repairs: the repaired block was its stripe's only failure.
-        single_failure_repairs = int(
-            ((missing_count == 1) & (missing_data_count == 1)).sum()
-        )
-        # Repair bandwidth: every decodable stripe with missing data reads k blocks.
-        stripes_repaired = int((decodable & (missing_data_count > 0)).sum())
-        blocks_read = stripes_repaired * self.k
-
-        # Vulnerable data under minimal maintenance: only the missing *data*
-        # blocks of decodable stripes are regenerated (data repairs are given
-        # priority); missing parities stay missing, exactly like the AE
-        # minimal-maintenance mode.  A data block is vulnerable when its
-        # stripe's remaining missing blocks exhaust the erasure tolerance.
-        parity_missing_count = unavailable[:, self.k :].sum(axis=1)
-        residual_missing = np.where(decodable, parity_missing_count, missing_count)
-        tolerance_left = self.m - residual_missing
-        stripe_vulnerable = tolerance_left <= 0
-        # Data present after repairs: originally available data plus the data
-        # regenerated in decodable stripes.
-        present_data = self.data_mask & (~data_unavailable | decodable[:, None])
-        vulnerable = int((present_data & stripe_vulnerable[:, None]).sum())
-
+        Repair metrics assume data repairs are given priority (minimal
+        maintenance), exactly like the historical model: vulnerability
+        counts stripes whose residual missing blocks exhaust the erasure
+        tolerance.
+        """
+        state = self.evaluate(failed_locations)
+        repairable = state.decodable & (state.data_missing_count > 0)
         return StripeRepairOutcome(
-            scheme=self.scheme,
-            data_blocks=self._data_blocks,
+            scheme=self.name,
+            data_blocks=self.data_blocks,
             stripes=self.stripes,
-            initially_missing_blocks=initially_missing_blocks,
-            initially_missing_data=initially_missing_data,
-            repaired_data=repaired_data,
-            data_loss=data_loss,
-            vulnerable_data=vulnerable,
-            single_failure_repairs=single_failure_repairs,
-            blocks_read_for_repair=blocks_read,
+            initially_missing_blocks=int(state.missing_count.sum()),
+            initially_missing_data=int(state.data_missing_count.sum()),
+            repaired_data=int(state.data_missing_count[state.decodable].sum()),
+            data_loss=int(state.data_missing_count[~state.decodable].sum()),
+            vulnerable_data=int(state.vulnerable_minimal.sum()),
+            single_failure_repairs=int(state.single_failure.sum()),
+            blocks_read_for_repair=int(state.stripe_reads[repairable].sum()),
         )

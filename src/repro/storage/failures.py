@@ -160,3 +160,57 @@ class ChurnTrace:
                 break
             cluster.fail_locations(event.departures)
             cluster.restore_locations(event.arrivals)
+
+    # ------------------------------------------------------------------
+    # Serialisation (consumed by `repro-experiments simulate --churn`)
+    # ------------------------------------------------------------------
+    def to_json(self) -> str:
+        """Serialise the trace as JSON (one object per event)."""
+        import json
+
+        return json.dumps(
+            {
+                "events": [
+                    {
+                        "time": event.time,
+                        "departures": list(event.departures),
+                        "arrivals": list(event.arrivals),
+                    }
+                    for event in self.events
+                ]
+            },
+            indent=1,
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "ChurnTrace":
+        """Parse a trace serialised with :meth:`to_json`."""
+        import json
+
+        try:
+            document = json.loads(text)
+            events = [
+                ChurnEvent(
+                    time=event["time"],
+                    departures=tuple(int(loc) for loc in event.get("departures", ())),
+                    arrivals=tuple(int(loc) for loc in event.get("arrivals", ())),
+                )
+                for event in document["events"]
+            ]
+        except (KeyError, TypeError, ValueError) as exc:
+            raise InvalidParametersError(f"malformed churn trace JSON: {exc}") from exc
+        # Hand-edited traces may list events out of order; replay semantics
+        # (and the engine's event loop) assume a time-sorted timeline.
+        events.sort(key=lambda event: event.time)
+        return cls(events=events)
+
+    def save(self, path: str) -> None:
+        """Write the trace to ``path`` as JSON."""
+        with open(path, "w", encoding="utf-8") as stream:
+            stream.write(self.to_json())
+
+    @classmethod
+    def load(cls, path: str) -> "ChurnTrace":
+        """Read a JSON trace written by :meth:`save`."""
+        with open(path, "r", encoding="utf-8") as stream:
+            return cls.from_json(stream.read())

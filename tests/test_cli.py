@@ -222,3 +222,97 @@ class TestIngestSpecErrors:
         with pytest.raises(SystemExit) as excinfo:
             main(["ingest", str(source), "--spec", "AE(2,5,2)"])  # p < s invalid
         assert excinfo.value.code == 2
+
+
+class TestSimulateSubcommand:
+    def test_simulate_smoke_table(self, capsys):
+        assert main(["simulate", "--smoke"]) == 0
+        out = capsys.readouterr().out
+        # One row per scheme per disaster fraction, engine metrics columns.
+        for name in ("AE(3,2,5)", "RS(10,4)", "3-way replication",
+                     "LRC(12,2,2)", "LRC(10,2,4)", "FlatXOR(2,1)"):
+            assert name in out
+        assert "data loss (blocks)" in out
+        assert "repair rounds" in out
+
+    def test_simulate_custom_schemes_and_fractions(self, capsys):
+        assert (
+            main(
+                [
+                    "simulate",
+                    "--schemes",
+                    "ae-2-2-5,xor-geo",
+                    "--disaster",
+                    "0.3",
+                    "--blocks",
+                    "1000",
+                    "--locations",
+                    "30",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        for name in ("AE(2,2,5)", "FlatXOR(2,1)"):
+            row = next(line for line in out.splitlines() if line.startswith(name))
+            assert row.split()[1] == "30"  # the disaster (%) column
+
+    def test_simulate_minimal_policy(self, capsys):
+        assert (
+            main(
+                [
+                    "simulate",
+                    "--schemes",
+                    "rs-10-4",
+                    "--disaster",
+                    "0.3",
+                    "--blocks",
+                    "1000",
+                    "--policy",
+                    "minimal",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "policy       : minimal" in out
+
+    def test_simulate_churn_replay(self, tmp_path, capsys):
+        from repro.storage.failures import ChurnTrace
+
+        trace_path = tmp_path / "trace.json"
+        ChurnTrace.poisson(30, 6, 0.2, 0.5, seed=4).save(str(trace_path))
+        assert (
+            main(
+                [
+                    "simulate",
+                    "--schemes",
+                    "rs-10-4,rep-3",
+                    "--disaster",
+                    "0.1",
+                    "--blocks",
+                    "1000",
+                    "--locations",
+                    "30",
+                    "--churn",
+                    str(trace_path),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "churn replay" in out
+        assert "mean availability" in out
+
+    def test_simulate_rejects_unknown_scheme(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["simulate", "--schemes", "not-a-scheme", "--blocks", "100"])
+        assert excinfo.value.code == 2
+
+    def test_simulate_rejects_bad_fraction(self):
+        with pytest.raises(SystemExit):
+            main(["simulate", "--schemes", "rs-10-4", "--disaster", "1.5", "--blocks", "100"])
+
+    def test_simulate_listed(self, capsys):
+        assert main(["--list"]) == 0
+        assert "simulate" in capsys.readouterr().out

@@ -1,0 +1,389 @@
+"""Tests for the scheme-agnostic discrete-event simulation engine."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.codes.lrc import azure_lrc
+from repro.core.parameters import AEParameters
+from repro.exceptions import InvalidParametersError
+from repro.simulation.engine import (
+    LatticeSimulation,
+    SimulationEngine,
+    SimulationEvent,
+    StripeSimulation,
+    build_simulation,
+    normalise_events,
+    sample_disaster_locations,
+    simulate_disasters,
+)
+from repro.simulation.experiments import ExperimentConfig, sample_disaster
+from repro.simulation.metrics import describe_scheme, scheme_id_for
+from repro.simulation.traces import p2p_session_trace
+from repro.storage.failures import ChurnTrace, CorrelatedFailureDomains, Disaster
+from repro.storage.maintenance import MaintenanceBudget, MaintenancePolicy
+
+CONFIG = ExperimentConfig.quick(20_000)
+
+#: Fixed-seed metrics recorded from the pre-engine per-scheme models
+#: (AELatticeModel / RSStripeModel / ReplicationModel at seed 7, 20,000
+#: blocks, 100 locations).  The engine must reproduce them exactly.
+GOLDEN = {
+    ("ae-3-2-5", "full", 10): dict(data_loss=0, vulnerable_data=0, rounds=3, repaired_data=1945),
+    ("ae-3-2-5", "full", 30): dict(data_loss=0, vulnerable_data=0, rounds=6, repaired_data=5978),
+    ("ae-3-2-5", "full", 50): dict(data_loss=20, vulnerable_data=0, rounds=16, repaired_data=10023),
+    ("ae-3-2-5", "minimal", 10): dict(data_loss=13, vulnerable_data=112, rounds=1, repaired_data=1932),
+    ("ae-3-2-5", "minimal", 30): dict(data_loss=769, vulnerable_data=1821, rounds=1, repaired_data=5209),
+    ("ae-3-2-5", "minimal", 50): dict(data_loss=4233, vulnerable_data=4214, rounds=1, repaired_data=5810),
+    ("rs-10-4", "minimal", 10): dict(data_loss=67, vulnerable_data=103, repaired_data=1859, blocks_read=12380),
+    ("rs-10-4", "minimal", 30): dict(data_loss=3387, vulnerable_data=4833, repaired_data=2535, blocks_read=11190),
+    ("rs-10-4", "minimal", 50): dict(data_loss=9521, vulnerable_data=8719, repaired_data=453, blocks_read=1760),
+    ("rep-3", "minimal", 10): dict(data_loss=19, vulnerable_data=495),
+    ("rep-3", "minimal", 30): dict(data_loss=504, vulnerable_data=3705),
+    ("rep-3", "minimal", 50): dict(data_loss=2525, vulnerable_data=7590),
+}
+
+
+class TestGoldenEquivalence:
+    """The engine reproduces the legacy models' fixed-seed metrics."""
+
+    @pytest.mark.parametrize("key", sorted(GOLDEN, key=str))
+    def test_fixed_seed_metrics(self, key):
+        scheme_id, policy_name, percent = key
+        offset = {10: 0, 30: 2, 50: 4}[percent]
+        failed = sample_disaster(CONFIG, percent / 100.0, offset)
+        engine = SimulationEngine(
+            scheme_id, CONFIG.data_blocks, CONFIG.location_count, CONFIG.seed
+        )
+        outcome = engine.run_outcome(failed, policy=MaintenancePolicy(policy_name))
+        for metric, expected in GOLDEN[key].items():
+            got = getattr(outcome, metric if metric != "rounds" else "rounds")
+            assert got == expected, (key, metric, got, expected)
+
+
+class TestBuildSimulation:
+    def test_registry_ids_resolve_to_adapters(self):
+        assert isinstance(build_simulation("ae-3-2-5", 100), LatticeSimulation)
+        for scheme_id in ("rs-10-4", "rep-3", "lrc-azure", "xor-geo"):
+            assert isinstance(build_simulation(scheme_id, 100), StripeSimulation)
+
+    def test_legacy_specs_resolve(self):
+        assert isinstance(build_simulation(AEParameters.triple(2, 5), 100), LatticeSimulation)
+        assert isinstance(build_simulation((10, 4), 100), StripeSimulation)
+        assert isinstance(build_simulation(3, 100), StripeSimulation)
+        assert isinstance(build_simulation(azure_lrc(), 100), StripeSimulation)
+
+    def test_placement_shape(self):
+        sim = build_simulation("lrc-azure", 1000, location_count=50, seed=1)
+        assert sim.data_blocks == 1000
+        assert sim.redundancy_blocks == sim.stripes * 4  # LRC(12,2,2): l + r = 4
+        # The histogram counts stored blocks, including the zero padding that
+        # completes the final stripe (like the legacy RS model's report).
+        assert sim.blocks_per_location().sum() == sim.stripes * sim.code.n
+
+    def test_rejects_unknown_scheme(self):
+        with pytest.raises(InvalidParametersError):
+            build_simulation("bogus-1", 100)
+        with pytest.raises(InvalidParametersError):
+            build_simulation(object(), 100)
+
+
+class TestStripeSimulationGenericPath:
+    """LRC / flat XOR stripes go through the code's own repair plans."""
+
+    def test_lrc_single_failure_reads_local_group(self):
+        code = azure_lrc()
+        sim = StripeSimulation(code, data_blocks=10 * code.k, location_count=400, seed=3)
+        # Craft a deterministic placement: stripe 0 puts its first data block
+        # on location 0, everything else (and every other stripe) elsewhere.
+        sim.block_location[:] = np.arange(1, sim.block_location.size + 1).reshape(
+            sim.block_location.shape
+        )
+        sim.block_location[0, 0] = 0
+        state = sim.evaluate(np.array([0]))
+        assert bool(state.decodable[0])
+        assert bool(state.single_failure[0])
+        # The cheapest plan for one data failure is the local group:
+        # group members (k/l - 1 = 5) plus the local parity.
+        assert int(state.stripe_reads[0]) == code.single_failure_cost
+        assert int(state.stripe_reads[1:].sum()) == 0
+
+    def test_lrc_multi_failure_reads_union_of_plans(self):
+        """Two failures in different local groups cost two local repairs."""
+        code = azure_lrc()
+        sim = StripeSimulation(code, data_blocks=5 * code.k, location_count=400, seed=3)
+        sim.block_location[:] = np.arange(1, sim.block_location.size + 1).reshape(
+            sim.block_location.shape
+        )
+        # Stripe 0 loses data block 0 (group 0) and data block 6 (group 1).
+        sim.block_location[0, 0] = 0
+        sim.block_location[0, 6] = 0
+        state = sim.evaluate(np.array([0]))
+        assert bool(state.decodable[0])
+        # Each failure is repaired from its own local group (6 reads each,
+        # disjoint): 12 reads total, not 6.
+        assert int(state.stripe_reads[0]) == 2 * code.single_failure_cost
+
+    def test_xor_geo_loses_data_only_with_two_failures(self):
+        sim = StripeSimulation(
+            build_simulation("xor-geo", 600, location_count=30, seed=2).code,
+            600,
+            location_count=30,
+            seed=2,
+        )
+        state = sim.evaluate(np.arange(0))
+        assert int(state.missing_count.sum()) == 0
+        outcome = sim.run_repair(np.arange(15))
+        # Any stripe with >= 2 of its 3 blocks down is undecodable.
+        assert outcome.data_loss > 0
+        assert outcome.data_loss + outcome.repaired_data == outcome.initially_missing_data
+
+    def test_vulnerability_orders_policies(self):
+        """NONE >= MINIMAL >= FULL vulnerable data, for a locality code."""
+        sim = build_simulation("lrc-xorbas", 5_000, location_count=50, seed=5)
+        failed = np.arange(10)
+        by_policy = {
+            policy: sim.run_repair(failed, policy=policy).vulnerable_data
+            for policy in MaintenancePolicy
+        }
+        assert by_policy[MaintenancePolicy.NONE] >= by_policy[MaintenancePolicy.MINIMAL]
+        assert by_policy[MaintenancePolicy.MINIMAL] >= by_policy[MaintenancePolicy.FULL]
+
+    def test_none_policy_repairs_nothing(self):
+        sim = build_simulation("rs-10-4", 5_000, location_count=50, seed=5)
+        outcome = sim.run_repair(np.arange(10), policy=MaintenancePolicy.NONE)
+        assert outcome.repaired_data == 0
+        assert outcome.rounds == 0
+        assert outcome.data_loss == outcome.initially_missing_data
+
+
+class TestMaintenanceBudget:
+    def test_ae_max_rounds_caps_rounds(self):
+        engine = SimulationEngine("ae-3-2-5", 20_000, 100, seed=7)
+        failed = sample_disaster(CONFIG, 0.5, 4)
+        unlimited = engine.run_outcome(failed)
+        assert unlimited.rounds > 1
+        capped = engine.run_outcome(failed, budget=MaintenanceBudget(max_rounds=1))
+        assert capped.rounds == 1
+        assert capped.repaired_data <= unlimited.repaired_data
+        # Conservation: every initially missing data block is either repaired,
+        # deferred (repairable but over budget) or counted as loss.
+        assert (
+            capped.repaired_data + capped.deferred_data + capped.data_loss
+            == capped.initially_missing_data
+        )
+        assert capped.deferred_data > 0
+
+    def test_ae_per_round_cap(self):
+        engine = SimulationEngine("ae-3-2-5", 10_000, 100, seed=7)
+        failed = sample_disaster(CONFIG, 0.3, 2)
+        capped = engine.run_outcome(
+            failed, budget=MaintenanceBudget(max_repairs_per_round=100, max_rounds=3)
+        )
+        assert all(count <= 100 for count in capped.repaired_per_round)
+        assert capped.rounds <= 3
+
+    def test_stripe_budget_defers_repairs(self):
+        engine = SimulationEngine("rs-10-4", 20_000, 100, seed=7)
+        failed = sample_disaster(CONFIG, 0.3, 2)
+        unlimited = engine.run_outcome(failed, policy=MaintenancePolicy.MINIMAL)
+        capped = engine.run_outcome(
+            failed,
+            policy=MaintenancePolicy.MINIMAL,
+            budget=MaintenanceBudget(max_repairs_per_round=500),
+        )
+        assert capped.repaired_data <= 500
+        assert capped.repaired_data + capped.deferred_data == unlimited.repaired_data
+        assert capped.data_loss == unlimited.data_loss
+
+    def test_none_policy_ignores_budget(self):
+        """Under NONE nothing is 'deferred': raw exposure is reported as-is."""
+        engine = SimulationEngine("ae-3-2-5", 5_000, 50, seed=3)
+        plain = engine.run_outcome(0.3, policy=MaintenancePolicy.NONE)
+        budgeted = engine.run_outcome(
+            0.3,
+            policy=MaintenancePolicy.NONE,
+            budget=MaintenanceBudget(max_repairs_per_round=10),
+        )
+        assert budgeted.data_loss == plain.data_loss
+        assert budgeted.deferred_data == 0
+
+    def test_deferred_repairs_reach_the_metrics_row(self):
+        engine = SimulationEngine("rs-10-4", 20_000, 100, seed=7)
+        failed = sample_disaster(CONFIG, 0.3, 2)
+        metrics = engine.run_disaster(
+            failed, budget=MaintenanceBudget(max_repairs_per_round=500)
+        )
+        assert metrics.deferred_data > 0
+        assert metrics.as_row()["deferred repairs (blocks)"] == metrics.deferred_data
+
+    def test_stripe_budget_caps_redundancy_repairs_too(self):
+        engine = SimulationEngine("rs-10-4", 20_000, 100, seed=7)
+        failed = sample_disaster(CONFIG, 0.3, 2)
+        # A forbidden first round repairs nothing at all (like the lattice).
+        frozen = engine.run_outcome(failed, budget=MaintenanceBudget(max_rounds=0))
+        assert frozen.repaired_data == 0
+        assert frozen.repaired_redundancy == 0
+        assert frozen.rounds == 0
+        # Data repairs take priority; leftover allowance goes to parities.
+        capped = engine.run_outcome(
+            failed, budget=MaintenanceBudget(max_repairs_per_round=500)
+        )
+        assert capped.repaired_data + capped.repaired_redundancy <= 500
+
+
+class TestEventLoop:
+    def test_normalise_disaster_and_trace(self):
+        disaster = Disaster(failed_locations=(1, 2, 3))
+        events = normalise_events(disaster)
+        assert events == [SimulationEvent(time=0.0, fail=(1, 2, 3), label="disaster")]
+        trace = ChurnTrace.poisson(20, 5, 0.2, 0.5, seed=1)
+        assert len(normalise_events(trace)) == 5
+        mixed = normalise_events([disaster, trace])
+        assert len(mixed) == 6
+
+    def test_correlated_domains_feed_the_loop(self):
+        domains = CorrelatedFailureDomains.evenly(40, 4)
+        disaster = domains.domain_disaster([0, 2])
+        engine = SimulationEngine("rs-10-4", 2_000, 40, seed=7)
+        metrics = engine.run_disaster(disaster)
+        assert metrics.disaster_fraction == pytest.approx(0.5)
+        assert metrics.data_loss >= 0
+
+    def test_session_trace_round_trips_through_loop(self):
+        trace = p2p_session_trace(30, 48.0, seed=9)
+        engine = SimulationEngine("rep-3", 1_000, 30, seed=7)
+        run = engine.run_events(trace)
+        assert run.steps
+        assert 0.0 <= run.min_availability <= 1.0
+        row = run.as_row()
+        assert row["scheme"] == "3-way replication"
+
+    def test_restores_bring_data_back(self):
+        events = [
+            SimulationEvent(time=0.0, fail=tuple(range(20))),
+            SimulationEvent(time=1.0, restore=tuple(range(20))),
+        ]
+        engine = SimulationEngine("rs-10-4", 2_000, 40, seed=7)
+        run = engine.run_events(events)
+        assert run.steps[0].unavailable_data > 0
+        assert run.steps[1].unavailable_data == 0
+
+    def test_fraction_input_samples_a_disaster(self):
+        engine = SimulationEngine("rs-10-4", 2_000, 40, seed=7)
+        metrics = engine.run_disaster(0.5)
+        assert metrics.disaster_fraction == pytest.approx(0.5)
+
+    def test_event_loop_honours_the_engine_policy(self):
+        """NONE measures raw exposure; FULL measures decodability."""
+        events = [SimulationEvent(time=0.0, fail=tuple(range(10)))]
+        exposed = SimulationEngine(
+            "rs-10-4", 2_000, 100, seed=7, policy=MaintenancePolicy.NONE
+        ).run_events(events)
+        served = SimulationEngine(
+            "rs-10-4", 2_000, 100, seed=7, policy=MaintenancePolicy.FULL
+        ).run_events(events)
+        # A 10% disaster leaves ~10% of data offline but almost all of it
+        # decodable, so raw exposure must strictly exceed unserveable data.
+        assert exposed.steps[0].unavailable_data > served.steps[0].unavailable_data
+
+    def test_event_loop_rejects_out_of_range_locations(self):
+        engine = SimulationEngine("rs-10-4", 1_000, 40, seed=7)
+        events = [SimulationEvent(time=0.0, fail=(150,))]
+        with pytest.raises(InvalidParametersError, match="150"):
+            engine.run_events(events)
+
+    def test_event_loop_rejects_string_input(self):
+        engine = SimulationEngine("rs-10-4", 1_000, 40, seed=7)
+        with pytest.raises(InvalidParametersError, match="ChurnTrace.load"):
+            engine.run_events("trace.json")
+
+
+class TestSchemeIdUnification:
+    def test_scheme_id_for_normalises_legacy_specs(self):
+        assert scheme_id_for("AE-3-2-5") == "ae-3-2-5"
+        assert scheme_id_for(AEParameters.triple(2, 5)) == "ae-3-2-5"
+        assert scheme_id_for(AEParameters.single()) == "ae-1"
+        assert scheme_id_for((10, 4)) == "rs-10-4"
+        assert scheme_id_for(3) == "rep-3"
+        with pytest.raises(InvalidParametersError):
+            scheme_id_for(1.5)
+
+    def test_describe_scheme_covers_registry_families(self):
+        for scheme_id, kind, reads in (
+            ("ae-3-2-5", "ae", 2),
+            ("rs-10-4", "rs", 10),
+            ("lrc-azure", "lrc", 6),
+            ("lrc-xorbas", "lrc", 5),
+            ("rep-3", "replication", 1),
+            ("xor-geo", "xor", 2),
+        ):
+            description = describe_scheme(scheme_id)
+            assert description.kind == kind
+            assert description.single_failure_cost == reads
+            assert description.scheme_id == scheme_id
+
+    def test_repair_model_for_lrc_and_xor(self):
+        from repro.analysis.repair_cost import repair_model_for
+
+        lrc = repair_model_for("lrc-azure")
+        assert lrc.kind == "lrc"
+        assert lrc.single_failure_cost(4096).blocks_read == 6
+        xor = repair_model_for("xor-geo")
+        assert xor.kind == "xor"
+        assert xor.single_failure_cost(4096).blocks_read == 2
+
+
+class TestSimulateDisasters:
+    def test_acceptance_matrix(self):
+        """Six schemes x 10-50% disasters all produce metrics (ISSUE 3)."""
+        scheme_ids = ("ae-3-2-5", "rs-10-4", "rep-3", "lrc-azure", "lrc-xorbas", "xor-geo")
+        fractions = (0.10, 0.30, 0.50)
+        results = simulate_disasters(
+            scheme_ids, data_blocks=2_000, location_count=40, seed=7, fractions=fractions
+        )
+        assert len(results) == len(scheme_ids) * len(fractions)
+        names = {metrics.scheme for metrics in results}
+        assert names == {
+            "AE(3,2,5)", "RS(10,4)", "3-way replication",
+            "LRC(12,2,2)", "LRC(10,2,4)", "FlatXOR(2,1)",
+        }
+        for metrics in results:
+            assert 0 <= metrics.data_loss <= metrics.data_blocks
+            assert 0 <= metrics.vulnerable_data <= metrics.data_blocks
+
+    def test_sampling_matches_experiment_runner(self):
+        sampled = sample_disaster_locations(100, 0.3, 7, 2)
+        legacy = sample_disaster(CONFIG, 0.3, 2)
+        assert np.array_equal(sampled, legacy)
+
+
+class TestLegacyShims:
+    def test_shims_subclass_the_engine_adapters(self):
+        from repro.simulation.lattice_model import AELatticeModel
+        from repro.simulation.replication_model import ReplicationModel
+        from repro.simulation.rs_model import RSStripeModel
+
+        assert issubclass(AELatticeModel, LatticeSimulation)
+        assert issubclass(RSStripeModel, StripeSimulation)
+        assert issubclass(ReplicationModel, StripeSimulation)
+        for shim in (AELatticeModel, RSStripeModel, ReplicationModel):
+            assert "deprecated" in (shim.__doc__ or "").lower()
+
+    def test_rs_shim_keeps_the_parity_free_edge_case(self):
+        """The legacy model accepted m = 0 (striping without redundancy)."""
+        from repro.simulation.rs_model import RSStripeModel
+
+        model = RSStripeModel(5, 0, 1_000, location_count=40, seed=3)
+        outcome = model.run_repair(np.arange(4))
+        # Without parities nothing is repairable: every missing block is lost.
+        assert outcome.repaired_data == 0
+        assert outcome.data_loss == outcome.initially_missing_data
+        assert outcome.data_loss > 0
+        # The m=0 edge case also survives the unified spec vocabulary.
+        description = describe_scheme((5, 0))
+        assert description.name == "RS(5,0)"
+        assert description.additional_storage_percent == 0.0
+        sim = build_simulation((5, 0), 1_000, location_count=40, seed=3)
+        assert sim.run_repair(np.arange(4)).data_loss == outcome.data_loss
