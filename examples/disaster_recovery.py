@@ -9,10 +9,14 @@ single-failure repairs and the number of AE repair rounds.
 Run with::
 
     python examples/disaster_recovery.py [data_blocks]
+
+Setting ``REPRO_SMOKE=1`` (as CI does for every example) drops the default
+scale so the run finishes in about a second.
 """
 
 from __future__ import annotations
 
+import os
 import sys
 
 from repro.simulation.experiments import (
@@ -27,7 +31,8 @@ from repro.simulation.metrics import format_table
 
 
 def main() -> None:
-    blocks = int(sys.argv[1]) if len(sys.argv) > 1 else 100_000
+    default_blocks = 20_000 if os.environ.get("REPRO_SMOKE") else 100_000
+    blocks = int(sys.argv[1]) if len(sys.argv) > 1 else default_blocks
     config = ExperimentConfig.quick(blocks)
     print(f"disaster-recovery simulation: {blocks} data blocks, "
           f"{config.location_count} locations, disasters of 10-50%\n")

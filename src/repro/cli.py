@@ -224,9 +224,45 @@ def _add_scheme_argument(parser: argparse.ArgumentParser) -> None:
         help=(
             "redundancy scheme id from the repro.schemes registry "
             f"(default {DEFAULT_SCHEME}); e.g. ae-3-2-5, rs-10-4, lrc-azure, "
-            "lrc-xorbas, rep-3, xor-geo, xor-raid5-5"
+            "lrc-xorbas, rep-3, xor-geo, xor-raid5-5 (see docs/schemes.md)"
         ),
     )
+
+
+def _add_backend_arguments(parser: argparse.ArgumentParser) -> None:
+    from repro.storage import backends
+
+    parser.add_argument(
+        "--backend",
+        default="memory",
+        choices=backends.available(),
+        help=(
+            "storage backend for the block payloads (default 'memory'; "
+            "'disk' and 'segment' persist under --data-dir, see "
+            "docs/persistence.md)"
+        ),
+    )
+    parser.add_argument(
+        "--data-dir",
+        default=None,
+        metavar="DIR",
+        help=(
+            "root directory for persistent backends; reopening a directory "
+            "that already holds a service manifest restores its documents"
+        ),
+    )
+    parser.add_argument(
+        "--fsync",
+        action="store_true",
+        help="fsync every durable write (power-loss safety at a latency cost)",
+    )
+
+
+def _validate_backend_arguments(
+    parser: argparse.ArgumentParser, args: argparse.Namespace
+) -> None:
+    if args.backend != "memory" and args.data_dir is None:
+        parser.error(f"--backend {args.backend} requires --data-dir")
 
 
 def build_ingest_parser() -> argparse.ArgumentParser:
@@ -277,6 +313,7 @@ def build_ingest_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="stream the document back (get_stream) and check it byte-exact",
     )
+    _add_backend_arguments(parser)
     return parser
 
 
@@ -303,6 +340,7 @@ def build_repair_parser() -> argparse.ArgumentParser:
         "--fail", type=int, default=3, help="locations to fail (default 3)"
     )
     parser.add_argument("--seed", type=int, default=7, help="workload seed (default 7)")
+    _add_backend_arguments(parser)
     return parser
 
 
@@ -349,6 +387,7 @@ def build_compare_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="tiny fast configuration for CI (60 blocks of 512 bytes, 30 locations)",
     )
+    _add_backend_arguments(parser)
     return parser
 
 
@@ -516,6 +555,7 @@ def ingest_main(argv: List[str] | None = None) -> int:
     args = parser.parse_args(argv)
     if args.chunk_size < 1:
         parser.error("--chunk-size must be at least 1 byte")
+    _validate_backend_arguments(parser, args)
     try:
         scheme_id = args.scheme
         if args.spec is not None:
@@ -526,6 +566,9 @@ def ingest_main(argv: List[str] | None = None) -> int:
                 location_count=args.locations,
                 block_size=args.block_size,
                 batch_blocks=args.batch_blocks,
+                backend=args.backend,
+                data_dir=args.data_dir,
+                fsync=args.fsync,
             )
         )
         started = time.perf_counter()
@@ -539,26 +582,31 @@ def ingest_main(argv: List[str] | None = None) -> int:
     redundancy = service.cluster.stats().blocks - document.block_count
     print(f"code setting : {service.capabilities.name}")
     print(f"scheme       : {service.scheme.scheme_id}")
+    print(f"backend      : {args.backend}")
     print(f"ingested     : {document.length} bytes in {document.block_count} blocks")
     print(f"redundancy   : {redundancy} blocks")
     print(f"elapsed      : {elapsed:.3f} s")
     print(f"throughput   : {throughput:.1f} MB/s")
+    exit_code = 0
     if args.verify:
         read_back = b"".join(service.get_stream("ingest"))
-        expected_length = document.length
-        if len(read_back) != expected_length:
+        if len(read_back) != document.length:
             print("verify       : FAILED (length mismatch)")
-            return 1
-        if args.path == "-":
+            exit_code = 1
+        elif args.path == "-":
             print("verify       : OK (length match; stdin content not re-readable)")
-            return 0
-        with open(args.path, "rb") as stream:
-            original = stream.read()
-        if read_back != original:
-            print("verify       : FAILED (content mismatch)")
-            return 1
-        print("verify       : OK (byte-exact round trip)")
-    return 0
+        else:
+            with open(args.path, "rb") as stream:
+                original = stream.read()
+            if read_back != original:
+                print("verify       : FAILED (content mismatch)")
+                exit_code = 1
+            else:
+                print("verify       : OK (byte-exact round trip)")
+    if args.data_dir is not None:
+        service.close()
+        print(f"persisted    : {args.data_dir} (reopen with the same --scheme/--backend)")
+    return exit_code
 
 
 def repair_main(argv: List[str] | None = None) -> int:
@@ -572,6 +620,7 @@ def repair_main(argv: List[str] | None = None) -> int:
     args = parser.parse_args(argv)
     if not 0 <= args.fail <= args.locations:
         parser.error("--fail must lie between 0 and --locations")
+    _validate_backend_arguments(parser, args)
     rng = random.Random(args.seed)
     payload = rng.randbytes(args.blocks * args.block_size)
     try:
@@ -581,6 +630,9 @@ def repair_main(argv: List[str] | None = None) -> int:
                 location_count=args.locations,
                 block_size=args.block_size,
                 seed=args.seed,
+                backend=args.backend,
+                data_dir=args.data_dir,
+                fsync=args.fsync,
             )
         )
         service.put("workload", payload)
@@ -598,6 +650,10 @@ def repair_main(argv: List[str] | None = None) -> int:
     except ReproError:
         intact = False
     print(f"verify       : {'OK (byte-exact round trip)' if intact else 'FAILED (data loss)'}")
+    if args.data_dir is not None:
+        service.restore_locations()
+        service.close()
+        print(f"persisted    : {args.data_dir}")
     return 0 if intact else 1
 
 
@@ -612,6 +668,7 @@ def compare_main(argv: List[str] | None = None) -> int:
     if args.smoke:
         args.blocks, args.block_size = 60, 512
         args.locations, args.fail, args.victims = 30, 2, 2
+    _validate_backend_arguments(parser, args)
     scheme_ids = [scheme.strip() for scheme in args.schemes.split(",") if scheme.strip()]
     if not scheme_ids:
         parser.error("--schemes must name at least one scheme")
@@ -624,6 +681,9 @@ def compare_main(argv: List[str] | None = None) -> int:
             fail_locations=args.fail,
             seed=args.seed,
             victims=args.victims,
+            backend=args.backend,
+            data_dir=args.data_dir,
+            fsync=args.fsync,
         )
     except (ReproError, ValueError) as exc:
         parser.error(str(exc))

@@ -144,6 +144,24 @@ class EntanglementScheme(RedundancyScheme):
         return outcome
 
     # ------------------------------------------------------------------
+    # Durability
+    # ------------------------------------------------------------------
+    def state(self) -> Dict[str, object]:
+        """The lattice write position; strand heads are rebuilt from storage."""
+        return {"blocks_encoded": self._entangler.blocks_encoded}
+
+    def restore_state(self, state: Dict[str, object], fetch: BlockFetcher) -> None:
+        """Regrow the lattice and refetch the strand-head parities.
+
+        This is the paper's broker crash recovery (Sec. IV-A): the encoder
+        only needs the head parity of each strand, all of which live in
+        remote storage, so a durable reopen can continue entangling exactly
+        where the closed service stopped.
+        """
+        blocks_encoded = int(state.get("blocks_encoded", 0))
+        self._entangler.restore(blocks_encoded, fetch)
+
+    # ------------------------------------------------------------------
     # Metadata
     # ------------------------------------------------------------------
     def is_data_block(self, block_id) -> bool:

@@ -176,6 +176,28 @@ class RedundancyScheme(ABC):
 
         return RandomPlacement(location_count, seed=seed)
 
+    # ------------------------------------------------------------------
+    # Durability hooks
+    # ------------------------------------------------------------------
+    def state(self) -> Dict[str, object]:
+        """JSON-serialisable per-stream state for a durable close/reopen.
+
+        Schemes whose encoder carries state across writes (the entanglement
+        lattice size, a stripe counter) return it here so a
+        :class:`~repro.system.service.StorageService` manifest can bring a
+        reopened service back to the exact write position.  Stateless schemes
+        return an empty dict.
+        """
+        return {}
+
+    def restore_state(self, state: Dict[str, object], fetch: BlockFetcher) -> None:
+        """Rebuild the per-stream state captured by :meth:`state`.
+
+        ``fetch`` reads blocks from the reopened storage (the entanglement
+        encoder retrieves its strand-head parities this way, paper Sec. IV-A).
+        The default is a no-op for stateless schemes.
+        """
+
 
 class CountingFetcher:
     """Wraps a :data:`BlockFetcher` and counts successful reads."""

@@ -219,6 +219,24 @@ class StripeScheme(RedundancyScheme):
         return recovered, []
 
     # ------------------------------------------------------------------
+    # Durability
+    # ------------------------------------------------------------------
+    def state(self) -> Dict[str, object]:
+        """The stripe write position plus the short-stripe padding map."""
+        return {
+            "next_stripe": self._next_stripe,
+            "real_count": {str(stripe): real for stripe, real in self._real_count.items()},
+        }
+
+    def restore_state(self, state: Dict[str, object], fetch: BlockFetcher) -> None:
+        """Resume striping where the closed service stopped (no reads needed)."""
+        self._next_stripe = int(state.get("next_stripe", 0))
+        self._real_count = {
+            int(stripe): int(real)
+            for stripe, real in dict(state.get("real_count", {})).items()
+        }
+
+    # ------------------------------------------------------------------
     # Metadata
     # ------------------------------------------------------------------
     def is_data_block(self, block_id) -> bool:

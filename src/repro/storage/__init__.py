@@ -1,10 +1,27 @@
-"""Storage substrate: locations, clusters, placement, failures and repair.
+"""Storage substrate: backends, locations, clusters, placement and repair.
 
 This subpackage models the physical layer beneath the entanglement lattice --
 storage locations that can fail, a cluster that maps blocks to locations, and
 the repair machinery that restores redundancy after disasters.
+
+Payload bytes live on pluggable, durable backends
+(:mod:`repro.storage.backends`): ``"memory"`` for simulations, ``"disk"``
+(one file per block) and ``"segment"`` (append-only segment log with
+compaction) for restartable archives.  ``repro.storage.backends.get(name,
+root=...)`` resolves a backend; :class:`BlockStore` and
+:class:`StorageCluster` accept the same specs.  See ``docs/persistence.md``
+for the on-disk layout and crash-recovery semantics.
 """
 
+from repro.storage import backends
+from repro.storage.backends import (
+    DiskBackend,
+    MemoryBackend,
+    SegmentLogBackend,
+    StorageBackend,
+    decode_block_id,
+    encode_block_id,
+)
 from repro.storage.block_store import BlockStore
 from repro.storage.cluster import ClusterStats, StorageCluster
 from repro.storage.failures import (
@@ -35,6 +52,13 @@ from repro.storage.repair import (
 __all__ = [
     "BlockStore",
     "ChecksumManifest",
+    "DiskBackend",
+    "MemoryBackend",
+    "SegmentLogBackend",
+    "StorageBackend",
+    "backends",
+    "decode_block_id",
+    "encode_block_id",
     "ChurnEvent",
     "ChurnTrace",
     "ClusterRepairManager",

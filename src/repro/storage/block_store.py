@@ -1,34 +1,73 @@
-"""A single storage location: an in-memory block store with an availability flag.
+"""A single storage location: availability, capacity, counters and a backend.
 
 The paper's evaluation treats storage locations abstractly: a location is a
 disk, a server or a peer; blocks are mapped to locations by a placement
 policy; a disaster flips a set of locations to *unavailable* (paper,
-Sec. V-C).  This class models one such location.  Payloads are kept in memory,
-which is sufficient for the simulations and the examples while still
-exercising the real encode/decode path.
+Sec. V-C).  This class models one such location.
+
+Where the payload bytes live is pluggable: a
+:class:`~repro.storage.backends.StorageBackend` (memory / disk / segment log,
+see :mod:`repro.storage.backends`) holds the content, while this class keeps
+everything that makes the location a *location* -- the availability flag, the
+capacity limit, read/write accounting, and a small write-through LRU read
+cache that keeps repeated reads on persistent backends close to memory speed.
+Opening a store over a persistent backend with pre-existing data rebuilds the
+block index (and restores the persisted counters), so a location survives a
+process restart with its content intact.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+from collections import OrderedDict
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple, Union
 
 import numpy as np
 
 from repro.core.blocks import BlockId
 from repro.core.xor import Payload, as_payload
 from repro.exceptions import BlockUnavailableError, StorageFullError, UnknownBlockError
+from repro.storage import backends as _backends
+from repro.storage.backends import MemoryBackend, StorageBackend
+
+#: Default LRU read-cache size (in blocks) for persistent backends; volatile
+#: backends default to no cache (a dict lookup needs no caching).
+DEFAULT_CACHE_BLOCKS = 1024
 
 
 class BlockStore:
-    """In-memory content store for one storage location."""
+    """Content store for one storage location over a pluggable backend."""
 
-    def __init__(self, location_id: int, capacity_blocks: Optional[int] = None) -> None:
+    def __init__(
+        self,
+        location_id: int,
+        capacity_blocks: Optional[int] = None,
+        backend: Optional[Union[str, StorageBackend]] = None,
+        cache_blocks: Optional[int] = None,
+    ) -> None:
         self._location_id = location_id
         self._capacity = capacity_blocks
-        self._blocks: Dict[BlockId, Payload] = {}
+        if backend is None:
+            backend = MemoryBackend()
+        elif isinstance(backend, str):
+            backend = _backends.get(backend)
+        self._backend = backend
+        if cache_blocks is None:
+            cache_blocks = DEFAULT_CACHE_BLOCKS if backend.persistent else 0
+        self._cache_blocks = max(0, int(cache_blocks))
+        self._cache: "OrderedDict[BlockId, Payload]" = OrderedDict()
+        self._cache_hits = 0
+        self._cache_misses = 0
         self._available = True
-        self._reads = 0
-        self._writes = 0
+        # Index of stored blocks (id -> payload size): membership, capacity
+        # and byte accounting without touching the backend medium.
+        self._sizes: Dict[BlockId, int] = {}
+        self._bytes = 0
+        for block_id, size in backend.scan():
+            self._sizes[block_id] = size
+            self._bytes += size
+        meta = backend.load_meta()
+        self._reads = int(meta.get("reads", 0))
+        self._writes = int(meta.get("writes", 0))
 
     # ------------------------------------------------------------------
     # Identity and state
@@ -36,6 +75,11 @@ class BlockStore:
     @property
     def location_id(self) -> int:
         return self._location_id
+
+    @property
+    def backend(self) -> StorageBackend:
+        """The payload medium behind this location."""
+        return self._backend
 
     @property
     def available(self) -> bool:
@@ -48,11 +92,11 @@ class BlockStore:
 
     @property
     def block_count(self) -> int:
-        return len(self._blocks)
+        return len(self._sizes)
 
     @property
     def bytes_stored(self) -> int:
-        return sum(int(payload.size) for payload in self._blocks.values())
+        return self._bytes
 
     @property
     def read_count(self) -> int:
@@ -61,6 +105,16 @@ class BlockStore:
     @property
     def write_count(self) -> int:
         return self._writes
+
+    @property
+    def cache_hits(self) -> int:
+        """Reads served by the LRU cache instead of the backend medium."""
+        return self._cache_hits
+
+    @property
+    def cache_misses(self) -> int:
+        """Reads that had to touch the backend medium."""
+        return self._cache_misses
 
     def fail(self) -> None:
         """Mark the location unavailable (disaster / crash / departure)."""
@@ -72,8 +126,35 @@ class BlockStore:
 
     def wipe(self) -> None:
         """Simulate a destructive failure: content is lost, location stays down."""
-        self._blocks.clear()
+        self._backend.clear()
+        self._sizes.clear()
+        self._bytes = 0
+        self._cache.clear()
         self._available = False
+
+    # ------------------------------------------------------------------
+    # Cache plumbing
+    # ------------------------------------------------------------------
+    def _cache_store(self, block_id: BlockId, payload: Payload) -> None:
+        cache = self._cache
+        cache[block_id] = payload
+        cache.move_to_end(block_id)
+        while len(cache) > self._cache_blocks:
+            cache.popitem(last=False)
+
+    def _cached_read(self, block_id: BlockId) -> Payload:
+        """Read through the LRU cache (the caller has checked membership)."""
+        cache = self._cache
+        payload = cache.get(block_id)
+        if payload is not None:
+            self._cache_hits += 1
+            cache.move_to_end(block_id)
+            return payload
+        payload = self._backend.get(block_id)
+        if self._cache_blocks:
+            self._cache_misses += 1
+            self._cache_store(block_id, payload)
+        return payload
 
     # ------------------------------------------------------------------
     # Block operations
@@ -85,13 +166,20 @@ class BlockStore:
             )
         if (
             self._capacity is not None
-            and block_id not in self._blocks
-            and len(self._blocks) >= self._capacity
+            and block_id not in self._sizes
+            and len(self._sizes) >= self._capacity
         ):
             raise StorageFullError(
                 f"location {self._location_id} is full ({self._capacity} blocks)"
             )
-        self._blocks[block_id] = as_payload(payload)
+        payload = as_payload(payload)
+        self._backend.put(block_id, payload)
+        self._bytes += int(payload.size) - self._sizes.get(block_id, 0)
+        self._sizes[block_id] = int(payload.size)
+        # Write-through coherence: refresh a cached entry, never insert one
+        # (bulk ingest must not evict the hot read set).
+        if block_id in self._cache:
+            self._cache[block_id] = payload
         self._writes += 1
 
     def put_many(self, items: Iterable[Tuple[BlockId, Payload]]) -> int:
@@ -99,7 +187,7 @@ class BlockStore:
 
         The availability and capacity checks run once for the whole batch
         (all-or-nothing: nothing is stored when the batch would overflow the
-        capacity), and the payload dictionary is updated in bulk.  This is the
+        capacity), and the backend receives one bulk write.  This is the
         amortised write path of the batched ingest pipeline.
         """
         if not self._available:
@@ -117,13 +205,18 @@ class BlockStore:
             for block_id, payload in items
         }
         if self._capacity is not None:
-            new_blocks = sum(1 for block_id in staged if block_id not in self._blocks)
-            if len(self._blocks) + new_blocks > self._capacity:
+            new_blocks = sum(1 for block_id in staged if block_id not in self._sizes)
+            if len(self._sizes) + new_blocks > self._capacity:
                 raise StorageFullError(
                     f"location {self._location_id} cannot absorb {new_blocks} new "
-                    f"blocks (capacity {self._capacity}, holding {len(self._blocks)})"
+                    f"blocks (capacity {self._capacity}, holding {len(self._sizes)})"
                 )
-        self._blocks.update(staged)
+        self._backend.put_many(staged.items())
+        for block_id, payload in staged.items():
+            self._bytes += int(payload.size) - self._sizes.get(block_id, 0)
+            self._sizes[block_id] = int(payload.size)
+            if block_id in self._cache:
+                self._cache[block_id] = payload
         self._writes += len(staged)
         return len(staged)
 
@@ -132,19 +225,19 @@ class BlockStore:
             raise BlockUnavailableError(
                 f"location {self._location_id} is unavailable for reads"
             )
-        if block_id not in self._blocks:
+        if block_id not in self._sizes:
             raise UnknownBlockError(
                 f"block {block_id!r} is not stored at location {self._location_id}"
             )
         self._reads += 1
-        return self._blocks[block_id]
+        return self._cached_read(block_id)
 
     def try_get(self, block_id: BlockId) -> Optional[Payload]:
         """Like :meth:`get` but returns ``None`` instead of raising."""
-        if not self._available or block_id not in self._blocks:
+        if not self._available or block_id not in self._sizes:
             return None
         self._reads += 1
-        return self._blocks[block_id]
+        return self._cached_read(block_id)
 
     def get_many(self, block_ids: Iterable[BlockId]) -> List[Payload]:
         """Read a batch of blocks with one availability check.
@@ -158,35 +251,53 @@ class BlockStore:
             )
         payloads: List[Payload] = []
         for block_id in block_ids:
-            if block_id not in self._blocks:
+            if block_id not in self._sizes:
                 raise UnknownBlockError(
                     f"block {block_id!r} is not stored at location {self._location_id}"
                 )
-            payloads.append(self._blocks[block_id])
+            payloads.append(self._cached_read(block_id))
         self._reads += len(payloads)
         return payloads
 
     def delete(self, block_id: BlockId) -> None:
-        if block_id not in self._blocks:
+        if block_id not in self._sizes:
             raise UnknownBlockError(
                 f"block {block_id!r} is not stored at location {self._location_id}"
             )
-        del self._blocks[block_id]
+        self._backend.delete(block_id)
+        self._bytes -= self._sizes.pop(block_id)
+        self._cache.pop(block_id, None)
 
     def contains(self, block_id: BlockId) -> bool:
         """True when the block is physically present (even if unavailable)."""
-        return block_id in self._blocks
+        return block_id in self._sizes
 
     def holds(self, block_id: BlockId) -> bool:
         """True when the block is present *and* the location is available."""
-        return self._available and block_id in self._blocks
+        return self._available and block_id in self._sizes
 
     def block_ids(self) -> Iterator[BlockId]:
-        return iter(list(self._blocks.keys()))
+        return iter(list(self._sizes.keys()))
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def flush(self) -> None:
+        """Push buffered backend writes to the medium."""
+        self._backend.flush()
+
+    def close(self) -> None:
+        """Persist counters (on persistent backends) and release the backend."""
+        if self._backend.persistent:
+            self._backend.save_meta({"reads": self._reads, "writes": self._writes})
+        self._backend.close()
 
     def __len__(self) -> int:
-        return len(self._blocks)
+        return len(self._sizes)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         state = "up" if self._available else "down"
-        return f"BlockStore(location={self._location_id}, blocks={len(self._blocks)}, {state})"
+        return (
+            f"BlockStore(location={self._location_id}, blocks={len(self._sizes)}, "
+            f"backend={self._backend.name}, {state})"
+        )

@@ -3,16 +3,26 @@
 The cluster is the physical layer beneath the helical lattice: it stores the
 encoded blocks, knows which location holds each block, and exposes the
 availability view the decoder and the repair manager operate on.
+
+Every location's payloads live on a pluggable backend
+(:mod:`repro.storage.backends`): ``backend="memory"`` keeps the historical
+in-process behaviour, while ``backend="disk"`` / ``"segment"`` with a
+``root`` directory give each location its own durable sub-root
+(``<root>/loc-NNNN``).  Opening a cluster over a root that already holds
+data rebuilds the block -> location directory by listing each backend, so a
+cluster can be closed and reopened with all placements intact.
 """
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
 from repro.core.blocks import Block, BlockId
 from repro.core.xor import Payload
 from repro.exceptions import PlacementError, UnknownBlockError
+from repro.storage import backends as _backends
 from repro.storage.block_store import BlockStore
 from repro.storage.placement import PlacementPolicy, RandomPlacement
 
@@ -26,6 +36,8 @@ class ClusterStats:
     blocks: int
     unavailable_blocks: int
     bytes_stored: int
+    cache_hits: int = 0
+    cache_misses: int = 0
 
     def summary(self) -> str:
         return (
@@ -43,18 +55,50 @@ class StorageCluster:
         location_count: int,
         placement: Optional[PlacementPolicy] = None,
         capacity_blocks: Optional[int] = None,
+        backend: str = "memory",
+        root: Optional[str] = None,
+        cache_blocks: Optional[int] = None,
+        **backend_options,
     ) -> None:
         if location_count < 1:
             raise PlacementError("a cluster needs at least one location")
+        self._backend_spec = backend
+        self._root = root
         self._stores: List[BlockStore] = [
-            BlockStore(location_id, capacity_blocks) for location_id in range(location_count)
+            BlockStore(
+                location_id,
+                capacity_blocks,
+                backend=_backends.get(
+                    backend,
+                    root=(
+                        os.path.join(root, f"loc-{location_id:04d}")
+                        if root is not None
+                        else None
+                    ),
+                    **backend_options,
+                ),
+                cache_blocks=cache_blocks,
+            )
+            for location_id in range(location_count)
         ]
         self._placement = placement or RandomPlacement(location_count)
         if self._placement.location_count != location_count:
             raise PlacementError(
                 "placement policy location count does not match the cluster size"
             )
+        # Pre-existing blocks on persistent backends re-seed the directory,
+        # so a reopened cluster serves its old placements immediately.  A
+        # block found at several locations (a relocated repair whose stale
+        # source copy was never reclaimed) keeps the first copy; the
+        # duplicates are physically deleted so they cannot leak storage or
+        # inflate the byte accounting across reopen cycles.
         self._directory: Dict[BlockId, int] = {}
+        for store in self._stores:
+            for block_id in store.block_ids():
+                if block_id in self._directory:
+                    store.delete(block_id)
+                else:
+                    self._directory[block_id] = store.location_id
 
     # ------------------------------------------------------------------
     # Topology
@@ -91,13 +135,24 @@ class StorageCluster:
             self._stores[location_id].wipe()
 
     def restore_locations(self, location_ids: Optional[Iterable[int]] = None) -> None:
+        """Bring locations back online, dropping stale block copies.
+
+        While a location was down, repair may have rebuilt its blocks onto
+        healthy locations (the directory now points elsewhere).  Those stale
+        physical copies are reclaimed here so a restore can neither
+        resurrect them nor leak their bytes on durable backends.
+        """
         targets = (
             list(location_ids)
             if location_ids is not None
             else [store.location_id for store in self._stores]
         )
         for location_id in targets:
-            self._stores[location_id].restore()
+            store = self._stores[location_id]
+            store.restore()
+            for block_id in store.block_ids():
+                if self._directory.get(block_id) != location_id:
+                    store.delete(block_id)
 
     # ------------------------------------------------------------------
     # Block operations
@@ -168,14 +223,16 @@ class StorageCluster:
     def delete_block(self, block_id: BlockId) -> int:
         """Remove a block from the cluster, returning the location that held it.
 
-        The placement index (directory) entry is always removed; the payload
-        is deleted from the backing store when the location is reachable.  A
-        block whose location is currently down is forgotten by the directory
-        only -- its stale payload is dropped whenever the store is wiped.
+        Both the placement index (directory) entry and the physical payload
+        are removed -- even when the location is currently marked
+        unavailable: the availability flag models *request serving* during a
+        simulated outage, while delete is a management-plane reclamation, and
+        leaving the payload behind would resurrect it when a durable cluster
+        re-seeds its directory from the backends on reopen.
         """
         location_id = self.location_of(block_id)
         store = self._stores[location_id]
-        if store.available and store.contains(block_id):
+        if store.contains(block_id):
             store.delete(block_id)
         del self._directory[block_id]
         return location_id
@@ -254,7 +311,32 @@ class StorageCluster:
             blocks=len(self._directory),
             unavailable_blocks=len(self.unavailable_blocks()),
             bytes_stored=sum(store.bytes_stored for store in self._stores),
+            cache_hits=sum(store.cache_hits for store in self._stores),
+            cache_misses=sum(store.cache_misses for store in self._stores),
         )
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def backend_spec(self) -> str:
+        """The backend name the cluster's locations were built with."""
+        return self._backend_spec
+
+    @property
+    def root(self) -> Optional[str]:
+        """The durable root directory, ``None`` for volatile backends."""
+        return self._root
+
+    def flush(self) -> None:
+        """Push every location's buffered writes to its medium."""
+        for store in self._stores:
+            store.flush()
+
+    def close(self) -> None:
+        """Close every location (persisting counters on durable backends)."""
+        for store in self._stores:
+            store.close()
 
     def __len__(self) -> int:
         return len(self._directory)

@@ -10,9 +10,10 @@ data loss and end-to-end round-trip integrity per scheme.
 
 from __future__ import annotations
 
+import os
 import random
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.codes.base import CodeCosts
 from repro.core.xor import payloads_equal
@@ -123,6 +124,9 @@ def compare_schemes(
     fail_locations: int = 3,
     seed: int = 7,
     victims: int = 3,
+    backend: str = "memory",
+    data_dir: Optional[str] = None,
+    fsync: bool = False,
 ) -> List[SchemeComparison]:
     """Write, fail and repair the same workload under every scheme.
 
@@ -132,6 +136,10 @@ def compare_schemes(
     scheme), repairs, and verifies the document byte-exact with the failed
     locations still down -- degraded reads must cover whatever repair could
     not.
+
+    With a persistent ``backend`` each scheme gets its own sub-root
+    ``<data_dir>/<scheme_id>`` and its service is closed at the end of the
+    run, so the written workloads can be reopened and inspected afterwards.
     """
     rng = random.Random(seed)
     payload = rng.randbytes(data_blocks * block_size)
@@ -144,6 +152,11 @@ def compare_schemes(
                 location_count=location_count,
                 block_size=block_size,
                 seed=seed,
+                backend=backend,
+                data_dir=(
+                    os.path.join(data_dir, scheme_id) if data_dir is not None else None
+                ),
+                fsync=fsync,
             )
         )
         document = service.put("workload", payload)
@@ -163,6 +176,8 @@ def compare_schemes(
             round_trip = False
         service.restore_locations(failed)
         capabilities = service.capabilities
+        if data_dir is not None:
+            service.close()
         results.append(
             SchemeComparison(
                 scheme_id=scheme_id,

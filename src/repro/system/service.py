@@ -21,6 +21,8 @@ thin AE-specific shim over this class.
 
 from __future__ import annotations
 
+import json
+import os
 from dataclasses import dataclass, field, replace
 from typing import Dict, Iterable, Iterator, List, Optional, Union
 
@@ -28,13 +30,89 @@ import repro.schemes as schemes
 from repro.core.blocks import join_blocks
 from repro.core.encoder import DEFAULT_BLOCK_SIZE
 from repro.core.xor import Payload, payload_to_bytes
-from repro.exceptions import UnknownBlockError
+from repro.exceptions import InvalidParametersError, UnknownBlockError
 from repro.schemes.base import RedundancyScheme, SchemeCapabilities
+from repro.storage.backends import decode_block_id, encode_block_id, write_json
 from repro.storage.cluster import StorageCluster
 from repro.storage.placement import PlacementPolicy
 
 #: Number of blocks encoded per batch by :meth:`StorageService.put_stream`.
 DEFAULT_BATCH_BLOCKS = 256
+
+#: Locations in a cluster when neither the config nor a manifest names one.
+DEFAULT_LOCATION_COUNT = 100
+
+#: Name of the service manifest inside a durable ``data_dir``.
+MANIFEST_NAME = "manifest.json"
+
+#: Manifest format version (bumped on incompatible layout changes).
+MANIFEST_FORMAT = 1
+
+
+def _encode_id_runs(data_ids: List[object]) -> List[object]:
+    """Run-length encode a document's block ids for the manifest.
+
+    Data ids are consecutive within a document (``d-5, d-6, ...`` for AE;
+    ``s[3,0], s[3,1], ...`` within a stripe), so the catalogue stores
+    ``["d-5", 120]`` (120 ids starting at ``d-5``) instead of 120 strings --
+    the manifest stays O(documents + stripes), not O(blocks).
+    """
+    from repro.schemes.stripe import StripeBlockId
+    from repro.core.blocks import DataId
+
+    def successor(prev: object, current: object) -> bool:
+        if isinstance(prev, DataId) and isinstance(current, DataId):
+            return current.index == prev.index + 1
+        if isinstance(prev, StripeBlockId) and isinstance(current, StripeBlockId):
+            return (
+                current.stripe == prev.stripe
+                and current.position == prev.position + 1
+            )
+        return False
+
+    entries: List[object] = []
+    run_start: Optional[object] = None
+    run_length = 0
+    previous: Optional[object] = None
+    for block_id in data_ids:
+        if previous is not None and successor(previous, block_id):
+            run_length += 1
+        else:
+            if run_start is not None:
+                key = encode_block_id(run_start)
+                entries.append(key if run_length == 1 else [key, run_length])
+            run_start, run_length = block_id, 1
+        previous = block_id
+    if run_start is not None:
+        key = encode_block_id(run_start)
+        entries.append(key if run_length == 1 else [key, run_length])
+    return entries
+
+
+def _decode_id_runs(entries: List[object]) -> List[object]:
+    """Inverse of :func:`_encode_id_runs`."""
+    from repro.schemes.stripe import StripeBlockId
+    from repro.core.blocks import DataId
+
+    data_ids: List[object] = []
+    for entry in entries:
+        if isinstance(entry, str):
+            data_ids.append(decode_block_id(entry))
+            continue
+        key, count = entry
+        start = decode_block_id(key)
+        if isinstance(start, DataId):
+            data_ids.extend(DataId(start.index + i) for i in range(int(count)))
+        elif isinstance(start, StripeBlockId):
+            data_ids.extend(
+                StripeBlockId(start.stripe, start.position + i)
+                for i in range(int(count))
+            )
+        else:
+            raise InvalidParametersError(
+                f"manifest id run may not start at {key!r}"
+            )
+    return data_ids
 
 
 @dataclass
@@ -56,15 +134,29 @@ class StorageConfig:
 
     ``scheme`` is either a registry identifier (``"ae-3-2-5"``, ``"rs-10-4"``,
     ``"lrc-azure"``, ...) or an already-built scheme instance.
+
+    ``backend`` names a storage backend from :mod:`repro.storage.backends`
+    (``"memory"``, ``"disk"``, ``"segment"``); the persistent backends need
+    ``data_dir``, the root directory that holds one sub-root per location
+    plus the service manifest.  Opening a config whose ``data_dir`` already
+    contains a manifest *reopens* the stored service: placements, documents
+    and the scheme's write position are restored (see ``docs/persistence.md``).
     """
 
     scheme: Union[str, RedundancyScheme] = schemes.DEFAULT_SCHEME
-    location_count: int = 100
+    #: ``None`` means "default" (:data:`DEFAULT_LOCATION_COUNT`) -- or, on a
+    #: durable reopen, "whatever the manifest says".  An explicit value that
+    #: contradicts the manifest is rejected.
+    location_count: Optional[int] = None
     block_size: int = DEFAULT_BLOCK_SIZE
     placement: Optional[PlacementPolicy] = None
     cluster: Optional[StorageCluster] = None
     seed: int = 0
     batch_blocks: int = DEFAULT_BATCH_BLOCKS
+    backend: str = "memory"
+    data_dir: Optional[str] = None
+    fsync: bool = False
+    cache_blocks: Optional[int] = None
 
     def resolve_scheme(self) -> RedundancyScheme:
         if isinstance(self.scheme, RedundancyScheme):
@@ -84,6 +176,8 @@ class ServiceStatus:
     unavailable_locations: int
     documents: int
     bytes_stored: int
+    cache_hits: int = 0
+    cache_misses: int = 0
 
     def summary(self) -> str:
         return (
@@ -125,26 +219,227 @@ class StorageService:
         scheme: RedundancyScheme,
         cluster: StorageCluster,
         batch_blocks: int = DEFAULT_BATCH_BLOCKS,
+        data_dir: Optional[str] = None,
+        fsync: bool = False,
+        seed: int = 0,
+        custom_placement: bool = False,
     ) -> None:
         if batch_blocks < 1:
             raise ValueError("batch_blocks must be at least 1")
+        if data_dir is not None and not all(
+            store.backend.persistent for store in cluster.locations()
+        ):
+            raise InvalidParametersError(
+                "data_dir requires a persistent backend ('disk' or 'segment'); "
+                "a volatile backend would leave a manifest no reopen can honour"
+            )
         self._scheme = scheme
         self._cluster = cluster
         self._batch_blocks = batch_blocks
         self._documents: Dict[str, StoredDocument] = {}
+        self._data_dir = data_dir
+        self._fsync = fsync
+        self._seed = seed
+        self._custom_placement = custom_placement
+        self._closed = False
 
     @classmethod
     def open(cls, config: Optional[StorageConfig] = None, **overrides) -> "StorageService":
-        """Open a service from a config (plus keyword overrides)."""
+        """Open a service from a config (plus keyword overrides).
+
+        With a persistent ``backend`` and a ``data_dir`` that already holds a
+        manifest, this *reopens* the stored service: the cluster directory is
+        rebuilt from the backends, the document catalogue and the scheme's
+        write position are restored from the manifest, and the returned
+        service serves byte-exact reads (and repair, and further writes) of
+        the pre-existing data.
+        """
         config = replace(config or StorageConfig(), **overrides)
         scheme = config.resolve_scheme()
+        manifest = cls._load_manifest(config.data_dir)
+        if manifest is not None:
+            stored_scheme = manifest.get("scheme")
+            if stored_scheme != scheme.scheme_id:
+                raise InvalidParametersError(
+                    f"data_dir {config.data_dir!r} holds a {stored_scheme!r} "
+                    f"service, not {scheme.scheme_id!r}"
+                )
+            # Compare against the resolved scheme's block size: a config may
+            # carry a scheme *instance* whose block size differs from the
+            # config field (which the instance path never reads).
+            if int(manifest.get("block_size", scheme.block_size)) != scheme.block_size:
+                raise InvalidParametersError(
+                    f"data_dir {config.data_dir!r} was written with block size "
+                    f"{manifest.get('block_size')}, not {scheme.block_size}"
+                )
+            opening_backend = (
+                config.cluster.backend_spec
+                if config.cluster is not None
+                else config.backend
+            )
+            stored_backend = manifest.get("backend", opening_backend)
+            if stored_backend != opening_backend:
+                raise InvalidParametersError(
+                    f"data_dir {config.data_dir!r} was written with the "
+                    f"{stored_backend!r} backend, not {opening_backend!r}"
+                )
+        seed = config.seed
+        custom_placement = config.placement is not None or config.cluster is not None
+        if manifest is not None:
+            seed = int(manifest.get("seed", seed))
+            # Placement only steers *new* writes (reads follow the block
+            # directory), but silently switching policies on reopen would
+            # scatter a curated layout -- demand the original policy back.
+            if bool(manifest.get("custom_placement", False)) and not custom_placement:
+                raise InvalidParametersError(
+                    f"data_dir {config.data_dir!r} was written with a custom "
+                    "placement policy; reopen it with the same placement "
+                    "(StorageConfig(placement=...))"
+                )
         cluster = config.cluster
         if cluster is None:
+            location_count = config.location_count
+            if manifest is not None:
+                stored_locations = int(
+                    manifest.get("location_count", DEFAULT_LOCATION_COUNT)
+                )
+                if location_count is not None and location_count != stored_locations:
+                    raise InvalidParametersError(
+                        f"data_dir {config.data_dir!r} was written with "
+                        f"{stored_locations} locations, not {location_count}"
+                    )
+                location_count = stored_locations
+            if location_count is None:
+                location_count = DEFAULT_LOCATION_COUNT
             placement = config.placement or scheme.default_placement(
-                config.location_count, seed=config.seed
+                location_count, seed=seed
             )
-            cluster = StorageCluster(config.location_count, placement)
-        return cls(scheme, cluster, batch_blocks=config.batch_blocks)
+            cluster = StorageCluster(
+                location_count,
+                placement,
+                backend=config.backend,
+                root=config.data_dir,
+                cache_blocks=config.cache_blocks,
+                fsync=config.fsync,
+            )
+        service = cls(
+            scheme,
+            cluster,
+            batch_blocks=config.batch_blocks,
+            data_dir=config.data_dir,
+            fsync=config.fsync,
+            seed=seed,
+            custom_placement=custom_placement,
+        )
+        if manifest is not None:
+            for name, entry in manifest.get("documents", {}).items():
+                service._documents[name] = StoredDocument(
+                    name=name,
+                    data_ids=_decode_id_runs(entry["data_ids"]),
+                    length=int(entry["length"]),
+                )
+            scheme.restore_state(
+                manifest.get("scheme_state", {}), cluster.try_get_block
+            )
+        if config.data_dir is not None:
+            service._sync_manifest()
+        return service
+
+    # ------------------------------------------------------------------
+    # Durability
+    # ------------------------------------------------------------------
+    @property
+    def data_dir(self) -> Optional[str]:
+        """Root directory of a durable service, ``None`` when volatile."""
+        return self._data_dir
+
+    @staticmethod
+    def _load_manifest(data_dir: Optional[str]) -> Optional[Dict[str, object]]:
+        if data_dir is None:
+            return None
+        path = os.path.join(data_dir, MANIFEST_NAME)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                manifest = json.load(handle)
+        except FileNotFoundError:
+            return None
+        except json.JSONDecodeError as exc:
+            # Refusing loudly beats reopening with an empty catalogue and
+            # scattering new writes over the old blocks.
+            raise InvalidParametersError(
+                f"corrupt service manifest {path!r}: {exc}; the block data is "
+                "still on disk -- restore the manifest from a backup or "
+                "rebuild it before reopening"
+            ) from exc
+        if int(manifest.get("format", 0)) != MANIFEST_FORMAT:
+            raise InvalidParametersError(
+                f"unsupported manifest format in {path!r}: {manifest.get('format')!r}"
+            )
+        return manifest
+
+    def _sync_manifest(self) -> None:
+        """Atomically persist the service catalogue next to the block data.
+
+        Called after every mutating operation on a durable service, so a
+        process crash between writes loses at most the in-flight document,
+        never the catalogue of completed ones.  With ``fsync`` enabled the
+        manifest is forced to stable storage, extending the guarantee to
+        power loss.
+        """
+        if self._data_dir is None:
+            return
+        os.makedirs(self._data_dir, exist_ok=True)
+        manifest = {
+            "format": MANIFEST_FORMAT,
+            "scheme": self._scheme.scheme_id,
+            "block_size": self._scheme.block_size,
+            "location_count": self._cluster.location_count,
+            "backend": self._cluster.backend_spec,
+            "seed": self._seed,
+            "custom_placement": self._custom_placement,
+            "scheme_state": self._scheme.state(),
+            "documents": {
+                name: {
+                    "data_ids": _encode_id_runs(document.data_ids),
+                    "length": document.length,
+                }
+                for name, document in self._documents.items()
+            },
+        }
+        write_json(
+            os.path.join(self._data_dir, MANIFEST_NAME), manifest, fsync=self._fsync
+        )
+
+    def _ensure_open(self) -> None:
+        if self._closed:
+            raise InvalidParametersError(
+                "this StorageService has been closed; reopen it with "
+                "StorageService.open on the same data_dir"
+            )
+
+    def flush(self) -> None:
+        """Push buffered writes (block data and manifest) to the medium."""
+        self._cluster.flush()
+        self._sync_manifest()
+
+    def close(self) -> None:
+        """Persist the manifest and close every location's backend.
+
+        After ``close`` the service must not be used; reopen it with
+        ``StorageService.open(StorageConfig(scheme=..., backend=...,
+        data_dir=...))`` on the same root.  Idempotent.
+        """
+        if self._closed:
+            return
+        self._sync_manifest()
+        self._cluster.close()
+        self._closed = True
+
+    def __enter__(self) -> "StorageService":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
     # Introspection
@@ -187,6 +482,8 @@ class StorageService:
             unavailable_locations=stats.locations - stats.available_locations,
             documents=len(self._documents),
             bytes_stored=stats.bytes_stored,
+            cache_hits=stats.cache_hits,
+            cache_misses=stats.cache_misses,
         )
 
     # ------------------------------------------------------------------
@@ -199,16 +496,21 @@ class StorageService:
         blocks of the previous version are deleted once the new version is
         fully stored.
         """
+        self._ensure_open()
         part = self._scheme.encode(data)
         self._cluster.put_many(part.blocks)
         document = StoredDocument(name=name, data_ids=part.data_ids, length=len(data))
-        self._reclaim(name)
+        previous = self._documents.get(name)
         self._documents[name] = document
+        # Catalogue the new version before deleting the old one: a crash in
+        # between leaks the old version's blocks as orphans, but never loses
+        # a committed document.
+        self._sync_manifest()
+        self._reclaim(previous)
         return document
 
-    def _reclaim(self, name: str) -> None:
-        """Delete the blocks of a document about to be replaced."""
-        previous = self._documents.get(name)
+    def _reclaim(self, previous: Optional[StoredDocument]) -> None:
+        """Delete the blocks of a document version that was just replaced."""
         if previous is None or not self._scheme.capabilities().erasable:
             return
         self._cluster.delete_blocks(self._scheme.document_blocks(previous.data_ids))
@@ -227,6 +529,7 @@ class StorageService:
         document is recorded, but batches already encoded stay in the scheme
         state (for entanglement the lattice is append-only by design).
         """
+        self._ensure_open()
         buffer = bytearray()
         batch_bytes = self._batch_blocks * self.block_size
         data_ids: List[object] = []
@@ -240,8 +543,10 @@ class StorageService:
         if buffer:
             self._ingest_batch(buffer, data_ids)
         document = StoredDocument(name=name, data_ids=data_ids, length=length)
-        self._reclaim(name)
+        previous = self._documents.get(name)
         self._documents[name] = document
+        self._sync_manifest()
+        self._reclaim(previous)
         return document
 
     def _ingest_batch(self, payload: bytearray, data_ids: List[object]) -> None:
@@ -254,6 +559,7 @@ class StorageService:
     # ------------------------------------------------------------------
     def get_block(self, block_id) -> Payload:
         """Read one block, repairing it through the scheme when unreachable."""
+        self._ensure_open()
         return self._scheme.read_block(block_id, self._cluster.try_get_block)
 
     def get(self, name: str) -> bytes:
@@ -303,8 +609,13 @@ class StorageService:
         metadata is dropped and the returned list is empty; the blocks keep
         protecting their lattice neighbourhood.
         """
+        self._ensure_open()
         document = self._document(name)
         del self._documents[name]
+        # Uncatalogue first, reclaim second (the mirror of put's ordering):
+        # a crash mid-delete leaves orphan blocks, never a catalogued
+        # document whose payloads are already gone.
+        self._sync_manifest()
         if not self._scheme.capabilities().erasable:
             return []
         removed: List[object] = []
@@ -330,6 +641,7 @@ class StorageService:
         placement index is updated), so a subsequent location restore cannot
         resurrect stale replicas as the only copy.
         """
+        self._ensure_open()
         missing = self._cluster.unavailable_blocks()
         outcome = self._scheme.repair(missing, self._cluster.try_get_block)
         avoid = tuple(self._cluster.unavailable_locations())

@@ -1,4 +1,11 @@
-"""Tests for the single-location block store."""
+"""Tests for the single-location block store.
+
+The backend-parametrised tests pin down the invariants every
+:class:`~repro.storage.backends.StorageBackend` must preserve behind the
+unchanged :class:`BlockStore` API: capacity-full behaviour, ``bytes_stored``
+accounting across delete/wipe, all-or-nothing ``put_many`` and counters that
+survive a persistent-backend reopen.
+"""
 
 from __future__ import annotations
 
@@ -7,7 +14,17 @@ import pytest
 from repro.core.blocks import DataId, ParityId
 from repro.core.parameters import StrandClass
 from repro.exceptions import BlockUnavailableError, StorageFullError, UnknownBlockError
+from repro.storage import backends
 from repro.storage.block_store import BlockStore
+
+BACKENDS = ["memory", "disk", "segment"]
+
+
+def make_store(spec, tmp_path, **kwargs):
+    backend = backends.get(
+        spec, root=str(tmp_path / spec) if spec != "memory" else None
+    )
+    return BlockStore(0, backend=backend, **kwargs)
 
 
 class TestBlockStore:
@@ -73,3 +90,160 @@ class TestBlockStore:
         store.try_get(DataId(1))
         assert store.write_count == 1
         assert store.read_count == 2
+
+
+@pytest.mark.parametrize("spec", BACKENDS)
+class TestBackendInvariants:
+    """The BlockStore contract must hold identically over every backend."""
+
+    def test_roundtrip_and_iteration(self, spec, tmp_path):
+        store = make_store(spec, tmp_path)
+        store.put(DataId(1), b"\x01\x02")
+        store.put(ParityId(1, StrandClass.HORIZONTAL), b"abc")
+        assert store.get(DataId(1)).tolist() == [1, 2]
+        assert sorted(store.block_ids(), key=repr) == [
+            DataId(1),
+            ParityId(1, StrandClass.HORIZONTAL),
+        ]
+        store.close()
+
+    def test_capacity_full_behaviour(self, spec, tmp_path):
+        store = make_store(spec, tmp_path, capacity_blocks=2)
+        store.put(DataId(1), b"a")
+        store.put(DataId(2), b"b")
+        with pytest.raises(StorageFullError):
+            store.put(DataId(3), b"c")
+        # Overwrites never count against the capacity.
+        store.put(DataId(1), b"z")
+        assert store.get(DataId(1)).tolist() == [122]
+        # Deleting frees a slot.
+        store.delete(DataId(2))
+        store.put(DataId(3), b"c")
+        assert store.block_count == 2
+        store.close()
+
+    def test_put_many_is_all_or_nothing_on_overflow(self, spec, tmp_path):
+        store = make_store(spec, tmp_path, capacity_blocks=3)
+        store.put(DataId(1), b"a")
+        with pytest.raises(StorageFullError):
+            store.put_many([(DataId(i), b"x") for i in range(2, 6)])
+        # Nothing from the failed batch may have landed.
+        assert store.block_count == 1
+        assert not store.contains(DataId(2))
+        assert store.write_count == 1
+        # A batch that exactly fills the capacity is accepted, overwrites
+        # of existing blocks not counting as new.
+        assert store.put_many([(DataId(1), b"y"), (DataId(2), b"b"), (DataId(3), b"c")]) == 3
+        assert store.block_count == 3
+        store.close()
+
+    def test_put_many_unavailable_stores_nothing(self, spec, tmp_path):
+        store = make_store(spec, tmp_path)
+        store.fail()
+        with pytest.raises(BlockUnavailableError):
+            store.put_many([(DataId(1), b"a")])
+        store.restore()
+        assert store.block_count == 0
+        store.close()
+
+    def test_bytes_stored_accounting(self, spec, tmp_path):
+        store = make_store(spec, tmp_path)
+        store.put(DataId(1), b"aaaa")
+        store.put(DataId(2), b"bb")
+        assert store.bytes_stored == 6
+        store.put(DataId(1), b"a")  # overwrite shrinks
+        assert store.bytes_stored == 3
+        store.delete(DataId(2))
+        assert store.bytes_stored == 1
+        store.put_many([(DataId(3), b"ccc"), (DataId(4), b"dddd")])
+        assert store.bytes_stored == 8
+        store.wipe()
+        assert store.bytes_stored == 0
+        assert store.block_count == 0
+        store.close()
+
+    def test_wipe_loses_content_and_stays_down(self, spec, tmp_path):
+        store = make_store(spec, tmp_path)
+        store.put(DataId(1), b"x")
+        store.wipe()
+        assert not store.available
+        assert not store.contains(DataId(1))
+        store.restore()
+        with pytest.raises(UnknownBlockError):
+            store.get(DataId(1))
+        store.close()
+
+
+@pytest.mark.parametrize("spec", ["disk", "segment"])
+class TestPersistentStore:
+    def test_content_and_counters_survive_reopen(self, spec, tmp_path):
+        store = make_store(spec, tmp_path)
+        store.put(DataId(1), b"hello")
+        store.put(DataId(2), b"world")
+        store.get(DataId(1))
+        store.get(DataId(2))
+        store.try_get(DataId(1))
+        assert (store.read_count, store.write_count) == (3, 2)
+        store.close()
+
+        reopened = make_store(spec, tmp_path)
+        assert reopened.read_count == 3
+        assert reopened.write_count == 2
+        assert reopened.block_count == 2
+        assert reopened.bytes_stored == 10
+        assert bytes(reopened.get(DataId(2)).tobytes()) == b"world"
+        reopened.get(DataId(1))
+        assert reopened.read_count == 5  # counters keep advancing
+
+    def test_capacity_enforced_against_preexisting_blocks(self, spec, tmp_path):
+        store = make_store(spec, tmp_path)
+        store.put_many([(DataId(i), b"x") for i in range(1, 4)])
+        store.close()
+        reopened = make_store(spec, tmp_path, capacity_blocks=3)
+        with pytest.raises(StorageFullError):
+            reopened.put(DataId(9), b"y")
+        reopened.close()
+
+
+@pytest.mark.parametrize("spec", ["disk", "segment"])
+class TestReadCache:
+    def test_hit_miss_counters(self, spec, tmp_path):
+        store = make_store(spec, tmp_path, cache_blocks=2)
+        store.put(DataId(1), b"a")
+        store.put(DataId(2), b"b")
+        store.get(DataId(1))
+        assert (store.cache_hits, store.cache_misses) == (0, 1)
+        store.get(DataId(1))
+        assert (store.cache_hits, store.cache_misses) == (1, 1)
+        store.close()
+
+    def test_lru_eviction(self, spec, tmp_path):
+        store = make_store(spec, tmp_path, cache_blocks=2)
+        for i in range(1, 4):
+            store.put(DataId(i), bytes([i]))
+        store.get(DataId(1))
+        store.get(DataId(2))
+        store.get(DataId(3))  # evicts DataId(1)
+        store.get(DataId(2))  # hit
+        store.get(DataId(1))  # miss again
+        assert store.cache_misses == 4
+        assert store.cache_hits == 1
+        store.close()
+
+    def test_write_through_keeps_cache_coherent(self, spec, tmp_path):
+        store = make_store(spec, tmp_path, cache_blocks=4)
+        store.put(DataId(1), b"old")
+        store.get(DataId(1))  # cached
+        store.put(DataId(1), b"new")  # write-through refresh
+        assert bytes(store.get(DataId(1)).tobytes()) == b"new"
+        store.delete(DataId(1))
+        assert store.try_get(DataId(1)) is None
+        store.close()
+
+
+def test_memory_backend_defaults_to_no_cache():
+    store = BlockStore(0)
+    store.put(DataId(1), b"a")
+    store.get(DataId(1))
+    store.get(DataId(1))
+    assert (store.cache_hits, store.cache_misses) == (0, 0)

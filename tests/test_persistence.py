@@ -1,0 +1,390 @@
+"""Close/reopen round trips of a durable StorageService (disk and segment).
+
+These are the acceptance tests of the persistence layer: a service configured
+with ``backend="disk"`` or ``"segment"`` is closed and reconstructed on the
+same root path, then must serve byte-exact ``get`` / ``get_stream``, run
+``repair`` on the pre-existing data, and keep accepting writes (for AE this
+exercises the paper's broker crash recovery: strand heads are refetched from
+storage, Sec. IV-A).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+
+import pytest
+
+from repro.exceptions import InvalidParametersError
+from repro.system.service import StorageConfig, StorageService
+
+BACKENDS = ["disk", "segment"]
+#: One scheme per family: the streaming AE lattice and an erasable stripe code.
+SCHEMES = ["ae-3-2-5", "rs-10-4"]
+
+
+def config(scheme, backend, root, **overrides):
+    base = dict(
+        scheme=scheme,
+        location_count=20,
+        block_size=512,
+        backend=backend,
+        data_dir=str(root),
+    )
+    base.update(overrides)
+    return StorageConfig(**base)
+
+
+def workload(seed=11, size=40_000) -> bytes:
+    return random.Random(seed).randbytes(size)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("scheme", SCHEMES)
+class TestServiceReopen:
+    def test_byte_exact_get_and_stream_after_reopen(self, scheme, backend, tmp_path):
+        payload = workload()
+        service = StorageService.open(config(scheme, backend, tmp_path))
+        service.put("doc", payload)
+        service.put_stream("streamed", [payload[:999], payload[999:]])
+        service.close()
+
+        reopened = StorageService.open(config(scheme, backend, tmp_path))
+        assert set(reopened.documents) == {"doc", "streamed"}
+        assert reopened.get("doc") == payload
+        assert b"".join(reopened.get_stream("streamed")) == payload
+        reopened.close()
+
+    def test_repair_preexisting_data_after_reopen(self, scheme, backend, tmp_path):
+        payload = workload()
+        service = StorageService.open(config(scheme, backend, tmp_path))
+        service.put("doc", payload)
+        service.close()
+
+        reopened = StorageService.open(config(scheme, backend, tmp_path))
+        reopened.fail_locations([0, 1])
+        report = reopened.repair()
+        assert report.data_loss == 0
+        assert reopened.get("doc") == payload
+        # Repaired blocks were rewritten to healthy locations: the document
+        # still reads byte-exact after yet another close/reopen cycle.
+        reopened.close()
+        third = StorageService.open(config(scheme, backend, tmp_path))
+        assert third.get("doc") == payload
+        third.close()
+
+    def test_writes_continue_after_reopen(self, scheme, backend, tmp_path):
+        first = workload(seed=1)
+        second = workload(seed=2, size=10_000)
+        service = StorageService.open(config(scheme, backend, tmp_path))
+        service.put("first", first)
+        service.close()
+
+        reopened = StorageService.open(config(scheme, backend, tmp_path))
+        reopened.put("second", second)
+        assert reopened.get("first") == first
+        assert reopened.get("second") == second
+        reopened.close()
+
+        third = StorageService.open(config(scheme, backend, tmp_path))
+        assert third.get("first") == first
+        assert third.get("second") == second
+        third.close()
+
+    def test_close_is_idempotent_and_context_manager_closes(
+        self, scheme, backend, tmp_path
+    ):
+        payload = workload(size=5_000)
+        with StorageService.open(config(scheme, backend, tmp_path)) as service:
+            service.put("doc", payload)
+        service.close()  # second close is a no-op
+        with StorageService.open(config(scheme, backend, tmp_path)) as reopened:
+            assert reopened.get("doc") == payload
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+class TestManifest:
+    def test_manifest_written_after_every_put(self, backend, tmp_path):
+        service = StorageService.open(config("rs-10-4", backend, tmp_path))
+        service.put("doc", workload(size=4_000))
+        # No close() yet: the catalogue must already be on disk.
+        manifest = json.loads((tmp_path / "manifest.json").read_text())
+        assert manifest["scheme"] == "rs-10-4"
+        assert "doc" in manifest["documents"]
+        service.close()
+
+    def test_delete_updates_manifest(self, backend, tmp_path):
+        service = StorageService.open(config("rs-10-4", backend, tmp_path))
+        service.put("doc", workload(size=4_000))
+        service.delete("doc")
+        service.close()
+        reopened = StorageService.open(config("rs-10-4", backend, tmp_path))
+        assert reopened.documents == {}
+        reopened.close()
+
+    def test_delete_uncatalogues_before_reclaiming(self, backend, tmp_path, monkeypatch):
+        # A crash mid-delete must leave orphan blocks, never a catalogued
+        # document whose payloads are gone.
+        service = StorageService.open(config("rs-10-4", backend, tmp_path))
+        service.put("doc", workload(size=8_000))
+        monkeypatch.setattr(
+            service._cluster,
+            "delete_block",
+            lambda block_id: (_ for _ in ()).throw(RuntimeError),
+        )
+        with pytest.raises(RuntimeError):
+            service.delete("doc")
+        service.flush()
+        reopened = StorageService.open(config("rs-10-4", backend, tmp_path))
+        assert reopened.documents == {}  # catalogue already committed
+        reopened.close()
+
+    def test_delete_while_location_down_does_not_resurrect_blocks(
+        self, backend, tmp_path
+    ):
+        service = StorageService.open(config("rs-10-4", backend, tmp_path))
+        service.put("doc", workload(size=8_000))
+        service.fail_locations([0, 1])
+        service.delete("doc")
+        service.close()
+        reopened = StorageService.open(config("rs-10-4", backend, tmp_path))
+        status = reopened.status()
+        assert status.documents == 0
+        assert status.blocks == 0
+        assert status.bytes_stored == 0
+        reopened.close()
+
+    def test_corrupt_manifest_is_rejected_with_clear_error(self, backend, tmp_path):
+        service = StorageService.open(config("rs-10-4", backend, tmp_path))
+        service.put("doc", workload(size=4_000))
+        service.close()
+        (tmp_path / "manifest.json").write_text("{ torn")
+        with pytest.raises(InvalidParametersError, match="corrupt service manifest"):
+            StorageService.open(config("rs-10-4", backend, tmp_path))
+
+    def test_scheme_mismatch_is_rejected(self, backend, tmp_path):
+        service = StorageService.open(config("rs-10-4", backend, tmp_path))
+        service.put("doc", workload(size=4_000))
+        service.close()
+        with pytest.raises(InvalidParametersError):
+            StorageService.open(config("rep-3", backend, tmp_path))
+
+    def test_backend_mismatch_is_rejected(self, backend, tmp_path):
+        service = StorageService.open(config("rs-10-4", backend, tmp_path))
+        service.put("doc", workload(size=4_000))
+        service.close()
+        other = "disk" if backend == "segment" else "segment"
+        with pytest.raises(InvalidParametersError, match="backend"):
+            StorageService.open(config("rs-10-4", other, tmp_path))
+
+    def test_new_version_is_catalogued_before_old_blocks_are_reclaimed(
+        self, backend, tmp_path, monkeypatch
+    ):
+        v1, v2 = workload(seed=1, size=8_000), workload(seed=2, size=8_000)
+        service = StorageService.open(config("rs-10-4", backend, tmp_path))
+        service.put("doc", v1)
+        # Simulate a crash between the manifest sync and the reclaim of the
+        # old version's blocks: the committed catalogue must already name v2.
+        monkeypatch.setattr(
+            service, "_reclaim", lambda previous: (_ for _ in ()).throw(RuntimeError)
+        )
+        with pytest.raises(RuntimeError):
+            service.put("doc", v2)
+        service.flush()
+        reopened = StorageService.open(config("rs-10-4", backend, tmp_path))
+        assert reopened.get("doc") == v2
+        reopened.close()
+
+    def test_block_size_mismatch_is_rejected(self, backend, tmp_path):
+        service = StorageService.open(config("rs-10-4", backend, tmp_path))
+        service.close()
+        with pytest.raises(InvalidParametersError):
+            StorageService.open(config("rs-10-4", backend, tmp_path, block_size=1024))
+
+    def test_custom_placement_must_be_supplied_on_reopen(self, backend, tmp_path):
+        from repro.storage.placement import RandomPlacement
+
+        payload = workload(size=6_000)
+        placement = RandomPlacement(20, seed=99)
+        service = StorageService.open(
+            config("rs-10-4", backend, tmp_path, placement=placement)
+        )
+        service.put("doc", payload)
+        service.close()
+        with pytest.raises(InvalidParametersError, match="custom placement"):
+            StorageService.open(config("rs-10-4", backend, tmp_path))
+        reopened = StorageService.open(
+            config("rs-10-4", backend, tmp_path, placement=RandomPlacement(20, seed=99))
+        )
+        assert reopened.get("doc") == payload
+        reopened.close()
+
+    def test_seed_survives_reopen(self, backend, tmp_path):
+        service = StorageService.open(config("rs-10-4", backend, tmp_path, seed=42))
+        service.put("doc", workload(size=4_000))
+        service.close()
+        reopened = StorageService.open(config("rs-10-4", backend, tmp_path))
+        manifest = json.loads((tmp_path / "manifest.json").read_text())
+        assert manifest["seed"] == 42
+        reopened.close()
+
+    def test_location_count_comes_from_manifest(self, backend, tmp_path):
+        payload = workload(size=6_000)
+        service = StorageService.open(
+            config("rs-10-4", backend, tmp_path, location_count=14)
+        )
+        service.put("doc", payload)
+        service.close()
+        # A reopen without an explicit location_count follows the manifest
+        # instead of spreading blocks over phantom locations ...
+        reopened = StorageService.open(
+            config("rs-10-4", backend, tmp_path, location_count=None)
+        )
+        assert reopened.cluster.location_count == 14
+        assert reopened.get("doc") == payload
+        reopened.close()
+        # ... while an explicitly contradicting one is rejected.
+        with pytest.raises(InvalidParametersError, match="14 locations"):
+            StorageService.open(config("rs-10-4", backend, tmp_path, location_count=100))
+
+    def test_manifest_stores_id_runs_not_per_block_strings(self, backend, tmp_path):
+        service = StorageService.open(config("rs-10-4", backend, tmp_path))
+        service.put("doc", workload(size=40_000))  # ~79 data blocks
+        document = service.documents["doc"]
+        manifest = json.loads((tmp_path / "manifest.json").read_text())
+        entries = manifest["documents"]["doc"]["data_ids"]
+        # Run-length encoding keeps the catalogue O(stripes), not O(blocks).
+        assert len(entries) < document.block_count / 5
+        service.close()
+        reopened = StorageService.open(config("rs-10-4", backend, tmp_path))
+        assert reopened.documents["doc"].data_ids == document.data_ids
+        reopened.close()
+
+
+def test_volatile_backend_with_data_dir_is_rejected(tmp_path):
+    # A memory backend cannot honour a manifest on reopen; combining it
+    # with data_dir must fail loudly instead of writing one.
+    with pytest.raises(InvalidParametersError, match="persistent backend"):
+        StorageService.open(config("rs-10-4", "memory", tmp_path))
+    assert not (tmp_path / "manifest.json").exists()
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_repair_does_not_leak_stale_copies(backend, tmp_path):
+    """Repair + restore must reclaim the failed location's stale copies."""
+    payload = workload()
+    service = StorageService.open(config("rs-10-4", backend, tmp_path))
+    service.put("doc", payload)
+    blocks = service.status().blocks
+    bytes_before = service.status().bytes_stored
+    service.fail_locations([0, 1])
+    service.repair()
+    service.restore_locations()
+    assert service.get("doc") == payload
+    # Directory entries and physical copies agree again.
+    physical = sum(
+        len(list(store.block_ids())) for store in service.cluster.locations()
+    )
+    assert physical == blocks
+    assert service.status().bytes_stored == bytes_before
+    service.close()
+    # And the reconciled state survives a reopen.
+    reopened = StorageService.open(config("rs-10-4", backend, tmp_path))
+    physical = sum(
+        len(list(store.block_ids())) for store in reopened.cluster.locations()
+    )
+    assert physical == blocks
+    assert reopened.status().bytes_stored == bytes_before
+    assert reopened.get("doc") == payload
+    reopened.close()
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_scheme_instance_config_reopens_its_own_data_dir(backend, tmp_path):
+    import repro.schemes as schemes
+
+    payload = workload(size=6_000)
+    # The config carries a scheme *instance* with a non-default block size;
+    # the manifest must validate against the scheme, not config.block_size.
+    first = StorageService.open(
+        StorageConfig(
+            scheme=schemes.get("rs-10-4", block_size=512),
+            location_count=20, backend=backend, data_dir=str(tmp_path),
+        )
+    )
+    first.put("doc", payload)
+    first.close()
+    reopened = StorageService.open(
+        StorageConfig(
+            scheme=schemes.get("rs-10-4", block_size=512),
+            location_count=20, backend=backend, data_dir=str(tmp_path),
+        )
+    )
+    assert reopened.get("doc") == payload
+    reopened.close()
+
+
+def test_use_after_close_fails_fast(tmp_path):
+    service = StorageService.open(config("rs-10-4", "segment", tmp_path))
+    service.put("doc", workload(size=4_000))
+    service.close()
+    with pytest.raises(InvalidParametersError, match="closed"):
+        service.put("again", b"x")
+    with pytest.raises(InvalidParametersError, match="closed"):
+        service.get("doc")
+    with pytest.raises(InvalidParametersError, match="closed"):
+        service.delete("doc")
+    with pytest.raises(InvalidParametersError, match="closed"):
+        service.repair()
+
+
+class TestStatusCounters:
+    def test_cache_counters_reach_service_status(self, tmp_path):
+        service = StorageService.open(config("rs-10-4", "disk", tmp_path))
+        payload = workload(size=8_000)
+        service.put("doc", payload)
+        assert service.get("doc") == payload
+        assert service.get("doc") == payload
+        status = service.status()
+        assert status.cache_misses > 0
+        assert status.cache_hits > 0
+        service.close()
+
+
+class TestCliPersistence:
+    def test_ingest_then_reopen(self, tmp_path):
+        from repro.cli import ingest_main
+
+        sample = tmp_path / "sample.bin"
+        sample.write_bytes(workload(size=30_000))
+        data_dir = tmp_path / "store"
+        rc = ingest_main(
+            [
+                str(sample),
+                "--scheme",
+                "rs-10-4",
+                "--backend",
+                "segment",
+                "--data-dir",
+                str(data_dir),
+                "--block-size",
+                "512",
+                "--verify",
+            ]
+        )
+        assert rc == 0
+        reopened = StorageService.open(
+            StorageConfig(
+                scheme="rs-10-4", block_size=512, backend="segment",
+                data_dir=str(data_dir),
+            )
+        )
+        assert reopened.get("ingest") == sample.read_bytes()
+        reopened.close()
+
+    def test_persistent_backend_requires_data_dir(self, capsys):
+        from repro.cli import ingest_main
+
+        with pytest.raises(SystemExit):
+            ingest_main(["missing.bin", "--backend", "disk"])
