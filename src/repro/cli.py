@@ -265,6 +265,59 @@ def _validate_backend_arguments(
         parser.error(f"--backend {args.backend} requires --data-dir")
 
 
+def _add_topology_arguments(parser: argparse.ArgumentParser) -> None:
+    from repro.storage import placement as placement_registry
+
+    parser.add_argument(
+        "--topology",
+        default=None,
+        metavar="SPEC",
+        help=(
+            "cluster topology: a compact spec like 'sites=3,racks=2,nodes=4', "
+            "a topology JSON file, or a bare location count (overrides "
+            "--locations; see docs/topology.md)"
+        ),
+    )
+    parser.add_argument(
+        "--placement",
+        default=None,
+        choices=placement_registry.available(),
+        help=(
+            "placement policy from the repro.storage.placement registry "
+            "(default: the scheme's own; 'spread-domains' never co-locates "
+            "a repair group inside one failure domain)"
+        ),
+    )
+
+
+def _resolve_topology_argument(parser: argparse.ArgumentParser, args: argparse.Namespace):
+    """Resolve ``--topology`` early so a bad spec or missing JSON file is a
+    clean parser error instead of a traceback from deep inside open()."""
+    if args.topology is None:
+        return None
+    from repro.exceptions import ReproError
+    from repro.storage.topology import Topology
+
+    try:
+        return Topology.resolve(args.topology)
+    except (ReproError, OSError) as exc:
+        parser.error(f"cannot resolve --topology {args.topology!r}: {exc}")
+
+
+def _parse_fail(parser: argparse.ArgumentParser, value: str):
+    """``--fail`` accepts a location count or a topology target (site:0)."""
+    cleaned = value.strip()
+    if ":" in cleaned:
+        return cleaned
+    try:
+        return int(cleaned)
+    except ValueError:
+        parser.error(
+            f"--fail expects a location count or a topology target like "
+            f"'site:0', not {value!r}"
+        )
+
+
 def build_ingest_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-experiments ingest",
@@ -314,6 +367,7 @@ def build_ingest_parser() -> argparse.ArgumentParser:
         help="stream the document back (get_stream) and check it byte-exact",
     )
     _add_backend_arguments(parser)
+    _add_topology_arguments(parser)
     return parser
 
 
@@ -337,10 +391,16 @@ def build_repair_parser() -> argparse.ArgumentParser:
         "--locations", type=int, default=40, help="cluster locations (default 40)"
     )
     parser.add_argument(
-        "--fail", type=int, default=3, help="locations to fail (default 3)"
+        "--fail",
+        default="3",
+        help=(
+            "locations to fail: a count (default 3) or a topology target "
+            "like 'site:0' / 'rack:0/1' (needs --topology)"
+        ),
     )
     parser.add_argument("--seed", type=int, default=7, help="workload seed (default 7)")
     _add_backend_arguments(parser)
+    _add_topology_arguments(parser)
     return parser
 
 
@@ -373,7 +433,12 @@ def build_compare_parser() -> argparse.ArgumentParser:
         "--locations", type=int, default=60, help="cluster locations (default 60)"
     )
     parser.add_argument(
-        "--fail", type=int, default=3, help="locations to fail in the disaster trace (default 3)"
+        "--fail",
+        default="3",
+        help=(
+            "locations to fail in the disaster trace: a count (default 3) "
+            "or a topology target like 'site:0' (needs --topology)"
+        ),
     )
     parser.add_argument("--seed", type=int, default=7, help="workload seed (default 7)")
     parser.add_argument(
@@ -388,6 +453,7 @@ def build_compare_parser() -> argparse.ArgumentParser:
         help="tiny fast configuration for CI (60 blocks of 512 bytes, 30 locations)",
     )
     _add_backend_arguments(parser)
+    _add_topology_arguments(parser)
     return parser
 
 
@@ -414,8 +480,19 @@ def build_simulate_parser() -> argparse.ArgumentParser:
         "--disaster",
         default="0.1,0.2,0.3,0.4,0.5",
         help=(
-            "comma-separated disaster fractions in [0, 1] "
-            "(default: the paper's 10%%-50%% range)"
+            "comma-separated disaster sizes: fractions in [0, 1] (default: "
+            "the paper's 10%%-50%% range) and/or topology targets like "
+            "'site:0' or 'rack:0/1' (targets need --topology)"
+        ),
+    )
+    parser.add_argument(
+        "--topology",
+        default=None,
+        metavar="SPEC",
+        help=(
+            "cluster topology ('sites=3,racks=2,nodes=4', a topology JSON "
+            "file or a location count); overrides --locations and enables "
+            "site/rack-targeted disasters"
         ),
     )
     parser.add_argument(
@@ -474,21 +551,37 @@ def simulate_main(argv: List[str] | None = None) -> int:
     parser = build_simulate_parser()
     args = parser.parse_args(argv)
     if args.smoke:
-        args.blocks, args.locations = 2_000, 40
-        args.disaster = "0.1,0.3,0.5"
+        args.blocks = 2_000
+        if args.topology is None:
+            args.locations = 40
+        if args.disaster == parser.get_default("disaster"):
+            args.disaster = "0.1,0.3,0.5"
     scheme_ids = [scheme.strip() for scheme in args.schemes.split(",") if scheme.strip()]
     if not scheme_ids:
         parser.error("--schemes must name at least one scheme")
-    try:
-        fractions = [float(part) for part in args.disaster.split(",") if part.strip()]
-    except ValueError as exc:
-        parser.error(f"cannot parse --disaster fractions: {exc}")
+    fractions: List[object] = []
+    for part in args.disaster.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        if ":" in part:
+            if args.topology is None:
+                parser.error(f"disaster target {part!r} needs --topology")
+            fractions.append(part)
+            continue
+        try:
+            fractions.append(float(part))
+        except ValueError as exc:
+            parser.error(f"cannot parse --disaster fractions: {exc}")
     policy = MaintenancePolicy(args.policy)
     budget = (
         MaintenanceBudget(max_repairs_per_round=args.max_repairs_per_round)
         if args.max_repairs_per_round is not None
         else None
     )
+    topology = _resolve_topology_argument(parser, args)
+    if topology is not None:
+        args.locations = topology.node_count
     try:
         results = simulate_disasters(
             scheme_ids,
@@ -498,10 +591,13 @@ def simulate_main(argv: List[str] | None = None) -> int:
             fractions=fractions,
             policy=policy,
             budget=budget,
+            topology=topology,
         )
     except (ReproError, ValueError) as exc:
         parser.error(str(exc))
     print(f"policy       : {policy.value} ({policy.describe()})")
+    if topology is not None:
+        print(f"topology     : {topology.describe()}")
     print(f"placement    : {args.blocks} data blocks over {args.locations} locations")
     print(format_table([metrics.as_row() for metrics in results]))
     if args.churn is not None:
@@ -516,7 +612,7 @@ def simulate_main(argv: List[str] | None = None) -> int:
             for scheme_id in scheme_ids:
                 engine = SimulationEngine(
                     scheme_id, args.blocks, args.locations, args.seed,
-                    policy=policy, budget=budget,
+                    policy=policy, budget=budget, topology=topology,
                 )
                 runs.append(engine.run_events(trace))
         except ReproError as exc:
@@ -556,6 +652,7 @@ def ingest_main(argv: List[str] | None = None) -> int:
     if args.chunk_size < 1:
         parser.error("--chunk-size must be at least 1 byte")
     _validate_backend_arguments(parser, args)
+    topology = _resolve_topology_argument(parser, args)
     try:
         scheme_id = args.scheme
         if args.spec is not None:
@@ -563,12 +660,14 @@ def ingest_main(argv: List[str] | None = None) -> int:
         service = StorageService.open(
             StorageConfig(
                 scheme=scheme_id,
-                location_count=args.locations,
+                location_count=None if topology is not None else args.locations,
                 block_size=args.block_size,
                 batch_blocks=args.batch_blocks,
                 backend=args.backend,
                 data_dir=args.data_dir,
                 fsync=args.fsync,
+                topology=topology,
+                placement=args.placement,
             )
         )
         started = time.perf_counter()
@@ -583,6 +682,10 @@ def ingest_main(argv: List[str] | None = None) -> int:
     print(f"code setting : {service.capabilities.name}")
     print(f"scheme       : {service.scheme.scheme_id}")
     print(f"backend      : {args.backend}")
+    if args.topology is not None:
+        print(f"topology     : {service.topology.describe()}")
+    if args.placement is not None:
+        print(f"placement    : {service.cluster.placement.describe()}")
     print(f"ingested     : {document.length} bytes in {document.block_count} blocks")
     print(f"redundancy   : {redundancy} blocks")
     print(f"elapsed      : {elapsed:.3f} s")
@@ -618,32 +721,46 @@ def repair_main(argv: List[str] | None = None) -> int:
 
     parser = build_repair_parser()
     args = parser.parse_args(argv)
-    if not 0 <= args.fail <= args.locations:
-        parser.error("--fail must lie between 0 and --locations")
+    fail = _parse_fail(parser, args.fail)
+    if isinstance(fail, str) and args.topology is None:
+        parser.error(f"--fail {fail!r} targets a topology domain; add --topology")
     _validate_backend_arguments(parser, args)
+    topology = _resolve_topology_argument(parser, args)
     rng = random.Random(args.seed)
     payload = rng.randbytes(args.blocks * args.block_size)
     try:
         service = StorageService.open(
             StorageConfig(
                 scheme=args.scheme,
-                location_count=args.locations,
+                location_count=None if topology is not None else args.locations,
                 block_size=args.block_size,
                 seed=args.seed,
                 backend=args.backend,
                 data_dir=args.data_dir,
                 fsync=args.fsync,
+                topology=topology,
+                placement=args.placement,
             )
         )
+        if isinstance(fail, str):
+            failed = sorted(service.topology.locations_for_target(fail))
+        else:
+            if not 0 <= fail <= service.cluster.location_count:
+                parser.error("--fail must lie between 0 and the location count")
+            failed = rng.sample(range(service.cluster.location_count), fail)
         service.put("workload", payload)
-        failed = rng.sample(range(args.locations), args.fail)
         service.fail_locations(failed)
         report = service.repair()
     except (ReproError, ValueError) as exc:
         parser.error(str(exc))
     print(f"code setting : {service.capabilities.name}")
     print(f"scheme       : {service.scheme.scheme_id}")
-    print(f"failed       : locations {sorted(failed)}")
+    if args.topology is not None:
+        print(f"topology     : {service.topology.describe()}")
+    if args.placement is not None:
+        print(f"placement    : {service.cluster.placement.describe()}")
+    label = f" ({fail})" if isinstance(fail, str) else ""
+    print(f"failed       : locations {sorted(failed)}{label}")
     print(f"repair       : {report.summary()}")
     try:
         intact = service.get("workload") == payload
@@ -667,8 +784,16 @@ def compare_main(argv: List[str] | None = None) -> int:
     args = parser.parse_args(argv)
     if args.smoke:
         args.blocks, args.block_size = 60, 512
-        args.locations, args.fail, args.victims = 30, 2, 2
+        args.victims = 2
+        if args.topology is None:
+            args.locations = 30
+        if args.fail == parser.get_default("fail"):
+            args.fail = "2"
+    fail = _parse_fail(parser, args.fail)
+    if isinstance(fail, str) and args.topology is None:
+        parser.error(f"--fail {fail!r} targets a topology domain; add --topology")
     _validate_backend_arguments(parser, args)
+    topology = _resolve_topology_argument(parser, args)
     scheme_ids = [scheme.strip() for scheme in args.schemes.split(",") if scheme.strip()]
     if not scheme_ids:
         parser.error("--schemes must name at least one scheme")
@@ -678,12 +803,15 @@ def compare_main(argv: List[str] | None = None) -> int:
             data_blocks=args.blocks,
             block_size=args.block_size,
             location_count=args.locations,
-            fail_locations=args.fail,
+            fail_locations=fail if isinstance(fail, int) else 0,
             seed=args.seed,
             victims=args.victims,
             backend=args.backend,
             data_dir=args.data_dir,
             fsync=args.fsync,
+            topology=topology,
+            placement=args.placement,
+            fail_target=fail if isinstance(fail, str) else None,
         )
     except (ReproError, ValueError) as exc:
         parser.error(str(exc))

@@ -170,11 +170,15 @@ class RedundancyScheme(ABC):
         are woven into the append-only lattice and must survive deletion.
         """
 
-    def default_placement(self, location_count: int, seed: int = 0):
-        """The placement policy used when the caller does not supply one."""
+    def default_placement(self, topology, seed: int = 0):
+        """The placement policy used when the caller does not supply one.
+
+        ``topology`` is a :class:`~repro.storage.topology.Topology` or a bare
+        location count (the flat single-site shim).
+        """
         from repro.storage.placement import RandomPlacement
 
-        return RandomPlacement(location_count, seed=seed)
+        return RandomPlacement(topology, seed=seed)
 
     # ------------------------------------------------------------------
     # Durability hooks

@@ -45,6 +45,7 @@ from repro.exceptions import InvalidParametersError
 from repro.simulation.metrics import DisasterMetrics, scheme_id_for
 from repro.storage.failures import ChurnTrace, Disaster
 from repro.storage.maintenance import MaintenanceBudget, MaintenancePolicy
+from repro.storage.topology import Topology
 
 __all__ = [
     "EngineOutcome",
@@ -171,7 +172,7 @@ class EngineOutcome:
             return 0.0
         return self.single_failure_repairs / self.repaired_data
 
-    def metrics(self, disaster_fraction: float) -> DisasterMetrics:
+    def metrics(self, disaster_fraction: float, label: str = "") -> DisasterMetrics:
         """Condense into the table-friendly :class:`DisasterMetrics` cell."""
         return DisasterMetrics(
             scheme=self.scheme,
@@ -184,6 +185,7 @@ class EngineOutcome:
             repaired_data=self.repaired_data,
             blocks_read=self.blocks_read,
             deferred_data=self.deferred_data,
+            label=label,
         )
 
 
@@ -948,6 +950,11 @@ class SimulationEngine:
     One engine wraps one :class:`SimulatedPlacement` (built from any registry
     scheme id) and runs one-shot disasters or event timelines against it with
     a maintenance policy and budget.
+
+    Passing ``topology=`` (a :class:`~repro.storage.topology.Topology`, a
+    compact spec string or a JSON file path) sizes the simulation from the
+    topology and lets disasters target whole failure domains by name:
+    ``engine.run_disaster("site:0")``.
     """
 
     def __init__(
@@ -959,7 +966,11 @@ class SimulationEngine:
         policy: MaintenancePolicy = MaintenancePolicy.FULL,
         budget: Optional[MaintenanceBudget] = None,
         block_size: int = 4096,
+        topology: Optional[Union[Topology, int, str]] = None,
     ) -> None:
+        self._topology = Topology.resolve(topology)
+        if self._topology is not None:
+            location_count = self._topology.node_count
         self._placement = build_simulation(
             scheme, data_blocks, location_count, seed, block_size
         )
@@ -969,6 +980,11 @@ class SimulationEngine:
     @property
     def placement(self) -> SimulatedPlacement:
         return self._placement
+
+    @property
+    def topology(self) -> Optional[Topology]:
+        """The explicit topology of the simulated cluster, if one was given."""
+        return self._topology
 
     @property
     def scheme_name(self) -> str:
@@ -982,6 +998,15 @@ class SimulationEngine:
     def _disaster_locations(self, disaster) -> np.ndarray:
         if isinstance(disaster, Disaster):
             return np.asarray(disaster.failed_locations, dtype=np.int64)
+        if isinstance(disaster, str):
+            if self._topology is None:
+                raise InvalidParametersError(
+                    f"disaster target {disaster!r} needs a topology; build "
+                    "the engine with topology='sites=...,racks=...,nodes=...'"
+                )
+            return np.asarray(
+                self._topology.locations_for_target(disaster), dtype=np.int64
+            )
         if isinstance(disaster, float):
             return sample_disaster_locations(
                 self._placement.location_count, disaster, self._placement.seed
@@ -994,19 +1019,30 @@ class SimulationEngine:
         disaster_fraction: Optional[float] = None,
         policy: Optional[MaintenancePolicy] = None,
         budget: Optional[MaintenanceBudget] = None,
+        label: Optional[str] = None,
     ) -> DisasterMetrics:
         """One-shot disaster: fail, repair per policy, report the metrics.
 
-        ``disaster`` may be a :class:`Disaster`, an array of location ids or
-        a fraction in ``[0, 1]`` (sampled with the placement's seed).
+        ``disaster`` may be a :class:`Disaster`, a topology target string
+        (``"site:0"``, needs ``topology=``), an array of location ids or a
+        fraction in ``[0, 1]`` (sampled with the placement's seed).  Target
+        strings (and labelled :class:`Disaster` instances) carry their label
+        into the reported metrics row.
         """
         failed = self._disaster_locations(disaster)
+        if label is None:
+            if isinstance(disaster, str):
+                label = disaster
+            elif isinstance(disaster, Disaster):
+                label = disaster.label
+            else:
+                label = ""
         if disaster_fraction is None:
             disaster_fraction = failed.size / self._placement.location_count
         outcome = self._placement.run_repair(
             failed, policy=policy or self._policy, budget=budget or self._budget
         )
-        return outcome.metrics(disaster_fraction)
+        return outcome.metrics(disaster_fraction, label=label)
 
     def run_outcome(
         self,
@@ -1091,26 +1127,52 @@ def simulate_disasters(
     data_blocks: int = 20_000,
     location_count: int = 100,
     seed: int = 7,
-    fractions: Sequence[float] = (0.10, 0.20, 0.30, 0.40, 0.50),
+    fractions: Sequence[Union[float, str]] = (0.10, 0.20, 0.30, 0.40, 0.50),
     policy: MaintenancePolicy = MaintenancePolicy.FULL,
     budget: Optional[MaintenanceBudget] = None,
+    topology: Optional[Union[Topology, int, str]] = None,
 ) -> List[DisasterMetrics]:
     """Disaster-recovery metrics for every scheme at every disaster size.
 
     One placement per scheme (built once, reused across fractions, exactly
     like the legacy experiment runner) and one independently drawn disaster
-    per fraction.  Returns one :class:`DisasterMetrics` per (scheme,
-    fraction) cell, fraction-major so the rows print like Figs. 11-13.
+    per fraction.  ``fractions`` entries may also be topology target strings
+    (``"site:0"``, ``"rack:eu/1"``), resolved against ``topology`` -- those
+    disasters are deterministic whole-domain outages rather than random
+    draws.  Returns one :class:`DisasterMetrics` per (scheme, fraction)
+    cell, fraction-major so the rows print like Figs. 11-13.
     """
+    resolved_topology = Topology.resolve(topology)
+    if resolved_topology is not None:
+        location_count = resolved_topology.node_count
     engines = [
         SimulationEngine(
-            scheme_id, data_blocks, location_count, seed, policy=policy, budget=budget
+            scheme_id,
+            data_blocks,
+            location_count,
+            seed,
+            policy=policy,
+            budget=budget,
+            topology=resolved_topology,
         )
         for scheme_id in scheme_ids
     ]
     results: List[DisasterMetrics] = []
     for offset, fraction in enumerate(fractions):
-        failed = sample_disaster_locations(location_count, fraction, seed, offset)
+        if isinstance(fraction, str):
+            if resolved_topology is None:
+                raise InvalidParametersError(
+                    f"disaster target {fraction!r} needs a topology"
+                )
+            failed = np.asarray(
+                resolved_topology.locations_for_target(fraction), dtype=np.int64
+            )
+            size, label = failed.size / location_count, fraction
+        else:
+            failed = sample_disaster_locations(location_count, fraction, seed, offset)
+            size, label = fraction, ""
         for engine in engines:
-            results.append(engine.run_disaster(failed, disaster_fraction=fraction))
+            results.append(
+                engine.run_disaster(failed, disaster_fraction=size, label=label)
+            )
     return results

@@ -147,6 +147,9 @@ class DisasterMetrics:
     #: Data blocks repairable but left missing because the maintenance
     #: budget ran out -- reported separately from loss.
     deferred_data: int = 0
+    #: Origin of a topology-targeted disaster ("site:0", "rack:eu/1");
+    #: empty for randomly sampled disasters.
+    label: str = ""
 
     @property
     def data_loss_fraction(self) -> float:
@@ -157,9 +160,10 @@ class DisasterMetrics:
         return self.vulnerable_data / self.data_blocks if self.data_blocks else 0.0
 
     def as_row(self) -> Dict[str, object]:
+        percent = int(round(self.disaster_fraction * 100))
         row = {
             "scheme": self.scheme,
-            "disaster (%)": int(round(self.disaster_fraction * 100)),
+            "disaster (%)": f"{percent} ({self.label})" if self.label else percent,
             "data loss (blocks)": self.data_loss,
             "vulnerable data (%)": round(self.vulnerable_fraction * 100.0, 2),
             "repair rounds": self.repair_rounds,

@@ -1,8 +1,15 @@
-"""Storage substrate: backends, locations, clusters, placement and repair.
+"""Storage substrate: backends, topology, clusters, placement and repair.
 
 This subpackage models the physical layer beneath the entanglement lattice --
 storage locations that can fail, a cluster that maps blocks to locations, and
 the repair machinery that restores redundancy after disasters.
+
+The spatial model is an explicit :class:`~repro.storage.topology.Topology`
+(site -> rack -> node with per-node capacity weights); placement policies are
+resolved from the string-keyed registry in :mod:`repro.storage.placement`
+(``placement.get("spread-domains", topology)``), and disasters can target
+whole failure domains (``disaster_for_target(topology, "site:0")``).  See
+``docs/topology.md`` for the spec grammar and the policy catalogue.
 
 Payload bytes live on pluggable, durable backends
 (:mod:`repro.storage.backends`): ``"memory"`` for simulations, ``"disk"``
@@ -14,6 +21,8 @@ for the on-disk layout and crash-recovery semantics.
 """
 
 from repro.storage import backends
+from repro.storage import placement
+from repro.storage import topology
 from repro.storage.backends import (
     DiskBackend,
     MemoryBackend,
@@ -31,6 +40,7 @@ from repro.storage.failures import (
     Disaster,
     PAPER_DISASTER_SIZES,
     disaster_for_fraction,
+    disaster_for_target,
     disaster_series,
 )
 from repro.storage.maintenance import MaintenanceBudget, MaintenancePolicy
@@ -39,7 +49,10 @@ from repro.storage.placement import (
     PlacementPolicy,
     RandomPlacement,
     RoundRobinPlacement,
+    SpreadDomainsPlacement,
     StrandAwarePlacement,
+    WeightedPlacement,
+    domain_balance,
     placement_balance,
 )
 from repro.storage.scrub import ChecksumManifest, ScrubFinding, ScrubReport, Scrubber
@@ -48,17 +61,18 @@ from repro.storage.repair import (
     ClusterRepairReport,
     ClusterRepairRound,
 )
+from repro.storage.topology import (
+    DOMAIN_LEVELS,
+    Topology,
+    TopologyBuilder,
+    TopologyNode,
+    iter_targets,
+    parse_topology_spec,
+)
 
 __all__ = [
     "BlockStore",
     "ChecksumManifest",
-    "DiskBackend",
-    "MemoryBackend",
-    "SegmentLogBackend",
-    "StorageBackend",
-    "backends",
-    "decode_block_id",
-    "encode_block_id",
     "ChurnEvent",
     "ChurnTrace",
     "ClusterRepairManager",
@@ -66,10 +80,13 @@ __all__ = [
     "ClusterRepairRound",
     "ClusterStats",
     "CorrelatedFailureDomains",
+    "DOMAIN_LEVELS",
     "DictionaryPlacement",
     "Disaster",
+    "DiskBackend",
     "MaintenanceBudget",
     "MaintenancePolicy",
+    "MemoryBackend",
     "PAPER_DISASTER_SIZES",
     "PlacementPolicy",
     "RandomPlacement",
@@ -77,9 +94,25 @@ __all__ = [
     "ScrubFinding",
     "ScrubReport",
     "Scrubber",
+    "SegmentLogBackend",
+    "SpreadDomainsPlacement",
+    "StorageBackend",
     "StorageCluster",
     "StrandAwarePlacement",
+    "Topology",
+    "TopologyBuilder",
+    "TopologyNode",
+    "WeightedPlacement",
+    "backends",
+    "decode_block_id",
     "disaster_for_fraction",
+    "disaster_for_target",
     "disaster_series",
+    "domain_balance",
+    "encode_block_id",
+    "iter_targets",
+    "parse_topology_spec",
+    "placement",
     "placement_balance",
+    "topology",
 ]

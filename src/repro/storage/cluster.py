@@ -16,8 +16,8 @@ cluster can be closed and reopened with all placements intact.
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple, Union
 
 from repro.core.blocks import Block, BlockId
 from repro.core.xor import Payload
@@ -25,11 +25,17 @@ from repro.exceptions import PlacementError, UnknownBlockError
 from repro.storage import backends as _backends
 from repro.storage.block_store import BlockStore
 from repro.storage.placement import PlacementPolicy, RandomPlacement
+from repro.storage.topology import Topology
 
 
 @dataclass
 class ClusterStats:
-    """Aggregate statistics of a cluster."""
+    """Aggregate statistics of a cluster.
+
+    ``domain_blocks`` maps failure-domain labels (sites, or racks for a
+    single-site topology) to the number of blocks they hold; it stays empty
+    for flat single-domain clusters.
+    """
 
     locations: int
     available_locations: int
@@ -38,28 +44,63 @@ class ClusterStats:
     bytes_stored: int
     cache_hits: int = 0
     cache_misses: int = 0
+    domain_blocks: Dict[str, int] = field(default_factory=dict)
 
     def summary(self) -> str:
-        return (
+        text = (
             f"{self.available_locations}/{self.locations} locations up, "
             f"{self.blocks} blocks ({self.unavailable_blocks} currently unavailable), "
             f"{self.bytes_stored} bytes"
         )
+        if self.domain_blocks:
+            per_domain = " ".join(
+                f"{label}={count}" for label, count in self.domain_blocks.items()
+            )
+            text = f"{text}; domains: {per_domain}"
+        return text
 
 
 class StorageCluster:
-    """``n`` storage locations plus the block -> location mapping."""
+    """``n`` storage locations plus the block -> location mapping.
+
+    The spatial layout of those locations is an explicit
+    :class:`~repro.storage.topology.Topology` (site -> rack -> node); the
+    legacy ``location_count=N`` form keeps working as the flat single-site
+    shim.  Pass ``topology=`` (a ``Topology``, a compact spec string like
+    ``"sites=3,racks=2,nodes=4"``, a JSON file path or an int) to make the
+    cluster domain-aware: per-domain statistics and repair re-placement that
+    avoids the failed block's failure domain.
+    """
 
     def __init__(
         self,
-        location_count: int,
+        location_count: Optional[int] = None,
         placement: Optional[PlacementPolicy] = None,
         capacity_blocks: Optional[int] = None,
         backend: str = "memory",
         root: Optional[str] = None,
         cache_blocks: Optional[int] = None,
+        topology: Optional[Union[Topology, int, str]] = None,
         **backend_options,
     ) -> None:
+        resolved = Topology.resolve(topology)
+        if resolved is None and placement is not None:
+            # Adopt the placement's topology so a policy built over sites and
+            # racks makes the cluster domain-aware without repeating the spec.
+            resolved = placement.topology
+        if resolved is None:
+            if location_count is None:
+                raise PlacementError(
+                    "a cluster needs a location_count, a topology or a placement"
+                )
+            resolved = Topology.flat(location_count)
+        if location_count is not None and location_count != resolved.node_count:
+            raise PlacementError(
+                f"location_count={location_count} contradicts the topology "
+                f"({resolved.node_count} nodes); pass one or the other"
+            )
+        self._topology = resolved
+        location_count = resolved.node_count
         if location_count < 1:
             raise PlacementError("a cluster needs at least one location")
         self._backend_spec = backend
@@ -106,6 +147,11 @@ class StorageCluster:
     @property
     def location_count(self) -> int:
         return len(self._stores)
+
+    @property
+    def topology(self) -> Topology:
+        """The site -> rack -> node layout of the locations."""
+        return self._topology
 
     @property
     def placement(self) -> PlacementPolicy:
@@ -262,20 +308,81 @@ class StorageCluster:
         return self._stores[location_id].holds(block_id)
 
     def relocate(self, block_id: BlockId, payload: Payload, avoid: Sequence[int] = ()) -> int:
-        """Store a repaired block on an available location (not in ``avoid``)."""
+        """Store a repaired block on an available location (not in ``avoid``).
+
+        The avoid-list is a hard constraint: locations in ``avoid`` are never
+        chosen, even when they alone have free capacity -- a
+        :class:`~repro.exceptions.PlacementError` is raised instead of
+        silently co-locating a repaired block with the failure it was
+        repaired *from*.  When the cluster topology has more than one
+        failure domain, the choice is additionally domain-aware: candidates
+        outside the failure domains of the avoided locations (and of the
+        block's failed previous location) are preferred, so a rack or site
+        coming back from the dead cannot take the rebuilt copy down with it
+        again.
+        """
+        avoided = set(avoid)
         candidates = [
             store.location_id
             for store in self._stores
-            if store.available and store.location_id not in set(avoid)
+            if store.available
+            and store.location_id not in avoided
+            and (
+                store.capacity_blocks is None
+                or store.contains(block_id)
+                or store.block_count < store.capacity_blocks
+            )
         ]
         if not candidates:
-            raise PlacementError("no available location to hold the repaired block")
-        # Deterministic spread: hash of the block id over the candidates.
+            raise PlacementError(
+                f"no available location outside the avoid list can hold the "
+                f"repaired block {block_id!r} (avoided: {sorted(avoided)}); "
+                "avoided locations are never used, even when only they have "
+                "free capacity"
+            )
+        level = self._placement.spread_level() or self._topology.default_level()
+        avoid_domains: Set[int] = set()
+        if len(self._topology.domains(level)) > 1:
+            avoid_domains = {
+                self._topology.domain_of(location, level)
+                for location in avoided
+                if 0 <= location < self.location_count
+            }
+            previous = self._directory.get(block_id)
+            if previous is not None and not self._stores[previous].available:
+                avoid_domains.add(self._topology.domain_of(previous, level))
         preferred = self._placement.location_for(block_id)
-        if preferred in candidates:
+        if preferred in candidates and (
+            self._topology.domain_of(preferred, level) not in avoid_domains
+        ):
             target = preferred
         else:
-            target = candidates[block_id.index % len(candidates)]
+            # Prefer candidates outside the failed domains; fall back to any
+            # candidate when the disaster spans every domain.
+            pool = [
+                location
+                for location in candidates
+                if self._topology.domain_of(location, level) not in avoid_domains
+            ] or candidates
+            # Among those, prefer domains the placement policy ranks best --
+            # a spreading policy keeps the rebuilt block away from the rest
+            # of its repair group whenever a spare domain exists.
+            best_rank = min(
+                self._placement.relocation_rank(
+                    block_id, self._topology.domain_of(location, level)
+                )
+                for location in pool
+            )
+            pool = [
+                location
+                for location in pool
+                if self._placement.relocation_rank(
+                    block_id, self._topology.domain_of(location, level)
+                )
+                == best_rank
+            ]
+            # Deterministic spread: the block id picks over the pool.
+            target = pool[block_id.index % len(pool)]
         self._stores[target].put(block_id, payload)
         self._directory[block_id] = target
         return target
@@ -304,6 +411,25 @@ class StorageCluster:
             if location in down
         }
 
+    def domain_block_counts(self, level: Optional[str] = None) -> Dict[str, int]:
+        """Blocks per failure domain (label -> count) at the given level.
+
+        Defaults to the coarsest meaningful level of the topology; a flat
+        single-domain cluster returns an empty dict (nothing to break down).
+        """
+        if level is None:
+            if self._topology.is_flat():
+                return {}
+            level = self._topology.default_level()
+        domains = self._topology.domains(level)
+        if len(domains) <= 1:
+            return {}
+        labels = self._topology.domain_labels(level)
+        counts = {label: 0 for label in labels}
+        for location in self._directory.values():
+            counts[labels[self._topology.domain_of(location, level)]] += 1
+        return counts
+
     def stats(self) -> ClusterStats:
         return ClusterStats(
             locations=self.location_count,
@@ -313,6 +439,7 @@ class StorageCluster:
             bytes_stored=sum(store.bytes_stored for store in self._stores),
             cache_hits=sum(store.cache_hits for store in self._stores),
             cache_misses=sum(store.cache_misses for store in self._stores),
+            domain_blocks=self.domain_block_counts(),
         )
 
     # ------------------------------------------------------------------

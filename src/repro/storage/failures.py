@@ -17,6 +17,7 @@ import numpy as np
 
 from repro.exceptions import InvalidParametersError
 from repro.storage.cluster import StorageCluster
+from repro.storage.topology import Topology, iter_targets
 
 #: Disaster sizes (fraction of unavailable locations) used throughout the paper.
 PAPER_DISASTER_SIZES = (0.10, 0.20, 0.30, 0.40, 0.50)
@@ -24,10 +25,15 @@ PAPER_DISASTER_SIZES = (0.10, 0.20, 0.30, 0.40, 0.50)
 
 @dataclass(frozen=True)
 class Disaster:
-    """A set of storage locations that become unavailable simultaneously."""
+    """A set of storage locations that become unavailable simultaneously.
+
+    ``label`` carries the human-readable origin of a targeted disaster
+    (``"site:0"``, ``"rack:eu/1"``); it stays empty for sampled disasters.
+    """
 
     failed_locations: tuple
     destructive: bool = False
+    label: str = ""
 
     @property
     def size(self) -> int:
@@ -76,11 +82,43 @@ def disaster_series(
     return disasters
 
 
+def disaster_for_target(
+    topology: Topology, target, destructive: bool = False
+) -> Disaster:
+    """A disaster taking down whole topology targets (sites, racks, nodes).
+
+    ``target`` is one target string (``"site:0"``, ``"rack:eu/1"``,
+    ``"node:5"``) or an iterable of them; the failed set is the union,
+    resolved through :meth:`Topology.locations_for_target`.
+    """
+    targets = [target] if isinstance(target, str) else list(target)
+    if not targets:
+        raise InvalidParametersError("disaster_for_target needs at least one target")
+    return Disaster(
+        failed_locations=iter_targets(topology, targets),
+        destructive=destructive,
+        label=",".join(targets),
+    )
+
+
 @dataclass(frozen=True)
 class CorrelatedFailureDomains:
-    """Groups of locations that fail together (racks, data centres, regions)."""
+    """Groups of locations that fail together (racks, data centres, regions).
+
+    :meth:`from_topology` derives the groups from an explicit
+    :class:`~repro.storage.topology.Topology`; :meth:`evenly` remains as the
+    legacy shim that slices ``location_count`` anonymous locations into
+    equal contiguous domains (exactly what a flat topology's sites would be).
+    """
 
     domains: tuple
+
+    @classmethod
+    def from_topology(
+        cls, topology: Topology, level: str = "site"
+    ) -> "CorrelatedFailureDomains":
+        """Failure domains of a topology at the given level (site/rack/node)."""
+        return cls(domains=topology.domains(level))
 
     @classmethod
     def evenly(cls, location_count: int, domain_count: int) -> "CorrelatedFailureDomains":

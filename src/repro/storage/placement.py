@@ -1,38 +1,93 @@
-"""Placement policies: mapping blocks to storage locations.
+"""Placement policies: mapping blocks to storage locations over a topology.
 
 The paper evaluates random placement explicitly ("blocks are distributed in n
 locations using random placements") and discusses a round-robin policy from
 earlier work that guarantees neighbouring lattice elements land in different
-failure domains (Sec. V-C, "Block Placements").  Both are provided, together
-with a strand-aware policy that approximates the round-robin guarantee while
-remaining practical, and a deterministic hash-based policy for the
-decentralised backup use case.
+failure domains (Sec. V-C, "Block Placements").  This module provides both,
+plus three topology-aware policies, behind a string-keyed registry::
+
+    from repro.storage import placement
+    from repro.storage.topology import Topology
+
+    topology = Topology.parse("sites=3,racks=2,nodes=4")
+    policy = placement.get("spread-domains", topology)
+
+Every policy takes a :class:`~repro.storage.topology.Topology` (a bare
+``location_count`` integer is accepted everywhere and treated as the flat
+single-site shim):
+
+* ``random`` -- uniform hash placement, the paper's simulation setup;
+* ``round-robin`` -- consecutive lattice elements on consecutive locations;
+* ``strand-aware`` -- an AE block never shares a location with the parities
+  of its pp-tuples;
+* ``spread-domains`` -- never co-locate a stripe's blocks, or an AE block
+  and its alpha parities, in one *failure domain* (site when the topology
+  has several sites, else rack), so a whole-domain disaster removes at most
+  ``ceil(width / domains)`` blocks of any repair group;
+* ``weighted`` -- random placement proportional to per-node capacity
+  weights (heterogeneous nodes).
 """
 
 from __future__ import annotations
 
 import hashlib
 from abc import ABC, abstractmethod
-from typing import List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
 from repro.core.blocks import BlockId, DataId, ParityId, is_data
 from repro.core.parameters import AEParameters, STRAND_CLASS_ORDER
 from repro.exceptions import PlacementError
+from repro.storage.topology import Topology
+
+TopologyLike = Union[Topology, int]
+
+
+def _as_topology(topology: TopologyLike) -> Topology:
+    """Coerce the accepted constructor inputs (legacy int included)."""
+    if isinstance(topology, Topology):
+        return topology
+    if isinstance(topology, (int, np.integer)):
+        if topology < 1:
+            raise PlacementError("a placement policy needs at least one location")
+        return Topology.flat(int(topology))
+    raise PlacementError(
+        f"cannot interpret {topology!r} as a topology; expected a Topology "
+        "or a location count"
+    )
+
+
+def _hash_fraction(block_id, seed: int, salt: bytes = b"") -> float:
+    """Deterministic uniform draw in [0, 1) derived from the block identity."""
+    digest = hashlib.blake2b(
+        salt + repr(block_id).encode("utf-8"),
+        key=seed.to_bytes(8, "little", signed=False),
+        digest_size=8,
+    ).digest()
+    return int.from_bytes(digest, "little") / float(1 << 64)
 
 
 class PlacementPolicy(ABC):
-    """Chooses the storage location of every block."""
+    """Chooses the storage location of every block.
 
-    def __init__(self, location_count: int) -> None:
-        if location_count < 1:
-            raise PlacementError("a placement policy needs at least one location")
-        self._location_count = location_count
+    Policies are constructed over a :class:`Topology`; passing a bare
+    ``location_count`` integer (the pre-topology API) builds the flat
+    single-site shim, so existing subclasses and call sites keep working.
+    """
+
+    def __init__(self, topology: TopologyLike) -> None:
+        self._topology = _as_topology(topology)
+        self._location_count = self._topology.node_count
 
     @property
     def location_count(self) -> int:
         return self._location_count
+
+    @property
+    def topology(self) -> Topology:
+        """The topology this policy places over (flat shim for legacy ints)."""
+        return self._topology
 
     @abstractmethod
     def location_for(self, block_id: BlockId) -> int:
@@ -48,6 +103,26 @@ class PlacementPolicy(ABC):
         location_for = self.location_for
         return [location_for(block_id) for block_id in block_ids]
 
+    def spread_level(self) -> Optional[str]:
+        """Failure-domain level this policy actively spreads over, if any.
+
+        Domain-aware repair (``StorageCluster.relocate``) avoids the failed
+        block's domain at this level; ``None`` means the policy has no
+        domain-spreading contract.
+        """
+        return None
+
+    def relocation_rank(self, block_id: BlockId, domain_index: int) -> int:
+        """Preference (lower is better) for re-placing ``block_id`` into a
+        fallback domain when repair cannot use its assigned location.
+
+        Policies with a spreading contract rank domains that hold other
+        members of the block's repair group *worse*, so a rebuilt block does
+        not silently collapse the group into one failure domain.  The
+        default expresses no preference.
+        """
+        return 0
+
     def describe(self) -> str:
         return f"{type(self).__name__}(n={self._location_count})"
 
@@ -60,8 +135,8 @@ class RandomPlacement(PlacementPolicy):
     (and every rerun) agrees on the mapping.
     """
 
-    def __init__(self, location_count: int, seed: int = 0) -> None:
-        super().__init__(location_count)
+    def __init__(self, topology: TopologyLike, seed: int = 0) -> None:
+        super().__init__(topology)
         self._seed = seed
 
     def location_for(self, block_id: BlockId) -> int:
@@ -80,21 +155,22 @@ class RoundRobinPlacement(PlacementPolicy):
     ``d_i`` follow on the next locations.  With ``n`` larger than a lattice
     neighbourhood this guarantees that adjacent lattice elements live in
     different failure domains (the assumption of the paper's earlier
-    evaluations).
+    evaluations) -- but note the guarantee is about *locations*, not sites:
+    under a multi-site topology a whole repair neighbourhood can land inside
+    one site (see ``spread-domains`` for the domain-level guarantee).
     """
 
-    def __init__(self, location_count: int, params: Optional[AEParameters] = None) -> None:
-        super().__init__(location_count)
+    def __init__(
+        self, topology: TopologyLike, params: Optional[AEParameters] = None
+    ) -> None:
+        super().__init__(topology)
         self._params = params
 
     def location_for(self, block_id: BlockId) -> int:
         alpha = self._params.alpha if self._params is not None else 3
         stride = alpha + 1
-        if is_data(block_id):
-            offset = 0
-        else:
-            offset = 1 + STRAND_CLASS_ORDER.index(block_id.strand_class) % alpha
-        return ((block_id.index - 1) * stride + offset) % self._location_count
+        index, lane = _lattice_lane(block_id, alpha)
+        return (index * stride + lane) % self._location_count
 
 
 class StrandAwarePlacement(PlacementPolicy):
@@ -106,8 +182,10 @@ class StrandAwarePlacement(PlacementPolicy):
     too small.
     """
 
-    def __init__(self, location_count: int, params: AEParameters, seed: int = 0) -> None:
-        super().__init__(location_count)
+    def __init__(
+        self, topology: TopologyLike, params: AEParameters, seed: int = 0
+    ) -> None:
+        super().__init__(topology)
         self._params = params
         self._seed = seed
         self._group = params.alpha + 1
@@ -126,11 +204,142 @@ class StrandAwarePlacement(PlacementPolicy):
         return (group_index * self._group + lane) % self._location_count
 
 
+def _lattice_lane(block_id, alpha: int):
+    """(group index, lane) of an AE or stripe block within its repair group.
+
+    AE blocks group by lattice position (data lane 0, one lane per strand
+    class); stripe blocks group by stripe (one lane per position).  Anything
+    else hashes into a single lane.
+    """
+    stripe = getattr(block_id, "stripe", None)
+    if stripe is not None:
+        return int(stripe), int(block_id.position)
+    if isinstance(block_id, DataId):
+        return block_id.index - 1, 0
+    if isinstance(block_id, ParityId):
+        return (
+            block_id.index - 1,
+            1 + STRAND_CLASS_ORDER.index(block_id.strand_class) % alpha,
+        )
+    digest = hashlib.blake2b(repr(block_id).encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "little"), 0
+
+
+class SpreadDomainsPlacement(PlacementPolicy):
+    """Never co-locate a repair group inside one failure domain.
+
+    The repair group of an AE data block is the block plus its ``alpha``
+    parities; the repair group of a stripe code is the whole stripe.  Lanes
+    of one group rotate through the topology's failure domains (site level
+    when the topology has several sites, else rack level), so:
+
+    * with at least ``group width`` domains, no two blocks of a group share
+      a domain -- a full-domain disaster removes at most one of them;
+    * with fewer domains, blocks spread as evenly as possible -- a
+      full-domain disaster removes at most ``ceil(width / domains)`` group
+      members (e.g. RS(10,4) over 4 sites loses at most 4 blocks per stripe
+      and stays decodable).
+
+    Inside the chosen domain the concrete node is a deterministic
+    capacity-weighted hash of the block identity, so heterogeneous domains
+    fill proportionally.
+    """
+
+    def __init__(
+        self,
+        topology: TopologyLike,
+        seed: int = 0,
+        level: Optional[str] = None,
+        params: Optional[AEParameters] = None,
+    ) -> None:
+        super().__init__(topology)
+        self._seed = seed
+        self._params = params
+        self._level = level or self.topology.default_level()
+        self._domains = self.topology.domains(self._level)
+        capacities = self.topology.capacities()
+        # Per-domain cumulative capacity for the intra-domain weighted pick.
+        self._cumulative = [
+            np.cumsum(capacities[list(members)]) for members in self._domains
+        ]
+
+    @property
+    def level(self) -> str:
+        """The failure-domain granularity the policy spreads over."""
+        return self._level
+
+    def spread_level(self) -> Optional[str]:
+        return self._level
+
+    def domain_for(self, block_id: BlockId) -> int:
+        """Failure-domain index assigned to ``block_id``."""
+        alpha = self._params.alpha if self._params is not None else 3
+        group, lane = _lattice_lane(block_id, alpha)
+        return (group + lane) % len(self._domains)
+
+    def relocation_rank(self, block_id: BlockId, domain_index: int) -> int:
+        """Prefer fallback domains no member of the block's group maps to.
+
+        An AE repair group is ``alpha + 1`` lanes wide; when the topology has
+        spare domains beyond that, a rebuilt block is steered into one, so a
+        later disaster of any *single* domain still finds the group spread.
+        Stripe groups span every domain whenever ``width >= domains``, in
+        which case there is nothing to prefer.
+        """
+        alpha = self._params.alpha if self._params is not None else 3
+        group, lane = _lattice_lane(block_id, alpha)
+        width = None
+        if isinstance(block_id, (DataId, ParityId)):
+            width = alpha + 1
+        domain_count = len(self._domains)
+        if width is None or width >= domain_count:
+            return 0
+        occupied = {(group + l) % domain_count for l in range(width)}
+        return 1 if domain_index in occupied else 0
+
+    def location_for(self, block_id: BlockId) -> int:
+        domain = self.domain_for(block_id)
+        members = self._domains[domain]
+        if len(members) == 1:
+            return members[0]
+        cumulative = self._cumulative[domain]
+        draw = _hash_fraction(block_id, self._seed, salt=b"spread") * cumulative[-1]
+        index = int(np.searchsorted(cumulative, draw, side="right"))
+        return members[min(index, len(members) - 1)]
+
+    def describe(self) -> str:
+        return (
+            f"SpreadDomainsPlacement(n={self._location_count}, "
+            f"level={self._level}, domains={len(self._domains)})"
+        )
+
+
+class WeightedPlacement(PlacementPolicy):
+    """Random placement proportional to per-node capacity weights.
+
+    A node with capacity 2.0 receives (in expectation) twice the blocks of a
+    capacity-1.0 node; with uniform capacities this degenerates to
+    :class:`RandomPlacement` statistics.  Deterministic given the seed.
+    """
+
+    def __init__(self, topology: TopologyLike, seed: int = 0) -> None:
+        super().__init__(topology)
+        self._seed = seed
+        self._cumulative = np.cumsum(self.topology.capacities())
+
+    def location_for(self, block_id: BlockId) -> int:
+        draw = _hash_fraction(block_id, self._seed, salt=b"weighted")
+        index = int(
+            np.searchsorted(self._cumulative, draw * self._cumulative[-1], side="right")
+        )
+        return min(index, self._location_count - 1)
+
+
 class DictionaryPlacement(PlacementPolicy):
     """Explicit placement recorded in a dictionary (used by tests and RAID layouts)."""
 
-    def __init__(self, location_count: int, mapping: dict) -> None:
-        super().__init__(location_count)
+    def __init__(self, topology: TopologyLike, mapping: dict) -> None:
+        super().__init__(topology)
         self._mapping = dict(mapping)
 
     def location_for(self, block_id: BlockId) -> int:
@@ -146,6 +355,84 @@ class DictionaryPlacement(PlacementPolicy):
         self._mapping[block_id] = location
 
 
+# ----------------------------------------------------------------------
+# The policy registry
+# ----------------------------------------------------------------------
+#: A factory builds a policy from a topology plus optional context
+#: (``params`` -- the AE setting of the scheme being placed, ``seed``,
+#: ``level`` -- a domain level override for spread-domains).
+PolicyFactory = Callable[..., PlacementPolicy]
+
+_POLICIES: Dict[str, PolicyFactory] = {}
+
+
+def register(name: str, factory: PolicyFactory) -> None:
+    """Register a placement policy under a string key."""
+    _POLICIES[name.lower()] = factory
+
+
+def available() -> List[str]:
+    """Registered policy names, sorted."""
+    return sorted(_POLICIES)
+
+
+def get(
+    name: str,
+    topology: TopologyLike,
+    params: Optional[AEParameters] = None,
+    seed: int = 0,
+    level: Optional[str] = None,
+) -> PlacementPolicy:
+    """Resolve a policy name to a fresh policy instance over ``topology``.
+
+    ``params`` carries the AE(alpha, s, p) setting when the scheme being
+    placed is an entanglement code (policies that do not need it ignore it);
+    ``level`` optionally pins the failure-domain granularity of
+    ``spread-domains``.
+    """
+    cleaned = name.strip().lower()
+    if cleaned not in _POLICIES:
+        raise PlacementError(
+            f"unknown placement policy {name!r}; available: "
+            + ", ".join(available())
+        )
+    return _POLICIES[cleaned](
+        _as_topology(topology), params=params, seed=seed, level=level
+    )
+
+
+def _random_factory(topology, params=None, seed=0, level=None):
+    return RandomPlacement(topology, seed=seed)
+
+
+def _round_robin_factory(topology, params=None, seed=0, level=None):
+    return RoundRobinPlacement(topology, params=params)
+
+
+def _strand_aware_factory(topology, params=None, seed=0, level=None):
+    if params is None:
+        raise PlacementError(
+            "the 'strand-aware' policy needs the AE(alpha, s, p) parameters "
+            "of an entanglement scheme; use 'spread-domains' for stripe codes"
+        )
+    return StrandAwarePlacement(topology, params, seed=seed)
+
+
+def _spread_domains_factory(topology, params=None, seed=0, level=None):
+    return SpreadDomainsPlacement(topology, seed=seed, level=level, params=params)
+
+
+def _weighted_factory(topology, params=None, seed=0, level=None):
+    return WeightedPlacement(topology, seed=seed)
+
+
+register("random", _random_factory)
+register("round-robin", _round_robin_factory)
+register("strand-aware", _strand_aware_factory)
+register("spread-domains", _spread_domains_factory)
+register("weighted", _weighted_factory)
+
+
 def placement_balance(policy: PlacementPolicy, block_ids) -> np.ndarray:
     """Histogram of blocks per location, used to study placement skew.
 
@@ -156,4 +443,13 @@ def placement_balance(policy: PlacementPolicy, block_ids) -> np.ndarray:
     counts = np.zeros(policy.location_count, dtype=np.int64)
     for block_id in block_ids:
         counts[policy.location_for(block_id)] += 1
+    return counts
+
+
+def domain_balance(policy: PlacementPolicy, block_ids, level: str = "site") -> np.ndarray:
+    """Histogram of blocks per failure domain at the given level."""
+    topology = policy.topology
+    counts = np.zeros(len(topology.domains(level)), dtype=np.int64)
+    for block_id in block_ids:
+        counts[topology.domain_of(policy.location_for(block_id), level)] += 1
     return counts

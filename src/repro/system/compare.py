@@ -18,6 +18,7 @@ from typing import Dict, List, Optional, Sequence
 from repro.codes.base import CodeCosts
 from repro.core.xor import payloads_equal
 from repro.exceptions import ReproError
+from repro.storage.topology import Topology
 from repro.system.service import StorageConfig, StorageService
 
 __all__ = [
@@ -127,6 +128,9 @@ def compare_schemes(
     backend: str = "memory",
     data_dir: Optional[str] = None,
     fsync: bool = False,
+    topology=None,
+    placement: Optional[str] = None,
+    fail_target: Optional[str] = None,
 ) -> List[SchemeComparison]:
     """Write, fail and repair the same workload under every scheme.
 
@@ -137,19 +141,36 @@ def compare_schemes(
     locations still down -- degraded reads must cover whatever repair could
     not.
 
+    ``topology`` (a :class:`~repro.storage.topology.Topology`, spec string or
+    JSON path) replaces ``location_count`` with an explicit site/rack/node
+    layout; ``placement`` names a policy from the
+    :mod:`repro.storage.placement` registry used for every scheme, and
+    ``fail_target`` turns the disaster into a deterministic whole-domain
+    outage (``"site:0"``, ``"rack:eu/1"``) resolved against the topology.
+
     With a persistent ``backend`` each scheme gets its own sub-root
     ``<data_dir>/<scheme_id>`` and its service is closed at the end of the
     run, so the written workloads can be reopened and inspected afterwards.
     """
     rng = random.Random(seed)
     payload = rng.randbytes(data_blocks * block_size)
-    failed = rng.sample(range(location_count), min(fail_locations, location_count))
+    resolved_topology = Topology.resolve(topology)
+    if resolved_topology is not None:
+        location_count = resolved_topology.node_count
+    if fail_target is not None:
+        if resolved_topology is None:
+            raise ReproError(
+                f"fail target {fail_target!r} needs a topology (sites/racks)"
+            )
+        failed = sorted(resolved_topology.locations_for_target(fail_target))
+    else:
+        failed = rng.sample(range(location_count), min(fail_locations, location_count))
     results: List[SchemeComparison] = []
     for scheme_id in scheme_ids:
         service = StorageService.open(
             StorageConfig(
                 scheme=scheme_id,
-                location_count=location_count,
+                location_count=None if resolved_topology is not None else location_count,
                 block_size=block_size,
                 seed=seed,
                 backend=backend,
@@ -157,6 +178,8 @@ def compare_schemes(
                     os.path.join(data_dir, scheme_id) if data_dir is not None else None
                 ),
                 fsync=fsync,
+                topology=resolved_topology,
+                placement=placement,
             )
         )
         document = service.put("workload", payload)

@@ -32,9 +32,11 @@ from repro.core.encoder import DEFAULT_BLOCK_SIZE
 from repro.core.xor import Payload, payload_to_bytes
 from repro.exceptions import InvalidParametersError, UnknownBlockError
 from repro.schemes.base import RedundancyScheme, SchemeCapabilities
+from repro.storage import placement as placement_registry
 from repro.storage.backends import decode_block_id, encode_block_id, write_json
 from repro.storage.cluster import StorageCluster
 from repro.storage.placement import PlacementPolicy
+from repro.storage.topology import Topology
 
 #: Number of blocks encoded per batch by :meth:`StorageService.put_stream`.
 DEFAULT_BATCH_BLOCKS = 256
@@ -135,12 +137,24 @@ class StorageConfig:
     ``scheme`` is either a registry identifier (``"ae-3-2-5"``, ``"rs-10-4"``,
     ``"lrc-azure"``, ...) or an already-built scheme instance.
 
+    ``topology`` describes the cluster's spatial layout: a
+    :class:`~repro.storage.topology.Topology`, a compact spec string
+    (``"sites=3,racks=2,nodes=4"``), a topology JSON file path or a bare
+    location count.  ``placement`` is either a policy name from the
+    :mod:`repro.storage.placement` registry (``"spread-domains"``,
+    ``"weighted"``, ...) -- resolved over the topology with the scheme's
+    parameters, and persisted in the manifest so a durable reopen restores
+    it automatically -- or an already-built :class:`PlacementPolicy`
+    instance (which a reopen must supply again).  The flat
+    ``location_count=N`` form remains a shim for a single-site topology.
+
     ``backend`` names a storage backend from :mod:`repro.storage.backends`
     (``"memory"``, ``"disk"``, ``"segment"``); the persistent backends need
     ``data_dir``, the root directory that holds one sub-root per location
     plus the service manifest.  Opening a config whose ``data_dir`` already
-    contains a manifest *reopens* the stored service: placements, documents
-    and the scheme's write position are restored (see ``docs/persistence.md``).
+    contains a manifest *reopens* the stored service: placements, documents,
+    the topology and the scheme's write position are restored (see
+    ``docs/persistence.md`` and ``docs/topology.md``).
     """
 
     scheme: Union[str, RedundancyScheme] = schemes.DEFAULT_SCHEME
@@ -149,7 +163,7 @@ class StorageConfig:
     #: contradicts the manifest is rejected.
     location_count: Optional[int] = None
     block_size: int = DEFAULT_BLOCK_SIZE
-    placement: Optional[PlacementPolicy] = None
+    placement: Optional[Union[str, PlacementPolicy]] = None
     cluster: Optional[StorageCluster] = None
     seed: int = 0
     batch_blocks: int = DEFAULT_BATCH_BLOCKS
@@ -157,11 +171,22 @@ class StorageConfig:
     data_dir: Optional[str] = None
     fsync: bool = False
     cache_blocks: Optional[int] = None
+    topology: Optional[Union[str, int, Topology]] = None
 
     def resolve_scheme(self) -> RedundancyScheme:
         if isinstance(self.scheme, RedundancyScheme):
             return self.scheme
         return schemes.get(self.scheme, block_size=self.block_size)
+
+    def resolve_topology(self) -> Optional[Topology]:
+        """The explicit topology of this config, ``None`` when unspecified."""
+        if self.topology is not None:
+            return Topology.resolve(self.topology)
+        if self.cluster is not None:
+            return self.cluster.topology
+        if isinstance(self.placement, PlacementPolicy):
+            return self.placement.topology
+        return None
 
 
 @dataclass
@@ -223,6 +248,7 @@ class StorageService:
         fsync: bool = False,
         seed: int = 0,
         custom_placement: bool = False,
+        placement_spec: Optional[str] = None,
     ) -> None:
         if batch_blocks < 1:
             raise ValueError("batch_blocks must be at least 1")
@@ -241,6 +267,7 @@ class StorageService:
         self._fsync = fsync
         self._seed = seed
         self._custom_placement = custom_placement
+        self._placement_spec = placement_spec
         self._closed = False
 
     @classmethod
@@ -284,21 +311,54 @@ class StorageService:
                     f"{stored_backend!r} backend, not {opening_backend!r}"
                 )
         seed = config.seed
-        custom_placement = config.placement is not None or config.cluster is not None
+        custom_placement = (
+            isinstance(config.placement, PlacementPolicy)
+            or config.cluster is not None
+        )
+        placement_spec = (
+            config.placement if isinstance(config.placement, str) else None
+        )
+        topology = config.resolve_topology()
         if manifest is not None:
             seed = int(manifest.get("seed", seed))
             # Placement only steers *new* writes (reads follow the block
             # directory), but silently switching policies on reopen would
             # scatter a curated layout -- demand the original policy back.
+            # Registry-named policies are stored in the manifest and restored
+            # automatically; policy *instances* must be supplied again.
             if bool(manifest.get("custom_placement", False)) and not custom_placement:
                 raise InvalidParametersError(
                     f"data_dir {config.data_dir!r} was written with a custom "
                     "placement policy; reopen it with the same placement "
                     "(StorageConfig(placement=...))"
                 )
+            if placement_spec is None and not custom_placement:
+                stored_spec = manifest.get("placement_spec")
+                placement_spec = str(stored_spec) if stored_spec else None
+            stored_topology = manifest.get("topology")
+            if stored_topology is not None:
+                stored_topology = Topology.from_dict(stored_topology)
+                if topology is not None and topology != stored_topology:
+                    raise InvalidParametersError(
+                        f"data_dir {config.data_dir!r} was written with a "
+                        f"different topology ({stored_topology.describe()}); "
+                        "reopen it with the stored topology or none at all"
+                    )
+                if config.cluster is None:
+                    topology = stored_topology
         cluster = config.cluster
         if cluster is None:
             location_count = config.location_count
+            if topology is not None:
+                if (
+                    location_count is not None
+                    and location_count != topology.node_count
+                ):
+                    raise InvalidParametersError(
+                        f"location_count={location_count} contradicts the "
+                        f"topology ({topology.node_count} nodes)"
+                    )
+                location_count = topology.node_count
             if manifest is not None:
                 stored_locations = int(
                     manifest.get("location_count", DEFAULT_LOCATION_COUNT)
@@ -311,15 +371,25 @@ class StorageService:
                 location_count = stored_locations
             if location_count is None:
                 location_count = DEFAULT_LOCATION_COUNT
-            placement = config.placement or scheme.default_placement(
-                location_count, seed=seed
-            )
+            if isinstance(config.placement, PlacementPolicy):
+                placement = config.placement
+            elif placement_spec is not None:
+                placement = placement_registry.get(
+                    placement_spec,
+                    topology if topology is not None else location_count,
+                    params=getattr(scheme, "params", None),
+                    seed=seed,
+                )
+            else:
+                placement = scheme.default_placement(
+                    topology if topology is not None else location_count, seed=seed
+                )
             cluster = StorageCluster(
-                location_count,
-                placement,
+                placement=placement,
                 backend=config.backend,
                 root=config.data_dir,
                 cache_blocks=config.cache_blocks,
+                topology=topology if topology is not None else location_count,
                 fsync=config.fsync,
             )
         service = cls(
@@ -330,6 +400,7 @@ class StorageService:
             fsync=config.fsync,
             seed=seed,
             custom_placement=custom_placement,
+            placement_spec=placement_spec,
         )
         if manifest is not None:
             for name, entry in manifest.get("documents", {}).items():
@@ -406,6 +477,10 @@ class StorageService:
                 for name, document in self._documents.items()
             },
         }
+        if not self._cluster.topology.is_flat():
+            manifest["topology"] = self._cluster.topology.to_dict()
+        if self._placement_spec is not None:
+            manifest["placement_spec"] = self._placement_spec
         write_json(
             os.path.join(self._data_dir, MANIFEST_NAME), manifest, fsync=self._fsync
         )
@@ -455,6 +530,11 @@ class StorageService:
     @property
     def cluster(self) -> StorageCluster:
         return self._cluster
+
+    @property
+    def topology(self):
+        """The cluster's site -> rack -> node layout."""
+        return self._cluster.topology
 
     @property
     def block_size(self) -> int:
