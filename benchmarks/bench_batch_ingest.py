@@ -26,6 +26,7 @@ import time
 import numpy as np
 import pytest
 
+from perf_record import record_entry
 from repro.core.encoder import BatchEntangler, Entangler
 from repro.core.parameters import AEParameters
 from repro.system.entangled_store import EntangledStorageSystem
@@ -137,6 +138,20 @@ def test_batch_encode_speedup_at_4k(print_tables):
             f"\nAE(3,2,5) @ 4 KiB: sequential {mb / t_sequential:7.1f} MB/s, "
             f"batched {mb / t_batched:7.1f} MB/s, speedup {speedup:.1f}x"
         )
+    mb = data.nbytes / 1e6
+    record_entry(
+        "ingest",
+        "ae-3-2-5/batch-encode-speedup@4096",
+        scheme="ae-3-2-5",
+        block_size=block_size,
+        seed=0,
+        metrics={
+            "speedup": speedup,
+            "batched_mb_s": mb / t_batched,
+            "sequential_mb_s": mb / t_sequential,
+        },
+        gates=["speedup"],
+    )
     assert speedup >= 3.0, f"batched encode only {speedup:.2f}x faster than per-block"
 
 

@@ -15,16 +15,15 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence, Set
 
+from repro.core.batch_repair import execute_plan, plan_inputs, plan_round
 from repro.core.blocks import BlockId, is_data
 from repro.core.decoder import Decoder
 from repro.core.encoder import DEFAULT_BLOCK_SIZE, BatchEntangler
 from repro.core.lattice import HelicalLattice
 from repro.core.parameters import AEParameters
 from repro.core.xor import Payload
-from repro.exceptions import RepairFailedError
 from repro.schemes.base import (
     BlockFetcher,
-    CountingFetcher,
     EncodedPart,
     RedundancyScheme,
     SchemeCapabilities,
@@ -99,12 +98,19 @@ class EntanglementScheme(RedundancyScheme):
         return Decoder(self.lattice, fetch, self._block_size).get(block_id)
 
     def repair(self, missing: Set[object], fetch: BlockFetcher) -> SchemeRepairOutcome:
-        """Round-based lattice repair (paper, Sec. V-C4).
+        """Round-based lattice repair (paper, Sec. V-C4), executed in bulk.
 
-        Blocks repaired in one round become inputs of the next; within a
-        round the decoder only sees blocks available before the round
-        started.  Every payload fetched -- from the source or from the
-        overlay of earlier rounds -- counts as one read.
+        Each round is planned against an availability view frozen at the
+        round start (:func:`~repro.core.batch_repair.plan_round` picks the
+        same pp-/dp-tuples the per-block decoder would), the plan's inputs
+        are fetched in one bulk call when the fetcher advertises
+        ``try_get_many`` (a :class:`~repro.storage.cluster.ClusterBlockSource`),
+        and every target of the round is rebuilt in a single matrix XOR
+        pass.  Blocks repaired in one round become inputs of the next.
+
+        ``blocks_read`` counts the *distinct* payloads the run obtained --
+        from the source or from the overlay of earlier rounds -- so a
+        surviving block feeding several dependent repairs is accounted once.
         """
         outcome = SchemeRepairOutcome()
         pending = {
@@ -115,31 +121,80 @@ class EntanglementScheme(RedundancyScheme):
             key=_sort_key,
         )
         overlay: Dict[BlockId, Payload] = {}
-        snapshot: Dict[BlockId, Payload] = {}
+        # Source payloads already obtained (``None`` = probed and absent).
+        cache: Dict[BlockId, Optional[Payload]] = {}
+        consumed: Set[BlockId] = set()
+        oracle = getattr(fetch, "is_available", None)
+        bulk = getattr(fetch, "try_get_many", None)
 
-        def combined(block_id):
-            payload = snapshot.get(block_id)
-            return payload if payload is not None else fetch(block_id)
+        def probed(block_id: BlockId) -> Optional[Payload]:
+            """Memoised source fetch: availability probe without an oracle."""
+            if block_id not in cache:
+                cache[block_id] = fetch(block_id)
+            return cache[block_id]
 
-        counter = CountingFetcher(combined)
         while pending:
             snapshot = dict(overlay)
-            decoder = Decoder(self.lattice, counter, self._block_size, max_depth=0)
-            repaired_this_round: List[BlockId] = []
-            for block_id in sorted(pending, key=_sort_key):
-                try:
-                    payload = decoder.repair(block_id)
-                except RepairFailedError:
-                    continue
-                overlay[block_id] = payload
-                repaired_this_round.append(block_id)
-            if not repaired_this_round:
+            if oracle is not None:
+
+                def available(block_id: BlockId, _snapshot=snapshot) -> bool:
+                    if block_id in _snapshot:
+                        return True
+                    if block_id in cache:
+                        return cache[block_id] is not None
+                    return bool(oracle(block_id))
+
+            else:
+
+                def available(block_id: BlockId, _snapshot=snapshot) -> bool:
+                    return block_id in _snapshot or probed(block_id) is not None
+
+            steps = plan_round(
+                self.lattice, sorted(pending, key=_sort_key), available
+            )
+            if oracle is not None:
+                # The oracle answered the planner without moving payloads;
+                # fetch the chosen inputs now, in one grouped call.
+                wanted = [
+                    block_id
+                    for block_id in plan_inputs(steps)
+                    if block_id not in snapshot and block_id not in cache
+                ]
+                if wanted:
+                    payloads = (
+                        bulk(wanted)
+                        if bulk is not None
+                        else [fetch(block_id) for block_id in wanted]
+                    )
+                    cache.update(zip(wanted, payloads))
+                # A source dying between the plan and the fetch can leave a
+                # step without inputs; its target waits for a later round.
+                steps = [
+                    step
+                    for step in steps
+                    if all(
+                        block_id in snapshot or cache.get(block_id) is not None
+                        for block_id in step.inputs()
+                    )
+                ]
+            if not steps:
                 break
+
+            def payload_of(block_id: BlockId, _snapshot=snapshot) -> Payload:
+                payload = _snapshot.get(block_id)
+                return payload if payload is not None else cache[block_id]
+
+            recovered = execute_plan(steps, payload_of, self._block_size)
+            for step in steps:
+                consumed.update(step.inputs())
+            overlay.update(recovered)
+            pending.difference_update(recovered)
             outcome.rounds += 1
-            for block_id in repaired_this_round:
-                pending.discard(block_id)
         outcome.recovered = overlay
-        outcome.blocks_read = counter.reads
+        obtained = {
+            block_id for block_id, payload in cache.items() if payload is not None
+        }
+        outcome.blocks_read = len(consumed | obtained)
         outcome.unrecovered.extend(sorted(pending, key=_sort_key))
         return outcome
 

@@ -7,6 +7,12 @@ scheduling, puncturing, dynamic parameter upgrades and the anti-tampering
 analysis).
 """
 
+from repro.core.batch_repair import (
+    RepairPlanStep,
+    execute_plan,
+    plan_inputs,
+    plan_round,
+)
 from repro.core.blocks import (
     Block,
     BlockId,
@@ -69,6 +75,7 @@ from repro.core.tamper import TamperCost, average_tamper_cost, tamper_cost
 from repro.core.xor import (
     as_payload,
     as_payload_matrix,
+    gather_payload_matrix,
     payload_to_bytes,
     xor_accumulate,
     xor_into,
@@ -98,6 +105,7 @@ __all__ = [
     "ParityId",
     "ParityRepairOption",
     "PuncturedCode",
+    "RepairPlanStep",
     "RepairReport",
     "RepairRound",
     "StrandClass",
@@ -113,6 +121,8 @@ __all__ = [
     "average_tamper_cost",
     "compare_write_parallelism",
     "encode_file_payloads",
+    "execute_plan",
+    "gather_payload_matrix",
     "input_index",
     "is_data",
     "is_parity",
@@ -126,6 +136,8 @@ __all__ = [
     "output_index",
     "payload_to_bytes",
     "plan_alpha_upgrade",
+    "plan_inputs",
+    "plan_round",
     "puncture_periodic",
     "puncture_rate",
     "puncture_strand_class",

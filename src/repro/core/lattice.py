@@ -16,7 +16,7 @@ happen only at the beginning of the mesh.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.core.blocks import BlockId, DataId, ParityId, is_data
 from repro.core.parameters import AEParameters, NodeCategory, StrandClass
@@ -77,6 +77,13 @@ class HelicalLattice:
             raise LatticeBoundsError("lattice size cannot be negative")
         self._params = params
         self._size = size
+        # Memoised repair options (batched planning asks for the same node's
+        # options once per round).  Data options depend only on the node index
+        # and the fixed parameters; parity options also depend on the lattice
+        # size (the right dp-tuple appears once node ``j`` is entangled), so
+        # that cache is dropped whenever the lattice grows.
+        self._data_options_cache: Dict[int, List["DataRepairOption"]] = {}
+        self._parity_options_cache: Dict[ParityId, List["ParityRepairOption"]] = {}
 
     # ------------------------------------------------------------------
     # Basic properties
@@ -109,6 +116,8 @@ class HelicalLattice:
             raise LatticeBoundsError("cannot grow by a negative amount")
         new_ids = [DataId(self._size + offset + 1) for offset in range(count)]
         self._size += count
+        if count:
+            self._parity_options_cache.clear()
         return new_ids
 
     # ------------------------------------------------------------------
@@ -235,7 +244,13 @@ class HelicalLattice:
     # Repair structure
     # ------------------------------------------------------------------
     def data_repair_options(self, index: int) -> List[DataRepairOption]:
-        """The alpha ways to rebuild ``d_index`` (one pp-tuple per strand)."""
+        """The alpha ways to rebuild ``d_index`` (one pp-tuple per strand).
+
+        The returned list is memoised -- callers must not mutate it.
+        """
+        cached = self._data_options_cache.get(index)
+        if cached is not None:
+            return cached
         self._check_node(index)
         options: List[DataRepairOption] = []
         for strand_class in self._params.strand_classes:
@@ -246,6 +261,7 @@ class HelicalLattice:
                     output_parity=self.output_parity(index, strand_class),
                 )
             )
+        self._data_options_cache[index] = options
         return options
 
     def parity_repair_options(self, parity: ParityId) -> List[ParityRepairOption]:
@@ -254,7 +270,12 @@ class HelicalLattice:
         ``p_{i,j} = d_i XOR p_{h,i}`` (left option, always defined -- the input
         may be the virtual zero block) and ``p_{i,j} = d_j XOR p_{j,k}`` (right
         option, defined only once node ``j`` has been entangled).
+
+        The returned list is memoised -- callers must not mutate it.
         """
+        cached = self._parity_options_cache.get(parity)
+        if cached is not None:
+            return cached
         if not self.has_block(parity):
             raise LatticeBoundsError(f"parity {parity!r} is not part of the lattice")
         i = parity.index
@@ -271,6 +292,7 @@ class HelicalLattice:
                     data=DataId(j), parity=self.output_parity(j, strand_class)
                 )
             )
+        self._parity_options_cache[parity] = options
         return options
 
     def repair_dependencies(self, block_id: BlockId) -> Sequence:

@@ -9,7 +9,7 @@ the entanglement function is only defined for blocks of identical size
 
 from __future__ import annotations
 
-from typing import Iterable, Optional, Sequence, Union
+from typing import Iterable, List, Optional, Sequence, Union
 
 import numpy as np
 
@@ -126,6 +126,45 @@ def as_payload_matrix(
     if not payloads:
         return np.zeros((0, block_size), dtype=np.uint8)
     return np.stack(payloads)
+
+
+def gather_payload_matrix(
+    payloads: Sequence[Optional[PayloadLike]], block_size: int
+) -> PayloadMatrix:
+    """Stack payloads into a fresh writable ``(n, block_size)`` matrix.
+
+    ``None`` entries become zero rows (the virtual zero parity at strand
+    extremities), so a repair plan's input column can be gathered in one call.
+    Unlike :func:`as_payload_matrix` the result is always a new allocation:
+    the rows are safe XOR destinations even when the sources are read-only
+    zero-copy views handed out by an mmap-backed storage backend.
+    """
+    if block_size <= 0:
+        raise BlockSizeMismatchError("block_size must be positive")
+    rows: List[Payload] = []
+    zero_row: Optional[Payload] = None
+    for item in payloads:
+        if item is None:
+            if zero_row is None:
+                zero_row = np.zeros(block_size, dtype=np.uint8)
+            rows.append(zero_row)
+            continue
+        payload = (
+            item
+            if isinstance(item, np.ndarray) and item.dtype == np.uint8 and item.ndim == 1
+            else as_payload(item)
+        )
+        if payload.size != block_size:
+            raise BlockSizeMismatchError(
+                f"payload of {payload.size} bytes does not fit block size {block_size}"
+            )
+        rows.append(payload)
+    if not rows:
+        return np.zeros((0, block_size), dtype=np.uint8)
+    # One C-level stack instead of a Python row-assignment loop; the result
+    # is a fresh allocation, so the rows are safe XOR destinations even when
+    # the sources are read-only zero-copy views from an mmap-backed backend.
+    return np.stack(rows)
 
 
 def xor_into(dst: Payload, src: PayloadLike) -> Payload:

@@ -25,7 +25,7 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Set, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.core.xor import Payload
 
@@ -215,3 +215,17 @@ class CountingFetcher:
         if payload is not None:
             self.reads += 1
         return payload
+
+    def try_get_many(self, block_ids: Iterable[object]) -> List[Optional[Payload]]:
+        """Bulk fetch, counting successes; batches through to the wrapped
+        fetcher's own ``try_get_many`` when it has one (a
+        :class:`~repro.storage.cluster.ClusterBlockSource`), falling back to
+        one call per block otherwise."""
+        wanted = list(block_ids)
+        bulk = getattr(self._fetch, "try_get_many", None)
+        if bulk is not None:
+            payloads = list(bulk(wanted))
+        else:
+            payloads = [self._fetch(block_id) for block_id in wanted]
+        self.reads += sum(1 for payload in payloads if payload is not None)
+        return payloads

@@ -168,27 +168,44 @@ class StripeScheme(RedundancyScheme):
         missing = sorted(set(missing_positions))
         others = [position for position in range(code.n) if position not in missing]
         fetched: Dict[int, Payload] = {}
+        bulk = getattr(fetch, "try_get_many", None)
+
+        def grab_many(positions: Sequence[int]) -> None:
+            """Fetch the not-yet-cached positions, in one bulk call when the
+            fetcher supports it; failed positions stay absent from the cache."""
+            wanted = [position for position in positions if position not in fetched]
+            if not wanted:
+                return
+            block_ids = [StripeBlockId(stripe, position) for position in wanted]
+            payloads = (
+                bulk(block_ids)
+                if bulk is not None
+                else [fetch(block_id) for block_id in block_ids]
+            )
+            for position, payload in zip(wanted, payloads):
+                if payload is not None:
+                    fetched[position] = as_payload(payload, self._block_size)
 
         def grab(position: int) -> Optional[Payload]:
-            if position not in fetched:
-                payload = fetch(StripeBlockId(stripe, position))
-                if payload is None:
-                    return None
-                fetched[position] = as_payload(payload, self._block_size)
-            return fetched[position]
+            grab_many([position])
+            return fetched.get(position)
 
         recovered: Dict[StripeBlockId, Payload] = {}
         if len(missing) == 1:
             position = missing[0]
             plan = code.repair_read_positions(position, others)
             if plan is not None:
-                payloads = {p: grab(p) for p in plan}
+                grab_many(plan)
+                payloads = {p: fetched.get(p) for p in plan}
                 if all(payload is not None for payload in payloads.values()):
                     recovered[StripeBlockId(stripe, position)] = code.repair(
                         position, payloads
                     )
                     return recovered, []
         # General path: decode the stripe from everything still readable.
+        # The read set is every surviving position of the stripe -- the same
+        # blocks a per-position loop would attempt -- fetched in one batch.
+        grab_many(others)
         available = {
             position: payload
             for position in others

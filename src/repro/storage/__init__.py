@@ -32,7 +32,7 @@ from repro.storage.backends import (
     encode_block_id,
 )
 from repro.storage.block_store import BlockStore
-from repro.storage.cluster import ClusterStats, StorageCluster
+from repro.storage.cluster import ClusterBlockSource, ClusterStats, StorageCluster
 from repro.storage.failures import (
     ChurnEvent,
     ChurnTrace,
@@ -75,6 +75,7 @@ __all__ = [
     "ChecksumManifest",
     "ChurnEvent",
     "ChurnTrace",
+    "ClusterBlockSource",
     "ClusterRepairManager",
     "ClusterRepairReport",
     "ClusterRepairRound",

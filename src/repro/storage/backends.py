@@ -37,6 +37,7 @@ New media (S3, a key-value store, ...) plug in with :func:`register`.
 from __future__ import annotations
 
 import json
+import mmap
 import os
 import struct
 import zlib
@@ -361,6 +362,9 @@ class SegmentLogBackend(StorageBackend):
         #: block id -> (segment index, payload offset, payload length)
         self._index: Dict[object, Tuple[int, int, int]] = {}
         self._readers: Dict[int, object] = {}
+        #: segment index -> (read-only mmap, mapped size); reads are served
+        #: as zero-copy numpy views over these maps.
+        self._maps: Dict[int, Tuple[mmap.mmap, int]] = {}
         self._live_bytes = 0
         self._total_bytes = 0
         self._active = -1
@@ -506,6 +510,9 @@ class SegmentLogBackend(StorageBackend):
         for handle in self._readers.values():
             handle.close()
         self._readers.clear()
+        # Maps are dropped, not closed: live zero-copy views may still
+        # reference them.  Unlinking a mapped file is safe on POSIX.
+        self._maps = {}
         if self._writer is not None:
             self._writer.close()
             self._writer = None
@@ -518,11 +525,45 @@ class SegmentLogBackend(StorageBackend):
         self._open_writer()
 
     # -- read path ------------------------------------------------------
+    def _mapped(self, segment: int, end_needed: int) -> Optional[mmap.mmap]:
+        """A read-only memory map of the segment covering ``end_needed`` bytes.
+
+        The active segment keeps growing, so its map is re-created whenever a
+        requested record lies beyond the mapped size.  A superseded map is
+        *dropped*, never closed: numpy views handed out by :meth:`get` may
+        still reference its buffer (``mmap.close`` with live exports raises
+        ``BufferError``); the map is unmapped when the last view dies.
+        """
+        entry = self._maps.get(segment)
+        if entry is not None and entry[1] >= end_needed:
+            return entry[0]
+        if segment == self._active:
+            # The active segment's appends may still sit in the writer buffer.
+            self._writer.flush()
+        path = self._segment_path(segment)
+        try:
+            size = os.path.getsize(path)
+        except OSError:
+            return None
+        if size == 0 or size < end_needed:
+            return None
+        with open(path, "rb") as handle:
+            mapped = mmap.mmap(handle.fileno(), 0, access=mmap.ACCESS_READ)
+        self._maps[segment] = (mapped, size)
+        return mapped
+
     def get(self, block_id: object) -> Payload:
         entry = self._index.get(block_id)
         if entry is None:
             raise KeyError(block_id)
         segment, offset, length = entry
+        mapped = self._mapped(segment, offset + length)
+        if mapped is not None:
+            # Zero-copy: a read-only uint8 view straight over the mapped
+            # segment -- the payload reaches the XOR kernels without an
+            # intermediate copy (repair kernels gather into fresh matrices
+            # and never write into their sources).
+            return np.frombuffer(mapped, dtype=np.uint8, count=length, offset=offset)
         if segment == self._active:
             # The active segment's appends may still sit in the writer buffer.
             self._writer.flush()
@@ -585,6 +626,7 @@ class SegmentLogBackend(StorageBackend):
         for handle in self._readers.values():
             handle.close()
         self._readers.clear()
+        self._maps = {}  # dropped, not closed: views may outlive compaction
         for segment in old_segments:
             os.remove(self._segment_path(segment))
 
@@ -606,6 +648,7 @@ class SegmentLogBackend(StorageBackend):
         for handle in self._readers.values():
             handle.close()
         self._readers.clear()
+        self._maps = {}  # dropped, not closed: callers may hold live views
         if self._writer is not None:
             self._writer.close()
             self._writer = None

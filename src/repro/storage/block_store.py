@@ -259,6 +259,36 @@ class BlockStore:
         self._reads += len(payloads)
         return payloads
 
+    def try_get_many(self, block_ids: Iterable[BlockId]) -> List[Optional[Payload]]:
+        """Bulk :meth:`try_get`: ``None`` for absent blocks, everything ``None``
+        when the location is down.  One availability check per batch; the read
+        counter advances by the number of payloads returned."""
+        wanted = list(block_ids)
+        if not self._available:
+            return [None] * len(wanted)
+        payloads: List[Optional[Payload]] = []
+        hits = 0
+        if not self._cache_blocks:
+            # No read cache configured: serve straight from the backend at
+            # list-comprehension speed (the hot path of batched repair).
+            sizes = self._sizes
+            backend_get = self._backend.get
+            payloads = [
+                backend_get(block_id) if block_id in sizes else None
+                for block_id in wanted
+            ]
+            hits = sum(1 for payload in payloads if payload is not None)
+            self._reads += hits
+            return payloads
+        for block_id in wanted:
+            if block_id in self._sizes:
+                payloads.append(self._cached_read(block_id))
+                hits += 1
+            else:
+                payloads.append(None)
+        self._reads += hits
+        return payloads
+
     def delete(self, block_id: BlockId) -> None:
         if block_id not in self._sizes:
             raise UnknownBlockError(

@@ -123,6 +123,8 @@ class StorageCluster:
             for location_id in range(location_count)
         ]
         self._placement = placement or RandomPlacement(location_count)
+        self._domain_cache: Dict[Tuple[str, int], int] = {}
+        self._domain_count_cache: Dict[str, int] = {}
         if self._placement.location_count != location_count:
             raise PlacementError(
                 "placement policy location count does not match the cluster size"
@@ -266,6 +268,40 @@ class StorageCluster:
             return None
         return self._stores[location_id].try_get(block_id)
 
+    def try_get_many(self, block_ids: Iterable[BlockId]) -> List[Optional[Payload]]:
+        """Bulk :meth:`try_get_block`: payloads in request order, ``None`` for
+        blocks that are unknown or whose location is down.
+
+        Requests are grouped per location so each store sees one
+        :meth:`BlockStore.try_get_many` call -- the read path of batched
+        repair and degraded document reads.
+        """
+        wanted = list(block_ids)
+        payloads: List[Optional[Payload]] = [None] * len(wanted)
+        grouped: Dict[int, List[int]] = {}
+        for position, block_id in enumerate(wanted):
+            location_id = self._directory.get(block_id)
+            if location_id is not None:
+                grouped.setdefault(location_id, []).append(position)
+        for location_id, positions in grouped.items():
+            fetched = self._stores[location_id].try_get_many(
+                [wanted[position] for position in positions]
+            )
+            for position, payload in zip(positions, fetched):
+                payloads[position] = payload
+        return payloads
+
+    def block_source(self) -> "ClusterBlockSource":
+        """A :class:`ClusterBlockSource` over this cluster.
+
+        Schemes receive plain callables (:data:`~repro.schemes.base.BlockFetcher`);
+        this object *is* such a callable, but additionally advertises the
+        bulk fetch and the availability oracle that let batched repair plan a
+        whole round without fetching block by block.  A bound method cannot
+        carry those extra hooks, hence the small wrapper class.
+        """
+        return ClusterBlockSource(self)
+
     def delete_block(self, block_id: BlockId) -> int:
         """Remove a block from the cluster, returning the location that held it.
 
@@ -322,6 +358,94 @@ class StorageCluster:
         again.
         """
         avoided = set(avoid)
+        candidates = self._relocation_candidates(block_id, avoided)
+        level = self._placement.spread_level() or self._topology.default_level()
+        target = self._pick_relocation_target(
+            block_id, candidates, level, self._relocation_avoid_domains(block_id, avoided, level)
+        )
+        self._stores[target].put(block_id, payload)
+        self._directory[block_id] = target
+        return target
+
+    def relocate_many(
+        self,
+        items: Iterable[Tuple[BlockId, Payload]],
+        avoid: Sequence[int] = (),
+    ) -> Dict[BlockId, int]:
+        """Bulk :meth:`relocate`: same per-block target selection, amortised.
+
+        Targets are chosen block by block with the exact semantics of
+        :meth:`relocate` (hard avoid-list, domain awareness, deterministic
+        pool pick), but the candidate set is computed once when no location
+        has a capacity limit, and the physical writes are grouped per target
+        location into one :meth:`BlockStore.put_many` call each -- the write
+        path of batched repair.  Returns ``{block_id: target location}``.
+        """
+        pairs = list(items)
+        if not pairs:
+            return {}
+        avoided = set(avoid)
+        level = self._placement.spread_level() or self._topology.default_level()
+        shared_avoid_domains = self._relocation_avoid_domains(None, avoided, level)
+        unlimited = all(store.capacity_blocks is None for store in self._stores)
+        static_candidates: Optional[List[int]] = None
+        if unlimited:
+            static_candidates = [
+                store.location_id
+                for store in self._stores
+                if store.available and store.location_id not in avoided
+            ]
+        # Blocks staged for a target count against its capacity before the
+        # grouped write happens, so a batch cannot overfill a location that a
+        # per-block relocate loop would have rejected.
+        staged_counts: Dict[int, int] = {}
+        placed: Dict[int, List[Tuple[BlockId, Payload]]] = {}
+        targets: Dict[BlockId, int] = {}
+        multi_domain = self._domain_count(level) > 1
+        shared_pool: Optional[List[int]] = None
+        if static_candidates:
+            shared_pool = self._domain_pool(
+                static_candidates, level, shared_avoid_domains
+            )
+        for block_id, payload in pairs:
+            if static_candidates:
+                candidates = static_candidates
+            else:
+                candidates = self._relocation_candidates(block_id, avoided, staged_counts)
+            avoid_domains = shared_avoid_domains
+            previous = self._directory.get(block_id)
+            if (
+                previous is not None
+                and multi_domain
+                and not self._stores[previous].available
+            ):
+                previous_domain = self._domain_of(previous, level)
+                if previous_domain not in avoid_domains:
+                    avoid_domains = shared_avoid_domains | {previous_domain}
+            # The domain-filtered pool only depends on (candidates, avoid
+            # set); with static candidates and the shared avoid set it is
+            # the same for every block, so compute it once.
+            pool = shared_pool if avoid_domains is shared_avoid_domains else None
+            target = self._pick_relocation_target(
+                block_id, candidates, level, avoid_domains, pool
+            )
+            if not self._stores[target].contains(block_id):
+                staged_counts[target] = staged_counts.get(target, 0) + 1
+            placed.setdefault(target, []).append((block_id, payload))
+            targets[block_id] = target
+        for target, group in placed.items():
+            self._stores[target].put_many(group)
+            self._directory.update((block_id, target) for block_id, _ in group)
+        return targets
+
+    def _relocation_candidates(
+        self,
+        block_id: BlockId,
+        avoided: Set[int],
+        staged_counts: Optional[Dict[int, int]] = None,
+    ) -> List[int]:
+        """Available locations (outside the avoid list) with room for the block."""
+        staged = staged_counts or {}
         candidates = [
             store.location_id
             for store in self._stores
@@ -330,7 +454,8 @@ class StorageCluster:
             and (
                 store.capacity_blocks is None
                 or store.contains(block_id)
-                or store.block_count < store.capacity_blocks
+                or store.block_count + staged.get(store.location_id, 0)
+                < store.capacity_blocks
             )
         ]
         if not candidates:
@@ -340,52 +465,98 @@ class StorageCluster:
                 "avoided locations are never used, even when only they have "
                 "free capacity"
             )
-        level = self._placement.spread_level() or self._topology.default_level()
-        avoid_domains: Set[int] = set()
-        if len(self._topology.domains(level)) > 1:
-            avoid_domains = {
-                self._topology.domain_of(location, level)
-                for location in avoided
-                if 0 <= location < self.location_count
-            }
+        return candidates
+
+    def _domain_of(self, location: int, level: str) -> int:
+        """Memoised :meth:`Topology.domain_of` (the topology is immutable)."""
+        key = (level, location)
+        domain = self._domain_cache.get(key)
+        if domain is None:
+            domain = self._topology.domain_of(location, level)
+            self._domain_cache[key] = domain
+        return domain
+
+    def _domain_count(self, level: str) -> int:
+        """Memoised number of failure domains at ``level``."""
+        count = self._domain_count_cache.get(level)
+        if count is None:
+            count = len(self._topology.domains(level))
+            self._domain_count_cache[level] = count
+        return count
+
+    def _domain_pool(
+        self, candidates: List[int], level: str, avoid_domains: Set[int]
+    ) -> List[int]:
+        """Candidates outside the avoided domains (all of them as a fallback)."""
+        if not avoid_domains:
+            return candidates
+        domain_of = self._domain_of
+        return [
+            location
+            for location in candidates
+            if domain_of(location, level) not in avoid_domains
+        ] or candidates
+
+    def _relocation_avoid_domains(
+        self, block_id: Optional[BlockId], avoided: Set[int], level: str
+    ) -> Set[int]:
+        """Failure domains a relocation should steer clear of."""
+        if self._domain_count(level) <= 1:
+            return set()
+        avoid_domains = {
+            self._domain_of(location, level)
+            for location in avoided
+            if 0 <= location < self.location_count
+        }
+        if block_id is not None:
             previous = self._directory.get(block_id)
             if previous is not None and not self._stores[previous].available:
-                avoid_domains.add(self._topology.domain_of(previous, level))
+                avoid_domains.add(self._domain_of(previous, level))
+        return avoid_domains
+
+    def _pick_relocation_target(
+        self,
+        block_id: BlockId,
+        candidates: List[int],
+        level: str,
+        avoid_domains: Set[int],
+        pool: Optional[List[int]] = None,
+    ) -> int:
         preferred = self._placement.location_for(block_id)
+        if self._domain_count(level) <= 1:
+            # Single failure domain: the avoid-domain set is empty by
+            # construction and every candidate carries the same placement
+            # rank, so the generic path below degenerates to this pick.
+            if preferred in candidates:
+                return preferred
+            return candidates[block_id.index % len(candidates)]
         if preferred in candidates and (
-            self._topology.domain_of(preferred, level) not in avoid_domains
+            self._domain_of(preferred, level) not in avoid_domains
         ):
-            target = preferred
-        else:
-            # Prefer candidates outside the failed domains; fall back to any
-            # candidate when the disaster spans every domain.
-            pool = [
-                location
-                for location in candidates
-                if self._topology.domain_of(location, level) not in avoid_domains
-            ] or candidates
-            # Among those, prefer domains the placement policy ranks best --
-            # a spreading policy keeps the rebuilt block away from the rest
-            # of its repair group whenever a spare domain exists.
-            best_rank = min(
+            return preferred
+        # Prefer candidates outside the failed domains; fall back to any
+        # candidate when the disaster spans every domain.  Callers looping
+        # over many blocks with one shared avoid-set precompute the pool.
+        if pool is None:
+            pool = self._domain_pool(candidates, level, avoid_domains)
+        # Among those, prefer domains the placement policy ranks best --
+        # a spreading policy keeps the rebuilt block away from the rest
+        # of its repair group whenever a spare domain exists.  The base
+        # policy ranks every domain the same, so the filter is skipped
+        # unless the policy actually overrides it.
+        if type(self._placement).relocation_rank is not PlacementPolicy.relocation_rank:
+            ranks = [
                 self._placement.relocation_rank(
-                    block_id, self._topology.domain_of(location, level)
+                    block_id, self._domain_of(location, level)
                 )
                 for location in pool
-            )
-            pool = [
-                location
-                for location in pool
-                if self._placement.relocation_rank(
-                    block_id, self._topology.domain_of(location, level)
-                )
-                == best_rank
             ]
-            # Deterministic spread: the block id picks over the pool.
-            target = pool[block_id.index % len(pool)]
-        self._stores[target].put(block_id, payload)
-        self._directory[block_id] = target
-        return target
+            best_rank = min(ranks)
+            pool = [
+                location for location, rank in zip(pool, ranks) if rank == best_rank
+            ]
+        # Deterministic spread: the block id picks over the pool.
+        return pool[block_id.index % len(pool)]
 
     # ------------------------------------------------------------------
     # Views
@@ -467,3 +638,37 @@ class StorageCluster:
 
     def __len__(self) -> int:
         return len(self._directory)
+
+
+class ClusterBlockSource:
+    """A scheme-facing block fetcher with bulk and availability hooks.
+
+    Calling the object behaves exactly like
+    :meth:`StorageCluster.try_get_block`, so it is a drop-in
+    :data:`~repro.schemes.base.BlockFetcher`.  Schemes that know how to
+    batch (see :meth:`EntanglementScheme.repair
+    <repro.schemes.entanglement_scheme.EntanglementScheme>`) duck-type for
+    the extra hooks: :meth:`is_available` answers the round planner without
+    moving payload bytes, and :meth:`try_get_many` fetches a whole plan's
+    inputs grouped per location.
+    """
+
+    __slots__ = ("_cluster",)
+
+    def __init__(self, cluster: StorageCluster) -> None:
+        self._cluster = cluster
+
+    @property
+    def cluster(self) -> StorageCluster:
+        return self._cluster
+
+    def __call__(self, block_id: BlockId) -> Optional[Payload]:
+        return self._cluster.try_get_block(block_id)
+
+    def is_available(self, block_id: BlockId) -> bool:
+        """Whether a fetch would succeed, without performing it."""
+        return self._cluster.is_available(block_id)
+
+    def try_get_many(self, block_ids: Iterable[BlockId]) -> List[Optional[Payload]]:
+        """Bulk fetch in request order (``None`` for unreachable blocks)."""
+        return self._cluster.try_get_many(block_ids)

@@ -642,11 +642,41 @@ class StorageService:
         self._ensure_open()
         return self._scheme.read_block(block_id, self._cluster.try_get_block)
 
+    def _read_payloads(self, data_ids: List[object]) -> List[Payload]:
+        """Bulk-read payloads, repairing unreachable blocks in one batch.
+
+        Healthy blocks arrive through the cluster's grouped
+        :meth:`~repro.storage.cluster.StorageCluster.try_get_many`; the
+        unreachable ones are rebuilt together in a single scheme repair pass
+        over a :meth:`~repro.storage.cluster.StorageCluster.block_source`
+        (a *degraded read*: nothing is written back -- restoring redundancy
+        is :meth:`repair`'s job).  Blocks the batched pass cannot reach fall
+        back to the recursive per-block read, which can chain through
+        repairs of the redundancy blocks themselves.
+        """
+        self._ensure_open()
+        payloads = self._cluster.try_get_many(data_ids)
+        missing = [
+            data_id
+            for data_id, payload in zip(data_ids, payloads)
+            if payload is None
+        ]
+        if missing:
+            outcome = self._scheme.repair(set(missing), self._cluster.block_source())
+            for position, payload in enumerate(payloads):
+                if payload is None:
+                    payloads[position] = outcome.recovered.get(data_ids[position])
+        return [
+            payload
+            if payload is not None
+            else self._scheme.read_block(data_id, self._cluster.try_get_block)
+            for data_id, payload in zip(data_ids, payloads)
+        ]
+
     def get(self, name: str) -> bytes:
         """Read a full document back, repairing blocks as needed."""
         document = self._document(name)
-        payloads = [self.get_block(data_id) for data_id in document.data_ids]
-        return join_blocks(payloads, document.length)
+        return join_blocks(self._read_payloads(document.data_ids), document.length)
 
     #: Back-compat alias of :meth:`get`.
     read = get
@@ -655,15 +685,23 @@ class StorageService:
         return payload_to_bytes(self.get_block(data_id), length)
 
     def get_stream(self, name: str) -> Iterator[bytes]:
-        """Stream a document back one block at a time, repairing as needed."""
+        """Stream a document back, repairing as needed.
+
+        Blocks are read in batches of up to ``batch_blocks`` through the bulk
+        degraded-read path and yielded one at a time, so at most one batch of
+        payloads is buffered in memory.
+        """
         document = self._document(name)
 
         def blocks() -> Iterator[bytes]:
             remaining = document.length
-            for data_id in document.data_ids:
-                take = min(remaining, self.block_size)
-                yield payload_to_bytes(self.get_block(data_id), take)
-                remaining -= take
+            data_ids = document.data_ids
+            for start in range(0, len(data_ids), self._batch_blocks):
+                batch = data_ids[start : start + self._batch_blocks]
+                for payload in self._read_payloads(batch):
+                    take = min(remaining, self.block_size)
+                    yield payload_to_bytes(payload, take)
+                    remaining -= take
 
         return blocks()
 
@@ -723,10 +761,9 @@ class StorageService:
         """
         self._ensure_open()
         missing = self._cluster.unavailable_blocks()
-        outcome = self._scheme.repair(missing, self._cluster.try_get_block)
+        outcome = self._scheme.repair(missing, self._cluster.block_source())
         avoid = tuple(self._cluster.unavailable_locations())
-        for block_id, payload in outcome.recovered.items():
-            self._cluster.relocate(block_id, payload, avoid=avoid)
+        self._cluster.relocate_many(outcome.recovered.items(), avoid=avoid)
         return ServiceRepairReport(
             scheme=self._scheme.scheme_id,
             repaired=sorted(
