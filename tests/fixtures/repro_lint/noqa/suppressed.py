@@ -1,0 +1,20 @@
+"""Fixture: every violation here is suppressed inline with # noqa."""
+
+
+def collect(item, bucket=[]):  # noqa: RPR004  (fixture: suppression test)
+    bucket.append(item)
+    return bucket
+
+
+def swallow(fn):
+    try:
+        return fn()
+    except Exception:  # noqa
+        return None
+
+
+def unrelated_code(fn):
+    try:
+        return fn()
+    except Exception:  # noqa: RPR001  (wrong code: must NOT suppress RPR004)
+        return None

@@ -1,0 +1,27 @@
+"""RPR001 must flag: unseeded RNGs and wall-clock reads on an engine path."""
+
+import random
+import time
+
+import numpy as np
+
+
+def sample():
+    rng = np.random.default_rng()  # argless: non-reproducible
+    return rng.integers(0, 10)
+
+
+def sample_none():
+    return np.random.default_rng(None)  # seed=None is still unseeded
+
+
+def legacy():
+    return random.Random()  # argless Mersenne twister
+
+
+def jitter():
+    return time.time()  # wall clock
+
+
+def roll():
+    return random.randint(0, 6)  # global unseeded RNG

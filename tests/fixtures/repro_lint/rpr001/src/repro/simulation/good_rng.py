@@ -1,0 +1,22 @@
+"""RPR001 must pass: every RNG receives an explicit seed expression."""
+
+import random
+
+import numpy as np
+
+
+def sample(seed: int):
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, 10)
+
+
+def derived(seed: int, offset: int):
+    return np.random.default_rng(seed + 1000 * offset)
+
+
+def keyword(seed: int):
+    return np.random.default_rng(seed=seed)
+
+
+def legacy(seed: int):
+    return random.Random(seed)

@@ -1,0 +1,13 @@
+"""RPR002 must flag: ``__all__`` advertises names the module never binds."""
+
+from __future__ import annotations
+
+__all__ = [
+    "exported_fn",
+    "ghost_name",  # never defined anywhere
+    "exported_fn",  # duplicate entry
+]
+
+
+def exported_fn() -> int:
+    return 1

@@ -1,0 +1,30 @@
+"""RPR002 must pass: every ``__all__`` entry is bound, incl. conditionally."""
+
+from __future__ import annotations
+
+from os import path as renamed_path
+
+try:
+    import json as maybe_json
+except ImportError:  # pragma: no cover
+    maybe_json = None
+
+__all__ = sorted(
+    [
+        "CONSTANT",
+        "SomeClass",
+        "exported_fn",
+        "maybe_json",
+        "renamed_path",
+    ]
+)
+
+CONSTANT = 42
+
+
+class SomeClass:
+    pass
+
+
+def exported_fn() -> int:
+    return 1

@@ -1,0 +1,14 @@
+"""RPR002 must pass: PEP 562 module ``__getattr__`` binds names lazily."""
+
+from __future__ import annotations
+
+__all__ = [
+    "lazy_name",
+    "other_lazy_name",
+]
+
+
+def __getattr__(name: str) -> object:
+    if name in __all__:
+        return object()
+    raise AttributeError(name)

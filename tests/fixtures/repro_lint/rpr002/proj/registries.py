@@ -1,0 +1,13 @@
+"""RPR002 must flag 'orphan' only: 'covered' appears in the surface test."""
+
+
+def register(name, factory):
+    pass
+
+
+def make():
+    return object()
+
+
+register("covered", make)
+register("orphan", make)

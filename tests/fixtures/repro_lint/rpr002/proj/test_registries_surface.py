@@ -1,0 +1,5 @@
+"""Surface test fixture: mentions the 'covered' registry id, not 'orphan'."""
+
+
+def test_catalogue():
+    assert "covered"

@@ -1,0 +1,21 @@
+"""RPR003 must flag: payload bytes treated as text on the storage path."""
+
+
+def describe(payload):
+    return str(payload)  # repr of bytes, not the data
+
+
+def log_line(payload):
+    return f"got {payload}"  # implicit str() in f-string
+
+
+def as_text(block):
+    return block.payload.decode("utf-8")  # payloads are opaque bytes
+
+
+def banner(payload):
+    return "payload: " + payload  # TypeError on the read path
+
+
+def mixed():
+    return "header" + b"body"  # always a TypeError

@@ -1,0 +1,21 @@
+"""RPR003 must pass: diagnostics use repr/hex; text fields may decode."""
+
+
+def describe(payload):
+    return f"{payload!r}"  # repr is the intended diagnostic form
+
+
+def fingerprint(payload):
+    return payload.hex()
+
+
+def size(payload):
+    return len(payload)
+
+
+def header_name(header):
+    return header.decode("ascii")  # not a payload variable
+
+
+def joined(payload, other_payload):
+    return payload + other_payload  # bytes + bytes is fine

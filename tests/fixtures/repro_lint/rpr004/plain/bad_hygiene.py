@@ -1,0 +1,24 @@
+"""RPR004 must flag: mutable defaults and bare/broad exception handlers."""
+
+
+def collect(item, bucket=[]):  # shared across calls
+    bucket.append(item)
+    return bucket
+
+
+def index(key, table={}):  # shared across calls
+    return table.setdefault(key, len(table))
+
+
+def swallow_everything(fn):
+    try:
+        return fn()
+    except:  # bare handler, nothing suppressed here
+        return None
+
+
+def swallow_most(fn):
+    try:
+        return fn()
+    except Exception:
+        return None

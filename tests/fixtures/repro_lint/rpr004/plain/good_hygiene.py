@@ -1,0 +1,19 @@
+"""RPR004 must pass: None defaults, narrow handlers, tuple defaults."""
+
+
+def collect(item, bucket=None):
+    if bucket is None:
+        bucket = []
+    bucket.append(item)
+    return bucket
+
+
+def frozen(values=()):  # immutable default is fine
+    return len(values)
+
+
+def narrow(fn):
+    try:
+        return fn()
+    except (ValueError, KeyError):
+        return None

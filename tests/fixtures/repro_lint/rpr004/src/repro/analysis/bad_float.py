@@ -1,0 +1,9 @@
+"""RPR004 must flag: exact float equality in an analytic model."""
+
+
+def converged(overhead):
+    return overhead == 1.5  # exact float comparison
+
+
+def not_half(fraction):
+    return 0.5 != fraction

@@ -1,0 +1,15 @@
+"""RPR004 must pass: tolerant comparison, int equality, inequalities."""
+
+import math
+
+
+def converged(overhead):
+    return math.isclose(overhead, 1.5)
+
+
+def enough(count):
+    return count == 3  # int equality is exact
+
+
+def above(fraction):
+    return fraction >= 0.5  # ordering comparisons are fine

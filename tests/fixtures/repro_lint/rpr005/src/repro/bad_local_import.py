@@ -1,0 +1,13 @@
+"""RPR005 must flag: determinism-sensitive imports buried in functions."""
+
+
+def pick(seq):
+    import random
+
+    return random.Random(0).choice(seq)
+
+
+def stamp():
+    from datetime import datetime
+
+    return datetime(2018, 6, 25)

@@ -1,0 +1,13 @@
+"""RPR005 must pass: top-level sensitive imports; lazy imports of others."""
+
+import random
+
+
+def pick(seq, seed):
+    return random.Random(seed).choice(seq)
+
+
+def parse(text):
+    import json  # lazy import of a non-sensitive module is allowed
+
+    return json.loads(text)

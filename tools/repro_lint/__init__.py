@@ -1,0 +1,52 @@
+"""repro-lint: project-invariant static analysis for the repro codebase.
+
+A small, dependency-free AST linter that enforces the hand-maintained
+invariants of this repository *before* code runs -- seeded determinism on
+the simulation/engine paths, ``__all__``/registry import-surface sync,
+bytes-vs-str payload safety on the storage read path, and general hygiene
+(mutable defaults, broad excepts, float equality).  Rules carry stable
+codes (``RPR001``...) and individual findings can be suppressed inline with
+``# noqa: RPRxxx``.
+
+Run it as a module::
+
+    PYTHONPATH=tools python -m repro_lint src tests benchmarks
+
+See ``docs/static-analysis.md`` for the full rule catalogue and policy.
+"""
+
+from __future__ import annotations
+
+from repro_lint.framework import (
+    PARSE_ERROR_CODE,
+    Finding,
+    LintResult,
+    ParsedModule,
+    ProjectRule,
+    Rule,
+    all_rules,
+    lint_paths,
+    register_rule,
+    rule_for_code,
+)
+from repro_lint.reporters import render_json, render_text
+
+# Importing the rule modules registers every rule with the framework.
+from repro_lint import rules as _rules  # noqa: F401  (import-for-side-effect)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Finding",
+    "LintResult",
+    "PARSE_ERROR_CODE",
+    "ParsedModule",
+    "ProjectRule",
+    "Rule",
+    "all_rules",
+    "lint_paths",
+    "register_rule",
+    "render_json",
+    "render_text",
+    "rule_for_code",
+]

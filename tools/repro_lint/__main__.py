@@ -1,0 +1,98 @@
+"""CLI entry point: ``python -m repro_lint src tests benchmarks``.
+
+Exit status is 0 when the tree is clean (after ``# noqa`` suppression),
+1 when findings remain, 2 on usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro_lint.framework import DEFAULT_EXCLUDES, all_rules, lint_paths, rule_for_code
+from repro_lint.reporters import render_json, render_text
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description="Project-invariant static analysis for the repro codebase.",
+    )
+    parser.add_argument("paths", nargs="*", type=Path, help="files or directories to lint")
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format written to stdout (default: text)",
+    )
+    parser.add_argument(
+        "--json-output",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help="additionally write the JSON report to FILE (CI artifact)",
+    )
+    parser.add_argument(
+        "--select",
+        default=None,
+        metavar="CODES",
+        help="comma-separated rule codes to run (default: all)",
+    )
+    parser.add_argument(
+        "--exclude",
+        action="append",
+        default=[],
+        metavar="FRAGMENT",
+        help="extra path fragment to exclude (repeatable); "
+        f"always excluded: {', '.join(DEFAULT_EXCLUDES)}",
+    )
+    parser.add_argument(
+        "--verbose", action="store_true", help="also list # noqa-suppressed findings"
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print the rule catalogue and exit"
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in all_rules():
+            print(f"{rule.code}  {rule.name}: {rule.summary}")
+        return 0
+
+    if not args.paths:
+        parser.error("at least one path is required (e.g. src tests benchmarks)")
+
+    rules = None
+    if args.select:
+        rules = []
+        for code in (item.strip().upper() for item in args.select.split(",")):
+            if not code:
+                continue
+            rule = rule_for_code(code)
+            if rule is None:
+                parser.error(f"unknown rule code {code!r} (see --list-rules)")
+            rules.append(rule)
+
+    excludes = tuple(DEFAULT_EXCLUDES) + tuple(args.exclude)
+    result = lint_paths(args.paths, rules=rules, excludes=excludes)
+
+    if args.json_output is not None:
+        args.json_output.parent.mkdir(parents=True, exist_ok=True)
+        args.json_output.write_text(render_json(result) + "\n", encoding="utf-8")
+
+    if args.format == "json":
+        print(render_json(result))
+    else:
+        print(render_text(result, verbose=args.verbose))
+    return 0 if result.ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,279 @@
+"""Core machinery of repro-lint: rules, registry, noqa handling, driver.
+
+The framework is deliberately tiny and dependency-free.  A *rule* is a class
+with a stable ``code`` (``RPR001``...), a one-line ``summary`` and a
+``check`` hook; per-file rules receive one :class:`ParsedModule` at a time,
+while :class:`ProjectRule` subclasses see the whole parsed tree at once
+(needed for cross-file invariants such as registry/test coverage).  The
+driver parses every ``*.py`` file under the requested paths exactly once,
+runs each applicable rule, filters findings through ``# noqa`` comments and
+returns a :class:`LintResult` ready for the text/JSON reporters.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Type
+
+#: Code attached to files that do not parse at all.
+PARSE_ERROR_CODE = "RPR000"
+
+#: Directory fragments never linted.  ``fixtures/repro_lint`` holds the
+#: intentionally-bad snippets used by the rule tests -- linting them would
+#: make the live-tree run fail by design.
+DEFAULT_EXCLUDES: Tuple[str, ...] = (
+    "__pycache__",
+    ".git",
+    "fixtures/repro_lint",
+)
+
+_CODE_RE = re.compile(r"^RPR\d{3}$")
+_NOQA_RE = re.compile(r"#\s*noqa(?::\s*(?P<codes>[A-Z0-9, ]+))?", re.IGNORECASE)
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at a specific source location."""
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+
+@dataclass
+class ParsedModule:
+    """A parsed source file plus the pre-extracted ``# noqa`` comment map."""
+
+    path: Path
+    display_path: str
+    source: str
+    tree: ast.Module
+    #: line number -> set of suppressed codes; ``{"*"}`` means bare ``# noqa``.
+    noqa: Dict[int, set]
+
+    @property
+    def lines(self) -> List[str]:
+        return self.source.splitlines()
+
+
+@dataclass
+class LintResult:
+    """Outcome of one lint run."""
+
+    findings: List[Finding] = field(default_factory=list)
+    suppressed: List[Finding] = field(default_factory=list)
+    files_checked: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+
+class Rule:
+    """Base class for per-file rules.
+
+    Subclasses set ``code``/``name``/``summary`` and implement
+    :meth:`check`.  ``applies_to`` limits a rule to a path subset; paths are
+    compared in POSIX form so rules can match fragments such as
+    ``repro/simulation/`` regardless of the working directory.
+    """
+
+    code: str = ""
+    name: str = ""
+    summary: str = ""
+
+    def applies_to(self, display_path: str) -> bool:
+        return True
+
+    def check(self, module: ParsedModule) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(self, module: ParsedModule, node: ast.AST, message: str) -> Finding:
+        return Finding(
+            path=module.display_path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            code=self.code,
+            message=message,
+        )
+
+
+class ProjectRule(Rule):
+    """A rule that needs every parsed module at once (cross-file checks)."""
+
+    def check(self, module: ParsedModule) -> Iterator[Finding]:
+        return iter(())
+
+    def check_project(self, modules: Sequence[ParsedModule]) -> Iterator[Finding]:
+        raise NotImplementedError
+
+
+_REGISTRY: Dict[str, Rule] = {}
+
+
+def register_rule(rule_cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator: instantiate and register a rule under its code."""
+    if not _CODE_RE.match(rule_cls.code or ""):
+        raise ValueError(f"rule {rule_cls.__name__} has invalid code {rule_cls.code!r}")
+    if rule_cls.code in _REGISTRY:
+        raise ValueError(f"duplicate rule code {rule_cls.code}")
+    _REGISTRY[rule_cls.code] = rule_cls()
+    return rule_cls
+
+
+def all_rules() -> List[Rule]:
+    return [_REGISTRY[code] for code in sorted(_REGISTRY)]
+
+
+def rule_for_code(code: str) -> Optional[Rule]:
+    return _REGISTRY.get(code)
+
+
+# ----------------------------------------------------------------------
+# noqa extraction
+# ----------------------------------------------------------------------
+
+def extract_noqa(source: str) -> Dict[int, set]:
+    """Map line numbers to the set of codes suppressed on that line.
+
+    Bare ``# noqa`` suppresses every code on its line (stored as ``{"*"}``);
+    ``# noqa: RPR001, RPR004`` suppresses just those codes.  Comments are
+    located with :mod:`tokenize` so string literals containing the word
+    ``noqa`` do not count.
+    """
+    noqa: Dict[int, set] = {}
+    try:
+        tokens = tokenize.generate_tokens(iter(source.splitlines(keepends=True)).__next__)
+        for token in tokens:
+            if token.type != tokenize.COMMENT:
+                continue
+            match = _NOQA_RE.search(token.string)
+            if match is None:
+                continue
+            codes = match.group("codes")
+            if codes is None:
+                noqa.setdefault(token.start[0], set()).add("*")
+            else:
+                parsed = {code.strip().upper() for code in codes.split(",") if code.strip()}
+                noqa.setdefault(token.start[0], set()).update(parsed)
+    except (tokenize.TokenError, IndentationError):
+        # A file that does not tokenize will not parse either; the driver
+        # reports RPR000 for it, so there is nothing to suppress.
+        pass
+    return noqa
+
+
+def is_suppressed(finding: Finding, noqa: Dict[int, set]) -> bool:
+    codes = noqa.get(finding.line)
+    if not codes:
+        return False
+    return "*" in codes or finding.code in codes
+
+
+# ----------------------------------------------------------------------
+# File collection and driver
+# ----------------------------------------------------------------------
+
+def _excluded(path: Path, excludes: Sequence[str]) -> bool:
+    posix = path.as_posix()
+    return any(fragment in posix for fragment in excludes)
+
+
+def collect_files(
+    paths: Sequence[Path], excludes: Sequence[str] = DEFAULT_EXCLUDES
+) -> List[Path]:
+    """Expand the requested paths into a sorted, de-duplicated file list."""
+    seen = {}
+    for root in paths:
+        if root.is_file() and root.suffix == ".py":
+            candidates: Iterable[Path] = [root]
+        elif root.is_dir():
+            candidates = sorted(root.rglob("*.py"))
+        else:
+            candidates = []
+        for candidate in candidates:
+            if _excluded(candidate, excludes):
+                continue
+            seen[candidate.resolve()] = candidate
+    return sorted(seen.values())
+
+
+def parse_module(path: Path, display_path: Optional[str] = None) -> ParsedModule:
+    source = path.read_text(encoding="utf-8")
+    display = display_path if display_path is not None else path.as_posix()
+    tree = ast.parse(source, filename=display)
+    return ParsedModule(
+        path=path,
+        display_path=display,
+        source=source,
+        tree=tree,
+        noqa=extract_noqa(source),
+    )
+
+
+def lint_paths(
+    paths: Sequence[Path],
+    rules: Optional[Sequence[Rule]] = None,
+    excludes: Sequence[str] = DEFAULT_EXCLUDES,
+) -> LintResult:
+    """Lint every python file under ``paths`` and return the result."""
+    active = list(rules) if rules is not None else all_rules()
+    result = LintResult()
+    modules: List[ParsedModule] = []
+
+    for path in collect_files(paths, excludes):
+        result.files_checked += 1
+        try:
+            module = parse_module(path)
+        except SyntaxError as error:
+            result.findings.append(
+                Finding(
+                    path=path.as_posix(),
+                    line=error.lineno or 1,
+                    col=(error.offset or 0) + 1,
+                    code=PARSE_ERROR_CODE,
+                    message=f"file does not parse: {error.msg}",
+                )
+            )
+            continue
+        modules.append(module)
+
+    raw: List[Tuple[Finding, ParsedModule]] = []
+    for module in modules:
+        for rule in active:
+            # ProjectRule subclasses may implement both hooks: per-file
+            # checks run here, cross-file checks via check_project below.
+            if not rule.applies_to(module.display_path):
+                continue
+            for finding in rule.check(module):
+                raw.append((finding, module))
+
+    by_display = {module.display_path: module for module in modules}
+    for rule in active:
+        if not isinstance(rule, ProjectRule):
+            continue
+        for finding in rule.check_project(modules):
+            module = by_display.get(finding.path)
+            if module is not None:
+                raw.append((finding, module))
+            else:
+                result.findings.append(finding)
+
+    for finding, module in raw:
+        if is_suppressed(finding, module.noqa):
+            result.suppressed.append(finding)
+        else:
+            result.findings.append(finding)
+
+    result.findings.sort()
+    result.suppressed.sort()
+    return result

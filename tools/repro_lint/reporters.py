@@ -1,0 +1,53 @@
+"""Text and JSON reporters for repro-lint results."""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict
+
+from repro_lint.framework import LintResult, all_rules
+
+#: Bumped whenever the JSON schema changes shape.
+JSON_FORMAT_VERSION = 1
+
+
+def render_text(result: LintResult, verbose: bool = False) -> str:
+    """Human-readable report: one finding per line plus a summary footer."""
+    lines = [finding.render() for finding in result.findings]
+    if verbose and result.suppressed:
+        lines.append("")
+        lines.append("suppressed by # noqa:")
+        lines.extend(f"  {finding.render()}" for finding in result.suppressed)
+    lines.append("")
+    status = "clean" if result.ok else f"{len(result.findings)} finding(s)"
+    lines.append(
+        f"repro-lint: {status} across {result.files_checked} file(s)"
+        f" ({len(result.suppressed)} suppressed)"
+    )
+    return "\n".join(lines).lstrip("\n")
+
+
+def render_json(result: LintResult) -> str:
+    """Machine-readable report (consumed by the CI artifact upload)."""
+    def encode(finding: Any) -> Dict[str, Any]:
+        return {
+            "code": finding.code,
+            "path": finding.path,
+            "line": finding.line,
+            "col": finding.col,
+            "message": finding.message,
+        }
+
+    document = {
+        "version": JSON_FORMAT_VERSION,
+        "tool": "repro-lint",
+        "files_checked": result.files_checked,
+        "ok": result.ok,
+        "rules": {
+            rule.code: {"name": rule.name, "summary": rule.summary}
+            for rule in all_rules()
+        },
+        "findings": [encode(finding) for finding in result.findings],
+        "suppressed": [encode(finding) for finding in result.suppressed],
+    }
+    return json.dumps(document, indent=2, sort_keys=True)

@@ -1,0 +1,20 @@
+"""Rule catalogue: importing this package registers every rule.
+
+Stable codes:
+
+- ``RPR001`` -- seeded determinism on the simulation/engine paths
+- ``RPR002`` -- ``__all__`` / registry import-surface sync
+- ``RPR003`` -- bytes-vs-str payload safety in ``storage/`` and ``core/``
+- ``RPR004`` -- hygiene: mutable defaults, broad excepts, float equality
+- ``RPR005`` -- no function-local imports of determinism-sensitive modules
+"""
+
+from __future__ import annotations
+
+from repro_lint.rules import (  # noqa: F401  (import-for-side-effect)
+    bytes_safety,
+    determinism,
+    exports,
+    hygiene,
+    imports,
+)

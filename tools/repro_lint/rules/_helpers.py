@@ -1,0 +1,48 @@
+"""Shared AST helpers for the rule implementations."""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional, Set
+
+
+def attr_chain(node: ast.AST) -> Optional[str]:
+    """Render ``np.random.default_rng`` style dotted names, else ``None``."""
+    parts = []
+    current = node
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if isinstance(current, ast.Name):
+        parts.append(current.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def imported_names_from(tree: ast.Module, module: str) -> Set[str]:
+    """Local aliases bound by ``from <module> import name [as alias]``."""
+    names: Set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom) and node.module == module:
+            for alias in node.names:
+                names.add(alias.asname or alias.name)
+    return names
+
+
+def walk_functions(tree: ast.Module) -> Iterator[ast.AST]:
+    """Yield every function/lambda body owner in the module."""
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node
+
+
+def is_str_constant(node: ast.AST) -> bool:
+    return isinstance(node, ast.Constant) and isinstance(node.value, str)
+
+
+def is_bytes_constant(node: ast.AST) -> bool:
+    return isinstance(node, ast.Constant) and isinstance(node.value, bytes)
+
+
+def is_float_constant(node: ast.AST) -> bool:
+    return isinstance(node, ast.Constant) and isinstance(node.value, float)

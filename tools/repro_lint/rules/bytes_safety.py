@@ -1,0 +1,142 @@
+"""RPR003: bytes-vs-str payload safety in ``storage/`` and ``core/``.
+
+Block payloads are raw ``bytes`` (since PR 6, often read-only ``memoryview``
+slices of an mmap'd segment file).  Stringifying them -- ``str(payload)``,
+f-string interpolation, ``payload.decode()`` or concatenation with text --
+either corrupts data (``str(b"..")`` produces the repr) or raises only on
+the rarely-exercised degraded-read path.  ``{payload!r}`` in messages stays
+allowed: the repr is the intended form for diagnostics.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro_lint.framework import Finding, ParsedModule, Rule, register_rule
+from repro_lint.rules._helpers import is_bytes_constant, is_str_constant
+
+#: Path fragments of the zero-copy payload surface.
+PAYLOAD_PATHS = ("repro/storage/", "repro/core/")
+
+#: Variable/attribute names treated as block payloads.
+PAYLOAD_NAMES = frozenset(
+    {
+        "payload",
+        "payloads",
+        "block_payload",
+        "parity_payload",
+        "payload_bytes",
+        "payload_view",
+        "raw_payload",
+        "new_payload",
+    }
+)
+
+
+def _is_payload_expr(node: ast.AST) -> bool:
+    if isinstance(node, ast.Name):
+        return node.id in PAYLOAD_NAMES
+    if isinstance(node, ast.Attribute):
+        return node.attr in PAYLOAD_NAMES
+    if isinstance(node, ast.Subscript):
+        return _is_payload_expr(node.value)
+    return False
+
+
+def _describe(node: ast.AST) -> str:
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Subscript):
+        return _describe(node.value) + "[...]"
+    return "payload"
+
+
+@register_rule
+class BytesSafetyRule(Rule):
+    code = "RPR003"
+    name = "bytes-payload-safety"
+    summary = (
+        "block payloads are bytes: no str(payload), f-string interpolation, "
+        ".decode() or str/bytes concatenation"
+    )
+
+    def applies_to(self, display_path: str) -> bool:
+        return any(fragment in display_path for fragment in PAYLOAD_PATHS)
+
+    def check(self, module: ParsedModule) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Call):
+                yield from self._check_call(module, node)
+            elif isinstance(node, ast.BinOp) and isinstance(node.op, ast.Add):
+                yield from self._check_concat(module, node)
+            elif isinstance(node, ast.FormattedValue):
+                yield from self._check_fstring(module, node)
+
+    def _check_call(self, module: ParsedModule, node: ast.Call) -> Iterator[Finding]:
+        func = node.func
+        if (
+            isinstance(func, ast.Name)
+            and func.id == "str"
+            and len(node.args) == 1
+            and _is_payload_expr(node.args[0])
+        ):
+            name = _describe(node.args[0])
+            yield self.finding(
+                module,
+                node,
+                f"str({name}) stringifies a bytes payload (produces the "
+                f"repr, not the data); use {name}.hex() or {name}!r in "
+                "diagnostics",
+            )
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr == "decode"
+            and _is_payload_expr(func.value)
+        ):
+            name = _describe(func.value)
+            yield self.finding(
+                module,
+                node,
+                f"{name}.decode(...) treats an opaque block payload as "
+                "text; payloads must stay bytes end to end",
+            )
+
+    def _check_concat(self, module: ParsedModule, node: ast.BinOp) -> Iterator[Finding]:
+        left, right = node.left, node.right
+        if (is_str_constant(left) and is_bytes_constant(right)) or (
+            is_bytes_constant(left) and is_str_constant(right)
+        ):
+            yield self.finding(
+                module,
+                node,
+                "implicit str/bytes concatenation always raises TypeError "
+                "at runtime",
+            )
+            return
+        for text, blob in ((left, right), (right, left)):
+            if is_str_constant(text) and _is_payload_expr(blob):
+                yield self.finding(
+                    module,
+                    node,
+                    f"concatenating text with bytes payload "
+                    f"`{_describe(blob)}` raises TypeError on the read path",
+                )
+                return
+
+    def _check_fstring(
+        self, module: ParsedModule, node: ast.FormattedValue
+    ) -> Iterator[Finding]:
+        # conversion: -1 none, 115 's', 114 'r', 97 'a'.  !r / !a are fine.
+        if node.conversion in (114, 97):
+            return
+        if _is_payload_expr(node.value):
+            name = _describe(node.value)
+            yield self.finding(
+                module,
+                node,
+                f"f-string interpolates bytes payload `{name}` via str(); "
+                f"use {{{name}!r}} or {name}.hex() for diagnostics",
+            )

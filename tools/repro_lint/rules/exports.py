@@ -1,0 +1,218 @@
+"""RPR002: ``__all__`` / registry import-surface sync.
+
+Two statically-checkable halves of the same invariant:
+
+1. Every name listed in a module's ``__all__`` must actually be bound at
+   module level (defined, assigned or imported), so the star-import surface
+   never advertises a name that raises ``AttributeError``.
+2. Every id string registered with a ``register("id", ...)``-style registry
+   (schemes, placements, backends) must appear as a literal in at least one
+   import-surface test file (``tests/test_*surface*.py``), so dropping or
+   renaming a registry entry breaks a test instead of silently shrinking the
+   public catalogue.  The cross-check only runs when at least one surface
+   test file is part of the linted path set.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import PurePosixPath
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro_lint.framework import Finding, ParsedModule, ProjectRule, register_rule
+from repro_lint.rules._helpers import attr_chain
+
+
+def _literal_names(node: ast.AST) -> Optional[List[Tuple[str, ast.AST]]]:
+    """Extract ``__all__`` entries from a list/tuple literal (or sorted(...))."""
+    if isinstance(node, ast.Call):
+        dotted = attr_chain(node.func)
+        if dotted == "sorted" and len(node.args) == 1 and not node.keywords:
+            return _literal_names(node.args[0])
+        return None
+    if not isinstance(node, (ast.List, ast.Tuple)):
+        return None
+    names = []
+    for element in node.elts:
+        if isinstance(element, ast.Constant) and isinstance(element.value, str):
+            names.append((element.value, element))
+        else:
+            return None  # dynamic element: cannot analyse statically
+    return names
+
+
+def _bound_names(tree: ast.Module) -> Tuple[Set[str], bool]:
+    """Names bound at module level, plus whether a star import is present.
+
+    Descends into module-level ``if``/``try``/``for``/``while``/``with``
+    bodies (conditional definitions still bind at import time) but not into
+    functions or classes.
+    """
+    bound: Set[str] = set()
+    star = False
+
+    def bind_target(target: ast.AST) -> None:
+        if isinstance(target, ast.Name):
+            bound.add(target.id)
+        elif isinstance(target, ast.Starred):
+            bind_target(target.value)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                bind_target(element)
+
+    def visit(statements: Sequence[ast.stmt]) -> None:
+        nonlocal star
+        for statement in statements:
+            if isinstance(statement, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                bound.add(statement.name)
+            elif isinstance(statement, ast.Assign):
+                for target in statement.targets:
+                    bind_target(target)
+            elif isinstance(statement, ast.AnnAssign):
+                bind_target(statement.target)
+            elif isinstance(statement, ast.AugAssign):
+                bind_target(statement.target)
+            elif isinstance(statement, ast.Import):
+                for alias in statement.names:
+                    bound.add(alias.asname or alias.name.split(".")[0])
+            elif isinstance(statement, ast.ImportFrom):
+                for alias in statement.names:
+                    if alias.name == "*":
+                        star = True
+                    else:
+                        bound.add(alias.asname or alias.name)
+            elif isinstance(statement, ast.If):
+                visit(statement.body)
+                visit(statement.orelse)
+            elif isinstance(statement, ast.Try):
+                visit(statement.body)
+                for handler in statement.handlers:
+                    visit(handler.body)
+                visit(statement.orelse)
+                visit(statement.finalbody)
+            elif isinstance(statement, (ast.For, ast.AsyncFor, ast.While)):
+                if isinstance(statement, (ast.For, ast.AsyncFor)):
+                    bind_target(statement.target)
+                visit(statement.body)
+                visit(statement.orelse)
+            elif isinstance(statement, (ast.With, ast.AsyncWith)):
+                for item in statement.items:
+                    if item.optional_vars is not None:
+                        bind_target(item.optional_vars)
+                visit(statement.body)
+
+    visit(tree.body)
+    return bound, star
+
+
+def _is_surface_test(display_path: str) -> bool:
+    name = PurePosixPath(display_path).name
+    return name.startswith("test_") and "surface" in name and name.endswith(".py")
+
+
+def _is_test_or_bench(display_path: str) -> bool:
+    name = PurePosixPath(display_path).name
+    return (
+        name.startswith(("test_", "bench_", "conftest"))
+        or "/tests/" in display_path
+        or display_path.startswith("tests/")
+        or "/benchmarks/" in display_path
+        or display_path.startswith("benchmarks/")
+    )
+
+
+@register_rule
+class ExportSyncRule(ProjectRule):
+    code = "RPR002"
+    name = "import-surface-sync"
+    summary = (
+        "__all__ entries must be bound in the module; registry ids must be "
+        "covered by an import-surface test"
+    )
+
+    # ---------------------------------------------------------------- per file
+    def applies_to(self, display_path: str) -> bool:
+        return True
+
+    def check(self, module: ParsedModule) -> Iterator[Finding]:
+        bound, star = _bound_names(module.tree)
+        # A star import or a PEP 562 module ``__getattr__`` makes the
+        # namespace dynamic: any __all__ entry may resolve at runtime, so
+        # only the duplicate check stays decidable.
+        dynamic = star or "__getattr__" in bound
+        for statement in module.tree.body:
+            target_names = []
+            if isinstance(statement, ast.Assign):
+                target_names = [
+                    target.id
+                    for target in statement.targets
+                    if isinstance(target, ast.Name)
+                ]
+                value = statement.value
+            elif isinstance(statement, ast.AugAssign) and isinstance(
+                statement.target, ast.Name
+            ):
+                target_names = [statement.target.id]
+                value = statement.value
+            else:
+                continue
+            if "__all__" not in target_names:
+                continue
+            entries = _literal_names(value)
+            if entries is None:
+                continue  # dynamically built __all__: out of static reach
+            seen: Set[str] = set()
+            for name, node in entries:
+                if name in seen:
+                    yield self.finding(
+                        module, node, f"duplicate __all__ entry {name!r}"
+                    )
+                seen.add(name)
+                if not dynamic and name not in bound:
+                    yield self.finding(
+                        module,
+                        node,
+                        f"__all__ exports {name!r} but the module never "
+                        "defines or imports it",
+                    )
+
+    # ------------------------------------------------------------- project wide
+    def check_project(self, modules: Sequence[ParsedModule]) -> Iterator[Finding]:
+        surface_literals: Set[str] = set()
+        surface_present = False
+        registered: List[Tuple[ParsedModule, ast.Call, str]] = []
+
+        for module in modules:
+            if _is_surface_test(module.display_path):
+                surface_present = True
+                for node in ast.walk(module.tree):
+                    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+                        surface_literals.add(node.value)
+                continue
+            if _is_test_or_bench(module.display_path):
+                continue
+            for node in ast.walk(module.tree):
+                if not isinstance(node, ast.Call):
+                    continue
+                dotted = attr_chain(node.func)
+                if dotted is None:
+                    continue
+                if dotted != "register" and not dotted.endswith(".register"):
+                    continue
+                if not node.args:
+                    continue
+                first = node.args[0]
+                if isinstance(first, ast.Constant) and isinstance(first.value, str):
+                    registered.append((module, node, first.value))
+
+        if not surface_present:
+            return  # linting a subset without tests: nothing to cross-check
+
+        for module, node, registry_id in registered:
+            if registry_id not in surface_literals:
+                yield self.finding(
+                    module,
+                    node,
+                    f"registry id {registry_id!r} is not covered by any "
+                    "import-surface test (tests/test_*surface*.py)",
+                )

@@ -1,0 +1,124 @@
+"""RPR004: hygiene -- mutable defaults, broad excepts, float equality.
+
+Three classic latent-bug shapes, scoped where they bite this project:
+
+- Mutable default arguments (anywhere): a shared list/dict/set default is
+  state smuggled across calls; in the service layer it leaks placement and
+  repair state between requests.
+- Bare ``except:`` and broad ``except Exception`` (anywhere): the repair
+  and disaster paths must not swallow ``ReproError`` subtypes silently; a
+  broad handler turns data loss into a log line.
+- Float ``==`` / ``!=`` (analytic models only: ``repro/analysis/`` and
+  ``repro/simulation/metrics.py``): the analytic cost/reliability models
+  compare measured against closed-form values; exact float equality there
+  is either vacuous or flaky -- use ``math.isclose`` / ``pytest.approx``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List
+
+from repro_lint.framework import Finding, ParsedModule, Rule, register_rule
+from repro_lint.rules._helpers import is_float_constant
+
+FLOAT_EQ_PATHS = ("repro/analysis/", "repro/simulation/metrics.py")
+
+_MUTABLE_CALLS = {"list", "dict", "set", "bytearray", "defaultdict", "Counter", "deque"}
+_BROAD_EXCEPTIONS = {"Exception", "BaseException"}
+
+
+def _is_mutable_literal(node: ast.AST) -> bool:
+    if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in _MUTABLE_CALLS
+    return False
+
+
+def _exception_names(handler_type: ast.AST) -> List[str]:
+    if isinstance(handler_type, ast.Name):
+        return [handler_type.id]
+    if isinstance(handler_type, ast.Attribute):
+        return [handler_type.attr]
+    if isinstance(handler_type, ast.Tuple):
+        names: List[str] = []
+        for element in handler_type.elts:
+            names.extend(_exception_names(element))
+        return names
+    return []
+
+
+@register_rule
+class HygieneRule(Rule):
+    code = "RPR004"
+    name = "hygiene"
+    summary = (
+        "no mutable default arguments, no bare/broad excepts, no float "
+        "equality in analytic models"
+    )
+
+    def check(self, module: ParsedModule) -> Iterator[Finding]:
+        float_eq_scope = any(
+            fragment in module.display_path for fragment in FLOAT_EQ_PATHS
+        )
+        for node in ast.walk(module.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield from self._check_defaults(module, node)
+            elif isinstance(node, ast.ExceptHandler):
+                yield from self._check_handler(module, node)
+            elif float_eq_scope and isinstance(node, ast.Compare):
+                yield from self._check_float_eq(module, node)
+
+    def _check_defaults(
+        self, module: ParsedModule, node: ast.FunctionDef
+    ) -> Iterator[Finding]:
+        defaults = list(node.args.defaults) + [
+            default for default in node.args.kw_defaults if default is not None
+        ]
+        for default in defaults:
+            if _is_mutable_literal(default):
+                yield self.finding(
+                    module,
+                    default,
+                    f"mutable default argument in {node.name}(); the object "
+                    "is shared across calls -- default to None and "
+                    "construct inside the body",
+                )
+
+    def _check_handler(
+        self, module: ParsedModule, node: ast.ExceptHandler
+    ) -> Iterator[Finding]:
+        if node.type is None:
+            yield self.finding(
+                module,
+                node,
+                "bare `except:` catches SystemExit/KeyboardInterrupt too; "
+                "name the exception types",
+            )
+            return
+        for name in _exception_names(node.type):
+            if name in _BROAD_EXCEPTIONS:
+                yield self.finding(
+                    module,
+                    node,
+                    f"broad `except {name}` swallows unrelated failures; "
+                    "catch the specific ReproError/OSError subtypes",
+                )
+                return
+
+    def _check_float_eq(
+        self, module: ParsedModule, node: ast.Compare
+    ) -> Iterator[Finding]:
+        operands = [node.left] + list(node.comparators)
+        for operator, left, right in zip(node.ops, operands, operands[1:]):
+            if not isinstance(operator, (ast.Eq, ast.NotEq)):
+                continue
+            if is_float_constant(left) or is_float_constant(right):
+                yield self.finding(
+                    module,
+                    node,
+                    "exact float equality in an analytic model; use "
+                    "math.isclose(...) (or pytest.approx in tests)",
+                )
+                return

@@ -1,0 +1,70 @@
+"""RPR005: no function-local imports of determinism-sensitive modules.
+
+RPR001 audits RNG and clock use by scanning module surfaces; a
+``def f(): import random`` buried in a function body hides that use from
+the audit (and from reviewers grepping the import block).  Library code
+must import ``random``/``time``/``datetime``/``secrets``/``uuid`` and
+``numpy.random`` at module top.  Lazy imports of *other* modules (the
+circular-import escape hatch used by the registries) stay allowed.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro_lint.framework import Finding, ParsedModule, Rule, register_rule
+
+#: Modules whose use must be visible at module top (root package names).
+SENSITIVE_ROOTS = frozenset({"random", "time", "datetime", "secrets", "uuid"})
+
+#: Library-code path fragments this rule polices (tests/benchmarks may
+#: lazily import whatever their fixtures need).
+LIBRARY_PATHS = ("src/repro/",)
+
+
+def _sensitive_module(dotted: str) -> bool:
+    root = dotted.split(".")[0]
+    if root in SENSITIVE_ROOTS:
+        return True
+    return dotted == "numpy.random" or dotted.startswith("numpy.random.")
+
+
+@register_rule
+class LocalImportRule(Rule):
+    code = "RPR005"
+    name = "local-determinism-import"
+    summary = (
+        "determinism-sensitive modules (random/time/datetime/secrets/uuid/"
+        "numpy.random) must be imported at module top in library code"
+    )
+
+    def applies_to(self, display_path: str) -> bool:
+        return any(fragment in display_path for fragment in LIBRARY_PATHS)
+
+    def check(self, module: ParsedModule) -> Iterator[Finding]:
+        for owner in ast.walk(module.tree):
+            if not isinstance(owner, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            for node in ast.walk(owner):
+                if isinstance(node, ast.Import):
+                    for alias in node.names:
+                        if _sensitive_module(alias.name):
+                            yield self.finding(
+                                module,
+                                node,
+                                f"function-local `import {alias.name}` in "
+                                f"{owner.name}() hides RNG/clock use from "
+                                "determinism auditing (RPR001); move it to "
+                                "module top",
+                            )
+                elif isinstance(node, ast.ImportFrom):
+                    if node.module and _sensitive_module(node.module):
+                        yield self.finding(
+                            module,
+                            node,
+                            f"function-local `from {node.module} import ...` "
+                            f"in {owner.name}() hides RNG/clock use from "
+                            "determinism auditing (RPR001); move it to "
+                            "module top",
+                        )
