@@ -30,9 +30,13 @@ over any registered schemes at any disaster sizes.
 from __future__ import annotations
 
 import argparse
+import random
 import sys
 import time
-from typing import Callable, Dict, List
+from typing import TYPE_CHECKING, Callable, Dict, Iterator, List, Optional, Union
+
+if TYPE_CHECKING:
+    from repro.storage.topology import Topology
 
 from repro.analysis.fault_tolerance import complex_form_catalogue, me_curves
 from repro.analysis.markov import five_year_loss_table
@@ -290,7 +294,9 @@ def _add_topology_arguments(parser: argparse.ArgumentParser) -> None:
     )
 
 
-def _resolve_topology_argument(parser: argparse.ArgumentParser, args: argparse.Namespace):
+def _resolve_topology_argument(
+    parser: argparse.ArgumentParser, args: argparse.Namespace
+) -> Optional["Topology"]:
     """Resolve ``--topology`` early so a bad spec or missing JSON file is a
     clean parser error instead of a traceback from deep inside open()."""
     if args.topology is None:
@@ -304,7 +310,7 @@ def _resolve_topology_argument(parser: argparse.ArgumentParser, args: argparse.N
         parser.error(f"cannot resolve --topology {args.topology!r}: {exc}")
 
 
-def _parse_fail(parser: argparse.ArgumentParser, value: str):
+def _parse_fail(parser: argparse.ArgumentParser, value: str) -> Union[int, str]:
     """``--fail`` accepts a location count or a topology target (site:0)."""
     cleaned = value.strip()
     if ":" in cleaned:
@@ -623,7 +629,7 @@ def simulate_main(argv: List[str] | None = None) -> int:
     return 0
 
 
-def _read_chunks(path: str, chunk_size: int):
+def _read_chunks(path: str, chunk_size: int) -> Iterator[bytes]:
     if path == "-":
         stream = sys.stdin.buffer
         while True:
@@ -714,8 +720,6 @@ def ingest_main(argv: List[str] | None = None) -> int:
 
 def repair_main(argv: List[str] | None = None) -> int:
     """Entry point of ``repro-experiments repair``."""
-    import random
-
     from repro.exceptions import ReproError
     from repro.system.service import StorageConfig, StorageService
 
