@@ -1,0 +1,59 @@
+"""Import-surface test: `repro.schemes.__all__` and the family registry.
+
+Mirrors the storage/simulation surface tests, and doubles as the
+repro-lint RPR002 coverage anchor for the scheme-family registry: every
+family id registered in :mod:`repro.schemes` must appear literally below,
+so dropping or renaming a family breaks this test instead of silently
+shrinking the public catalogue.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro.schemes as schemes
+
+#: Registered family -> the example id the registry advertises for it.
+FAMILY_CATALOGUE = {
+    "ae": "ae-3-2-5",
+    "rs": "rs-10-4",
+    "lrc": "lrc-azure",
+    "rep": "rep-3",
+    "xor": "xor-geo",
+}
+
+
+class TestSchemesImportSurface:
+    def test_all_entries_resolve(self):
+        for name in schemes.__all__:
+            assert getattr(schemes, name) is not None
+
+    def test_all_is_sorted_and_unique(self):
+        exported = list(schemes.__all__)
+        assert exported == sorted(exported)
+        assert len(exported) == len(set(exported))
+
+    def test_star_import_matches_all(self):
+        namespace: dict = {}
+        exec("from repro.schemes import *", namespace)
+        missing = set(schemes.__all__) - set(namespace)
+        assert not missing, f"__all__ entries not importable via *: {sorted(missing)}"
+
+
+class TestSchemeFamilyRegistry:
+    def test_registry_covers_the_catalogue(self):
+        assert set(schemes.available()) >= set(FAMILY_CATALOGUE)
+
+    def test_advertised_examples_match(self):
+        available = schemes.available()
+        for family, example in FAMILY_CATALOGUE.items():
+            assert available[family] == example
+
+    @pytest.mark.parametrize("family,example", sorted(FAMILY_CATALOGUE.items()))
+    def test_every_example_id_resolves(self, family, example):
+        scheme = schemes.get(example)
+        assert scheme.scheme_id == example
+
+    def test_default_scheme_resolves(self):
+        assert schemes.DEFAULT_SCHEME in ("ae-3-2-5",)
+        assert schemes.get(schemes.DEFAULT_SCHEME) is not None
