@@ -60,7 +60,7 @@ _SCHEME_EXPORTS = {
 }
 
 
-def __getattr__(name: str):
+def __getattr__(name: str) -> object:
     if name in _SCHEME_EXPORTS:
         import repro.schemes as _schemes
 

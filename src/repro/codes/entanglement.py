@@ -13,7 +13,7 @@ mesh).
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Set
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.core.batch_repair import execute_plan, plan_inputs, plan_round
 from repro.core.blocks import BlockId, is_data
@@ -21,7 +21,7 @@ from repro.core.decoder import Decoder
 from repro.core.encoder import DEFAULT_BLOCK_SIZE, BatchEntangler
 from repro.core.lattice import HelicalLattice
 from repro.core.parameters import AEParameters
-from repro.core.xor import Payload
+from repro.core.xor import Payload, PayloadBatch
 from repro.schemes.base import (
     BlockFetcher,
     EncodedPart,
@@ -33,7 +33,7 @@ from repro.schemes.base import (
 __all__ = ["EntanglementScheme", "ae_scheme_id"]
 
 
-def _sort_key(block_id):
+def _sort_key(block_id: BlockId) -> Tuple[int, int, str]:
     if is_data(block_id):
         return (block_id.index, 0, "")
     return (block_id.index, 1, block_id.strand_class.value)
@@ -85,7 +85,7 @@ class EntanglementScheme(RedundancyScheme):
     # ------------------------------------------------------------------
     # Write path
     # ------------------------------------------------------------------
-    def encode(self, payloads) -> EncodedPart:
+    def encode(self, payloads: PayloadBatch) -> EncodedPart:
         batch = self._entangler.entangle_batch(payloads)
         return EncodedPart(
             data_ids=list(batch.data_ids), blocks=list(batch.iter_blocks())
@@ -94,7 +94,7 @@ class EntanglementScheme(RedundancyScheme):
     # ------------------------------------------------------------------
     # Read / repair path
     # ------------------------------------------------------------------
-    def read_block(self, block_id, fetch: BlockFetcher) -> Payload:
+    def read_block(self, block_id: object, fetch: BlockFetcher) -> Payload:
         return Decoder(self.lattice, fetch, self._block_size).get(block_id)
 
     def repair(self, missing: Set[object], fetch: BlockFetcher) -> SchemeRepairOutcome:
@@ -137,7 +137,9 @@ class EntanglementScheme(RedundancyScheme):
             snapshot = dict(overlay)
             if oracle is not None:
 
-                def available(block_id: BlockId, _snapshot=snapshot) -> bool:
+                def available(
+                    block_id: BlockId, _snapshot: Dict[BlockId, Payload] = snapshot
+                ) -> bool:
                     if block_id in _snapshot:
                         return True
                     if block_id in cache:
@@ -146,7 +148,9 @@ class EntanglementScheme(RedundancyScheme):
 
             else:
 
-                def available(block_id: BlockId, _snapshot=snapshot) -> bool:
+                def available(
+                    block_id: BlockId, _snapshot: Dict[BlockId, Payload] = snapshot
+                ) -> bool:
                     return block_id in _snapshot or probed(block_id) is not None
 
             steps = plan_round(
@@ -180,7 +184,9 @@ class EntanglementScheme(RedundancyScheme):
             if not steps:
                 break
 
-            def payload_of(block_id: BlockId, _snapshot=snapshot) -> Payload:
+            def payload_of(
+                block_id: BlockId, _snapshot: Dict[BlockId, Payload] = snapshot
+            ) -> Payload:
                 payload = _snapshot.get(block_id)
                 return payload if payload is not None else cache[block_id]
 
@@ -219,7 +225,7 @@ class EntanglementScheme(RedundancyScheme):
     # ------------------------------------------------------------------
     # Metadata
     # ------------------------------------------------------------------
-    def is_data_block(self, block_id) -> bool:
+    def is_data_block(self, block_id: object) -> bool:
         return is_data(block_id)
 
     def document_blocks(self, data_ids: Sequence[object]) -> List[object]:

@@ -29,6 +29,8 @@ from repro.core.position import strand_labels
 from repro.core.strands import StrandHeadRegistry, StrandId, strand_of
 from repro.core.xor import (
     Payload,
+    PayloadBatch,
+    PayloadLike,
     PayloadMatrix,
     as_payload,
     as_payload_matrix,
@@ -91,7 +93,7 @@ class Entangler:
     # ------------------------------------------------------------------
     # Encoding
     # ------------------------------------------------------------------
-    def entangle(self, payload) -> EncodedBlock:
+    def entangle(self, payload: PayloadLike) -> EncodedBlock:
         """Entangle one data block and return it together with its parities."""
         data_payload = as_payload(payload, self._block_size)
         if data_payload.size != self._block_size:
@@ -233,7 +235,7 @@ class BatchEntangler(Entangler):
     single-block encoding can be mixed freely.
     """
 
-    def entangle_batch(self, payloads) -> EncodedBatch:
+    def entangle_batch(self, payloads: PayloadBatch) -> EncodedBatch:
         """Entangle a stack of blocks and return the batch result.
 
         ``payloads`` may be a ``(n, block_size)`` uint8 matrix, a byte string

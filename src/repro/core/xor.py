@@ -22,6 +22,10 @@ PayloadLike = Union[bytes, bytearray, memoryview, np.ndarray]
 #: one block per row.  This is the unit of work of the batched ingest pipeline.
 PayloadMatrix = np.ndarray
 
+#: Anything :func:`as_payload_matrix` accepts as a batch of blocks: a byte
+#: buffer (split into rows), a 2-D uint8 matrix, or a sequence of payloads.
+PayloadBatch = Union[bytes, bytearray, memoryview, np.ndarray, Sequence[PayloadLike]]
+
 
 def as_payload(data: PayloadLike, block_size: int = 0) -> Payload:
     """Convert ``data`` to a uint8 payload, optionally padding to ``block_size``.
@@ -78,10 +82,7 @@ def xor_many(payloads: Iterable[PayloadLike]) -> Payload:
     return result
 
 
-def as_payload_matrix(
-    data: Union[bytes, bytearray, memoryview, np.ndarray, Sequence[PayloadLike]],
-    block_size: int,
-) -> PayloadMatrix:
+def as_payload_matrix(data: PayloadBatch, block_size: int) -> PayloadMatrix:
     """Convert ``data`` to a ``(n, block_size)`` C-contiguous uint8 matrix.
 
     Accepted inputs:

@@ -36,7 +36,7 @@ class BlockUnavailableError(ReproError):
 class RepairFailedError(ReproError):
     """Raised when the decoder cannot reconstruct a requested block."""
 
-    def __init__(self, block_id, reason: str = "") -> None:
+    def __init__(self, block_id: object, reason: str = "") -> None:
         self.block_id = block_id
         self.reason = reason
         message = f"cannot repair block {block_id!r}"

@@ -27,10 +27,12 @@ from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
-from repro.core.xor import Payload
+from repro.core.xor import Payload, PayloadBatch
 
 if TYPE_CHECKING:  # imported lazily at runtime to avoid a package cycle
     from repro.codes.base import CodeCosts
+    from repro.storage.placement import PlacementPolicy
+    from repro.storage.topology import Topology
 
 #: A block source returns the payload of a block or ``None`` when unavailable.
 BlockFetcher = Callable[[object], Optional[Payload]]
@@ -137,7 +139,7 @@ class RedundancyScheme(ABC):
         """Capability metadata, including the analytic Table IV costs."""
 
     @abstractmethod
-    def encode(self, payloads) -> EncodedPart:
+    def encode(self, payloads: PayloadBatch) -> EncodedPart:
         """Encode a batch of data blocks into storable blocks.
 
         ``payloads`` may be a byte string (split into zero-padded blocks), a
@@ -146,7 +148,7 @@ class RedundancyScheme(ABC):
         """
 
     @abstractmethod
-    def read_block(self, block_id, fetch: BlockFetcher) -> Payload:
+    def read_block(self, block_id: object, fetch: BlockFetcher) -> Payload:
         """Return the payload of one block, repairing through redundancy when
         the direct fetch fails.  Raises
         :class:`repro.exceptions.RepairFailedError` when no recovery path is
@@ -157,7 +159,7 @@ class RedundancyScheme(ABC):
         """Rebuild as many of ``missing`` blocks as possible from ``fetch``."""
 
     @abstractmethod
-    def is_data_block(self, block_id) -> bool:
+    def is_data_block(self, block_id: object) -> bool:
         """True when ``block_id`` identifies a data (not redundancy) block."""
 
     @abstractmethod
@@ -170,7 +172,7 @@ class RedundancyScheme(ABC):
         are woven into the append-only lattice and must survive deletion.
         """
 
-    def default_placement(self, topology, seed: int = 0):
+    def default_placement(self, topology: "Topology | int", seed: int = 0) -> "PlacementPolicy":
         """The placement policy used when the caller does not supply one.
 
         ``topology`` is a :class:`~repro.storage.topology.Topology` or a bare
@@ -210,7 +212,7 @@ class CountingFetcher:
         self._fetch = fetch
         self.reads = 0
 
-    def __call__(self, block_id) -> Optional[Payload]:
+    def __call__(self, block_id: object) -> Optional[Payload]:
         payload = self._fetch(block_id)
         if payload is not None:
             self.reads += 1

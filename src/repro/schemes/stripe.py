@@ -23,7 +23,7 @@ from repro.codes.flat_xor import FlatXorCode
 from repro.codes.lrc import LocalReconstructionCode
 from repro.codes.reed_solomon import ReedSolomonCode
 from repro.codes.replication import ReplicationCode
-from repro.core.xor import Payload, as_payload, as_payload_matrix, zero_payload
+from repro.core.xor import Payload, PayloadBatch, as_payload, as_payload_matrix, zero_payload
 from repro.exceptions import DecodingError, RepairFailedError
 from repro.schemes.base import (
     BlockFetcher,
@@ -103,7 +103,7 @@ class StripeScheme(RedundancyScheme):
     # ------------------------------------------------------------------
     # Write path
     # ------------------------------------------------------------------
-    def encode(self, payloads) -> EncodedPart:
+    def encode(self, payloads: PayloadBatch) -> EncodedPart:
         matrix = as_payload_matrix(payloads, self._block_size)
         code = self._code
         part = EncodedPart()
@@ -128,7 +128,7 @@ class StripeScheme(RedundancyScheme):
     # ------------------------------------------------------------------
     # Read / repair path
     # ------------------------------------------------------------------
-    def read_block(self, block_id, fetch: BlockFetcher) -> Payload:
+    def read_block(self, block_id: object, fetch: BlockFetcher) -> Payload:
         payload = fetch(block_id)
         if payload is not None:
             return as_payload(payload, self._block_size)
@@ -256,7 +256,7 @@ class StripeScheme(RedundancyScheme):
     # ------------------------------------------------------------------
     # Metadata
     # ------------------------------------------------------------------
-    def is_data_block(self, block_id) -> bool:
+    def is_data_block(self, block_id: object) -> bool:
         """True for document data: parity and stored padding positions are not."""
         if not isinstance(block_id, StripeBlockId):
             return False

@@ -34,7 +34,7 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -46,6 +46,10 @@ from repro.simulation.metrics import DisasterMetrics, scheme_id_for
 from repro.storage.failures import ChurnTrace, Disaster
 from repro.storage.maintenance import MaintenanceBudget, MaintenancePolicy
 from repro.storage.topology import Topology
+
+if TYPE_CHECKING:
+    from repro.schemes.base import RedundancyScheme
+    from repro.simulation.traces import SessionTrace
 
 __all__ = [
     "EngineOutcome",
@@ -63,6 +67,17 @@ __all__ = [
     "vectorised_input_indices",
     "vectorised_output_indices",
 ]
+
+#: Anything :func:`build_simulation` resolves to a simulation adapter: a
+#: registry id (or legacy SchemeSpec tuple/int), a live scheme instance, a
+#: bare stripe code or an AE parameter setting.
+SchemeLike = Union[str, Tuple[object, ...], int, AEParameters, StripeCode, "RedundancyScheme"]
+
+#: Anything :meth:`SimulationEngine.run_disaster` accepts as a disaster: a
+#: :class:`Disaster`, a topology target string (``"site:0"``), a fraction in
+#: ``[0, 1]`` or an explicit array/sequence of location ids.
+DisasterLike = Union[Disaster, str, float, np.ndarray, Sequence[int]]
+
 
 
 # ----------------------------------------------------------------------
@@ -631,7 +646,7 @@ class StripeSimulation(SimulatedPlacement):
             vulnerable_full=vulnerable_full,
         )
 
-    def _evaluate_patterns(self, unavailable: np.ndarray):
+    def _evaluate_patterns(self, unavailable: np.ndarray) -> StripeDisasterState:
         """Generic path: answer each unique failure pattern through the code."""
         code = self._code
         k, n = code.k, code.n
@@ -789,7 +804,7 @@ def _parity_free_rs(scheme_id: str) -> Optional[StripeCode]:
 
 
 def build_simulation(
-    scheme,
+    scheme: SchemeLike,
     data_blocks: int,
     location_count: int = 100,
     seed: int = 0,
@@ -847,7 +862,13 @@ class SimulationEvent:
     label: str = ""
 
 
-def normalise_events(source) -> List[SimulationEvent]:
+#: Anything :func:`normalise_events` turns into an event timeline.
+EventSource = Union[
+    Disaster, ChurnTrace, SimulationEvent, "SessionTrace", Iterable[object]
+]
+
+
+def normalise_events(source: EventSource) -> List[SimulationEvent]:
     """Normalise any failure source into a list of :class:`SimulationEvent`.
 
     Accepts a :class:`Disaster` (one-shot, including disasters built with
@@ -959,7 +980,7 @@ class SimulationEngine:
 
     def __init__(
         self,
-        scheme,
+        scheme: SchemeLike,
         data_blocks: int = 100_000,
         location_count: int = 100,
         seed: int = 0,
@@ -995,7 +1016,7 @@ class SimulationEngine:
         return self._policy
 
     # ------------------------------------------------------------------
-    def _disaster_locations(self, disaster) -> np.ndarray:
+    def _disaster_locations(self, disaster: DisasterLike) -> np.ndarray:
         if isinstance(disaster, Disaster):
             return np.asarray(disaster.failed_locations, dtype=np.int64)
         if isinstance(disaster, str):
@@ -1015,7 +1036,7 @@ class SimulationEngine:
 
     def run_disaster(
         self,
-        disaster,
+        disaster: DisasterLike,
         disaster_fraction: Optional[float] = None,
         policy: Optional[MaintenancePolicy] = None,
         budget: Optional[MaintenanceBudget] = None,
@@ -1046,7 +1067,7 @@ class SimulationEngine:
 
     def run_outcome(
         self,
-        disaster,
+        disaster: DisasterLike,
         policy: Optional[MaintenancePolicy] = None,
         budget: Optional[MaintenanceBudget] = None,
     ) -> EngineOutcome:
@@ -1057,7 +1078,7 @@ class SimulationEngine:
             budget=budget or self._budget,
         )
 
-    def run_events(self, events) -> EngineRun:
+    def run_events(self, events: EventSource) -> EngineRun:
         """Replay an event timeline, sampling data availability per event.
 
         Repairs are *evaluated* per step (a block counts as available when

@@ -42,7 +42,7 @@ import os
 import struct
 import zlib
 from abc import ABC, abstractmethod
-from typing import Callable, Dict, Iterable, Iterator, List, Optional, Tuple
+from typing import BinaryIO, Callable, Dict, Iterable, Iterator, List, Optional, Tuple
 
 import numpy as np
 
@@ -440,7 +440,7 @@ class SegmentLogBackend(StorageBackend):
             self._writer.close()
         self._writer = open(self._segment_path(self._active), "ab")
 
-    def _reader(self, segment: int):
+    def _reader(self, segment: int) -> BinaryIO:
         handle = self._readers.get(segment)
         if handle is None:
             handle = open(self._segment_path(segment), "rb")
@@ -720,7 +720,7 @@ def available() -> List[str]:
     return sorted(_BACKENDS)
 
 
-def get(spec: str, root: Optional[str] = None, **options) -> StorageBackend:
+def get(spec: str, root: Optional[str] = None, **options: object) -> StorageBackend:
     """Resolve a backend spec to a fresh backend instance.
 
     ``spec`` is a registered name (``"memory"``, ``"disk"``, ``"segment"``).
@@ -751,14 +751,14 @@ def _check_options(name: str, options: Dict[str, object], allowed: set) -> None:
         )
 
 
-def _memory_factory(root: Optional[str] = None, **options) -> StorageBackend:
+def _memory_factory(root: Optional[str] = None, **options: object) -> StorageBackend:
     # ``fsync`` is accepted (and meaningless) so one config can name any
     # backend without tailoring its options.
     _check_options("memory", options, {"fsync"})
     return MemoryBackend()
 
 
-def _disk_factory(root: Optional[str] = None, **options) -> StorageBackend:
+def _disk_factory(root: Optional[str] = None, **options: object) -> StorageBackend:
     _check_options("disk", options, {"fsync"})
     if root is None:
         raise InvalidParametersError(
@@ -767,7 +767,7 @@ def _disk_factory(root: Optional[str] = None, **options) -> StorageBackend:
     return DiskBackend(root, fsync=bool(options.get("fsync", False)))
 
 
-def _segment_factory(root: Optional[str] = None, **options) -> StorageBackend:
+def _segment_factory(root: Optional[str] = None, **options: object) -> StorageBackend:
     _check_options(
         "segment", options, {"segment_bytes", "compact_ratio", "fsync", "auto_compact"}
     )

@@ -81,7 +81,7 @@ class StorageCluster:
         root: Optional[str] = None,
         cache_blocks: Optional[int] = None,
         topology: Optional[Union[Topology, int, str]] = None,
-        **backend_options,
+        **backend_options: object,
     ) -> None:
         resolved = Topology.resolve(topology)
         if resolved is None and placement is not None:

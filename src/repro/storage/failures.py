@@ -11,7 +11,7 @@ and the extension benchmarks) and applies them to a
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, List, Optional, Sequence
+from typing import Iterable, List, Optional, Sequence, Union
 
 import numpy as np
 
@@ -83,7 +83,7 @@ def disaster_series(
 
 
 def disaster_for_target(
-    topology: Topology, target, destructive: bool = False
+    topology: Topology, target: Union[str, Iterable[str]], destructive: bool = False
 ) -> Disaster:
     """A disaster taking down whole topology targets (sites, racks, nodes).
 

@@ -32,7 +32,7 @@ from __future__ import annotations
 
 import hashlib
 from abc import ABC, abstractmethod
-from typing import Callable, Dict, List, Optional, Sequence, Union
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -58,7 +58,7 @@ def _as_topology(topology: TopologyLike) -> Topology:
     )
 
 
-def _hash_fraction(block_id, seed: int, salt: bytes = b"") -> float:
+def _hash_fraction(block_id: BlockId, seed: int, salt: bytes = b"") -> float:
     """Deterministic uniform draw in [0, 1) derived from the block identity."""
     digest = hashlib.blake2b(
         salt + repr(block_id).encode("utf-8"),
@@ -204,7 +204,7 @@ class StrandAwarePlacement(PlacementPolicy):
         return (group_index * self._group + lane) % self._location_count
 
 
-def _lattice_lane(block_id, alpha: int):
+def _lattice_lane(block_id: BlockId, alpha: int) -> Optional[Tuple[int, int]]:
     """(group index, lane) of an AE or stripe block within its repair group.
 
     AE blocks group by lattice position (data lane 0, one lane per strand
@@ -401,15 +401,30 @@ def get(
     )
 
 
-def _random_factory(topology, params=None, seed=0, level=None):
+def _random_factory(
+    topology: Topology,
+    params: Optional[AEParameters] = None,
+    seed: int = 0,
+    level: Optional[str] = None,
+) -> PlacementPolicy:
     return RandomPlacement(topology, seed=seed)
 
 
-def _round_robin_factory(topology, params=None, seed=0, level=None):
+def _round_robin_factory(
+    topology: Topology,
+    params: Optional[AEParameters] = None,
+    seed: int = 0,
+    level: Optional[str] = None,
+) -> PlacementPolicy:
     return RoundRobinPlacement(topology, params=params)
 
 
-def _strand_aware_factory(topology, params=None, seed=0, level=None):
+def _strand_aware_factory(
+    topology: Topology,
+    params: Optional[AEParameters] = None,
+    seed: int = 0,
+    level: Optional[str] = None,
+) -> PlacementPolicy:
     if params is None:
         raise PlacementError(
             "the 'strand-aware' policy needs the AE(alpha, s, p) parameters "
@@ -418,11 +433,21 @@ def _strand_aware_factory(topology, params=None, seed=0, level=None):
     return StrandAwarePlacement(topology, params, seed=seed)
 
 
-def _spread_domains_factory(topology, params=None, seed=0, level=None):
+def _spread_domains_factory(
+    topology: Topology,
+    params: Optional[AEParameters] = None,
+    seed: int = 0,
+    level: Optional[str] = None,
+) -> PlacementPolicy:
     return SpreadDomainsPlacement(topology, seed=seed, level=level, params=params)
 
 
-def _weighted_factory(topology, params=None, seed=0, level=None):
+def _weighted_factory(
+    topology: Topology,
+    params: Optional[AEParameters] = None,
+    seed: int = 0,
+    level: Optional[str] = None,
+) -> PlacementPolicy:
     return WeightedPlacement(topology, seed=seed)
 
 
@@ -433,7 +458,7 @@ register("spread-domains", _spread_domains_factory)
 register("weighted", _weighted_factory)
 
 
-def placement_balance(policy: PlacementPolicy, block_ids) -> np.ndarray:
+def placement_balance(policy: PlacementPolicy, block_ids: Iterable[BlockId]) -> np.ndarray:
     """Histogram of blocks per location, used to study placement skew.
 
     The paper reports the mean and standard deviation of blocks per site for
@@ -446,7 +471,9 @@ def placement_balance(policy: PlacementPolicy, block_ids) -> np.ndarray:
     return counts
 
 
-def domain_balance(policy: PlacementPolicy, block_ids, level: str = "site") -> np.ndarray:
+def domain_balance(
+    policy: PlacementPolicy, block_ids: Iterable[BlockId], level: str = "site"
+) -> np.ndarray:
     """Histogram of blocks per failure domain at the given level."""
     topology = policy.topology
     counts = np.zeros(len(topology.domains(level)), dtype=np.int64)

@@ -248,7 +248,11 @@ class ClusterRepairManager:
             overlay_snapshot = dict(repaired_overlay)
             reads = [0]
 
-            def source(block_id: BlockId, _snapshot=overlay_snapshot, _reads=reads):
+            def source(
+                block_id: BlockId,
+                _snapshot: Dict[BlockId, Payload] = overlay_snapshot,
+                _reads: List[int] = reads,
+            ) -> Optional[Payload]:
                 if _snapshot.get(block_id) is not None:
                     _reads[0] += 1
                     return _snapshot[block_id]
@@ -284,7 +288,7 @@ class ClusterRepairManager:
         """Repair one block on demand; returns the payload and the blocks read."""
         reads = [0]
 
-        def source(requested: BlockId):
+        def source(requested: BlockId) -> Optional[Payload]:
             payload = self._cluster.try_get_block(requested)
             if payload is not None:
                 reads[0] += 1
@@ -298,7 +302,7 @@ class ClusterRepairManager:
         return payload, reads[0]
 
 
-def _sort_key(block_id: BlockId):
+def _sort_key(block_id: BlockId) -> Tuple[int, int, str]:
     if is_data(block_id):
         return (block_id.index, 0, "")
     return (block_id.index, 1, block_id.strand_class.value)

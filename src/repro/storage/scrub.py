@@ -374,7 +374,7 @@ class Scrubber:
         return xor_payloads(data_payload, input_payload)
 
 
-def _block_order(item: Tuple[BlockId, Tuple[int, int]]):
+def _block_order(item: Tuple[BlockId, Tuple[int, int]]) -> Tuple[int, int, str]:
     block_id, _ = item
     if isinstance(block_id, DataId):
         return (0, block_id.index, "")

@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, Iterable, List, Optional
 
 from repro.core.blocks import DataId
 from repro.core.encoder import DEFAULT_BLOCK_SIZE
@@ -188,10 +188,10 @@ class ArchiveStore:
     # ------------------------------------------------------------------
     # Failures, maintenance and integrity
     # ------------------------------------------------------------------
-    def fail_locations(self, location_ids) -> None:
+    def fail_locations(self, location_ids: Iterable[int]) -> None:
         self._system.fail_locations(location_ids)
 
-    def restore_locations(self, location_ids=None) -> None:
+    def restore_locations(self, location_ids: Optional[Iterable[int]] = None) -> None:
         self._system.restore_locations(location_ids)
 
     def repair(

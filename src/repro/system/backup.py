@@ -16,7 +16,7 @@ dp-tuple fetched from the surviving nodes.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.core.blocks import Block, BlockId, DataId, ParityId, join_blocks
 from repro.core.decoder import Decoder
@@ -136,11 +136,11 @@ class CooperativeBackupNetwork:
     def owner_name(self, node_id: int) -> str:
         return self.nodes[node_id].name
 
-    def fail_nodes(self, node_ids) -> None:
+    def fail_nodes(self, node_ids: Iterable[int]) -> None:
         for node_id in node_ids:
             self.nodes[node_id].fail()
 
-    def recover_nodes(self, node_ids) -> None:
+    def recover_nodes(self, node_ids: Iterable[int]) -> None:
         for node_id in node_ids:
             self.nodes[node_id].recover()
 

@@ -13,10 +13,10 @@ from __future__ import annotations
 import os
 import random
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Union
 
 from repro.codes.base import CodeCosts
-from repro.core.xor import payloads_equal
+from repro.core.xor import Payload, payloads_equal
 from repro.exceptions import ReproError
 from repro.storage.topology import Topology
 from repro.system.service import StorageConfig, StorageService
@@ -99,7 +99,7 @@ def single_failure_reads_measured(
     for victim in dict.fromkeys(chosen):
         expected = cluster.get_block(victim)
 
-        def fetch(block_id, _victim=victim):
+        def fetch(block_id: object, _victim: object = victim) -> Optional[Payload]:
             if block_id == _victim:
                 return None
             return cluster.try_get_block(block_id)
@@ -128,7 +128,7 @@ def compare_schemes(
     backend: str = "memory",
     data_dir: Optional[str] = None,
     fsync: bool = False,
-    topology=None,
+    topology: Optional[Union[Topology, int, str]] = None,
     placement: Optional[str] = None,
     fail_target: Optional[str] = None,
 ) -> List[SchemeComparison]:

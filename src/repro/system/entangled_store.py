@@ -25,6 +25,7 @@ from repro.codes.entanglement import EntanglementScheme
 from repro.core.blocks import DataId, EncodedBlock
 from repro.core.encoder import DEFAULT_BLOCK_SIZE
 from repro.core.lattice import HelicalLattice
+from repro.core.xor import PayloadLike
 from repro.core.parameters import AEParameters
 from repro.storage.cluster import StorageCluster
 from repro.storage.maintenance import MaintenancePolicy
@@ -112,7 +113,7 @@ class EntangledStorageSystem(StorageService):
     # ------------------------------------------------------------------
     # AE-specific writes
     # ------------------------------------------------------------------
-    def append_block(self, payload) -> EncodedBlock:
+    def append_block(self, payload: PayloadLike) -> EncodedBlock:
         """Entangle and store a single block (streaming ingestion)."""
         encoded = self.scheme.entangler.entangle(payload)  # type: ignore[attr-defined]
         for block in encoded.all_blocks():

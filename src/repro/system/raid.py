@@ -24,8 +24,9 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 from repro.core.blocks import Block, BlockId, DataId, ParityId
 from repro.core.decoder import Decoder
 from repro.core.encoder import Entangler
+from repro.core.lattice import HelicalLattice
 from repro.core.parameters import AEParameters
-from repro.core.xor import Payload, as_payload, xor_payloads, zero_payload
+from repro.core.xor import Payload, PayloadLike, as_payload, xor_payloads, zero_payload
 from repro.exceptions import InvalidParametersError, RepairFailedError, UnknownBlockError
 from repro.storage.cluster import StorageCluster
 from repro.storage.maintenance import MaintenancePolicy
@@ -59,7 +60,7 @@ class SimpleEntanglementChain:
     def length(self) -> int:
         return len(self._data)
 
-    def append(self, payload) -> int:
+    def append(self, payload: PayloadLike) -> int:
         """Entangle one more data block; returns its 0-based position."""
         data = as_payload(payload)
         previous = self._parities[-1] if self._parities else zero_payload(data.size)
@@ -225,7 +226,7 @@ class EntangledMirrorArray:
         """Same space overhead as mirroring: 100%."""
         return 1.0
 
-    def write(self, payload) -> int:
+    def write(self, payload: PayloadLike) -> int:
         """Append one block to the array; returns its chain position."""
         position = self._chain.append(payload)
         blocks = self._chain.blocks()
@@ -314,7 +315,7 @@ class RAIDAEArray:
         return self._cluster
 
     @property
-    def lattice(self):
+    def lattice(self) -> HelicalLattice:
         return self._encoder.lattice
 
     @property
@@ -325,7 +326,7 @@ class RAIDAEArray:
     # ------------------------------------------------------------------
     # I/O
     # ------------------------------------------------------------------
-    def write(self, payload) -> DataId:
+    def write(self, payload: PayloadLike) -> DataId:
         """Write one block (and its parities) across the array.
 
         Blocks rotate round-robin over the disks; disks that are currently

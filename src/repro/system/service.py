@@ -271,7 +271,9 @@ class StorageService:
         self._closed = False
 
     @classmethod
-    def open(cls, config: Optional[StorageConfig] = None, **overrides) -> "StorageService":
+    def open(
+        cls, config: Optional[StorageConfig] = None, **overrides: object
+    ) -> "StorageService":
         """Open a service from a config (plus keyword overrides).
 
         With a persistent ``backend`` and a ``data_dir`` that already holds a
@@ -513,7 +515,7 @@ class StorageService:
     def __enter__(self) -> "StorageService":
         return self
 
-    def __exit__(self, exc_type, exc_value, traceback) -> None:
+    def __exit__(self, exc_type: object, exc_value: object, traceback: object) -> None:
         self.close()
 
     # ------------------------------------------------------------------
@@ -532,7 +534,7 @@ class StorageService:
         return self._cluster
 
     @property
-    def topology(self):
+    def topology(self) -> Topology:
         """The cluster's site -> rack -> node layout."""
         return self._cluster.topology
 
@@ -637,7 +639,7 @@ class StorageService:
     # ------------------------------------------------------------------
     # Reads
     # ------------------------------------------------------------------
-    def get_block(self, block_id) -> Payload:
+    def get_block(self, block_id: object) -> Payload:
         """Read one block, repairing it through the scheme when unreachable."""
         self._ensure_open()
         return self._scheme.read_block(block_id, self._cluster.try_get_block)
@@ -681,7 +683,7 @@ class StorageService:
     #: Back-compat alias of :meth:`get`.
     read = get
 
-    def read_block_bytes(self, data_id, length: Optional[int] = None) -> bytes:
+    def read_block_bytes(self, data_id: object, length: Optional[int] = None) -> bytes:
         return payload_to_bytes(self.get_block(data_id), length)
 
     def get_stream(self, name: str) -> Iterator[bytes]:
@@ -746,10 +748,10 @@ class StorageService:
     # ------------------------------------------------------------------
     # Failures and repair
     # ------------------------------------------------------------------
-    def fail_locations(self, location_ids) -> None:
+    def fail_locations(self, location_ids: Iterable[int]) -> None:
         self._cluster.fail_locations(location_ids)
 
-    def restore_locations(self, location_ids=None) -> None:
+    def restore_locations(self, location_ids: Optional[Iterable[int]] = None) -> None:
         self._cluster.restore_locations(location_ids)
 
     def repair(self) -> ServiceRepairReport:
