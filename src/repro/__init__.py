@@ -82,11 +82,15 @@ unknown locations, Sec. V-C), ``DecodingError`` / ``RepairFailedError`` (no
 available recovery path, Sec. V-C4), ``IntegrityError`` (anti-tampering
 checks, Sec. IV-B), ``InvalidParametersError`` (the validity rules of
 Sec. III-B), ``LatticeBoundsError`` (queries outside the entangled region),
-``PlacementError`` / ``StorageFullError`` (the placement layer, Sec. V-C).
+``PlacementError`` / ``StorageFullError`` (the placement layer, Sec. V-C),
+``ServiceOverloadedError`` (the concurrent front-end's bounded admission
+queue is full; retry once responses drain).
 
 The higher layers are re-exported or imported from their subpackages:
 ``StorageService`` / ``StorageConfig`` (the scheme-agnostic front-end, from
-``repro.system.service``), ``RedundancyScheme`` / ``get_scheme`` (the
+``repro.system.service``), ``ConcurrentStorageService`` (the thread-pool
+multi-client request path, from ``repro.system.frontend``),
+``RedundancyScheme`` / ``get_scheme`` (the
 pluggable redundancy protocol and registry, from ``repro.schemes``),
 ``repro.system.entangled_store.EntangledStorageSystem`` (the AE-specific
 legacy shim), ``repro.storage`` (cluster, placement, repair management) and
@@ -121,11 +125,13 @@ from repro.exceptions import (
     PlacementError,
     RepairFailedError,
     ReproError,
+    ServiceOverloadedError,
     StorageFullError,
     UnknownBlockError,
 )
 from repro.schemes import RedundancyScheme, SchemeCapabilities
 from repro.schemes import get as get_scheme
+from repro.system.frontend import ConcurrentStorageService
 from repro.system.service import StorageConfig, StorageService
 
 __version__ = "1.2.0"
@@ -137,6 +143,7 @@ __all__ = [
     "BlockId",
     "BlockSizeMismatchError",
     "BlockUnavailableError",
+    "ConcurrentStorageService",
     "DataId",
     "Decoder",
     "DecodingError",
@@ -156,6 +163,7 @@ __all__ = [
     "RepairReport",
     "ReproError",
     "SchemeCapabilities",
+    "ServiceOverloadedError",
     "StorageConfig",
     "StorageFullError",
     "StorageService",

@@ -9,22 +9,28 @@ through three subcommands that all take ``--scheme`` (any identifier the
     repro-experiments fig11 --blocks 200000
     repro-experiments all --paper-scale
     repro-experiments ingest archive.tar --scheme rs-10-4 --verify
+    repro-experiments ingest archive.tar --workers 4 --verify
     repro-experiments repair --scheme lrc-azure --fail 4
     repro-experiments compare --schemes ae-3-2-5,rs-10-4,rep-3
     repro-experiments compare --smoke
     repro-experiments simulate --schemes ae-3-2-5,lrc-azure,xor-geo --disaster 0.3
     repro-experiments simulate --churn trace.json --policy minimal
     repro-experiments simulate --smoke
+    repro-experiments load --clients 8 --duration 5
+    repro-experiments load --clients 8 --ops 50 --think-ms 1
 
 Every experiment id names the table or figure of the paper it regenerates
 (e.g. ``fig10`` is the write-performance comparison of Fig. 10, ``table4``
 the repair-cost table of Table IV).  ``ingest`` pushes a file through the
-batched :meth:`StorageService.put_stream` path and reports write throughput;
-``repair`` injects a location disaster and repairs it; ``compare`` runs the
-same workload and failure trace across schemes and prints measured storage
-overhead and repair reads next to the analytic Table IV numbers;
-``simulate`` runs the scheme-agnostic discrete-event disaster/churn engine
-over any registered schemes at any disaster sizes.
+batched :meth:`StorageService.put_stream` path and reports write throughput
+(``--workers N`` fans the chunks out as part documents over the concurrent
+front-end); ``repair`` injects a location disaster and repairs it;
+``compare`` runs the same workload and failure trace across schemes and
+prints measured storage overhead and repair reads next to the analytic
+Table IV numbers; ``simulate`` runs the scheme-agnostic discrete-event
+disaster/churn engine over any registered schemes at any disaster sizes;
+``load`` drives the thread-pool front-end with a closed-loop multi-client
+workload and reports ops/sec and latency percentiles.
 """
 
 from __future__ import annotations
@@ -183,7 +189,7 @@ def build_parser() -> argparse.ArgumentParser:
             "experiment id ('fig6-7'..'fig13' for the paper's figures, "
             "'table4'/'table6' for its tables, 'placement', 'reliability', "
             "'repair-cost', 'markov', 'churn'), a subcommand ('ingest', "
-            "'repair', 'compare'), or 'all'"
+            "'repair', 'compare', 'simulate', 'load'), or 'all'"
         ),
     )
     parser.add_argument("--list", action="store_true", help="list available experiments")
@@ -372,6 +378,16 @@ def build_ingest_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="stream the document back (get_stream) and check it byte-exact",
     )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help=(
+            "concurrent ingest workers (default 1: the single-threaded "
+            "put_stream path); with N > 1 every chunk becomes a part "
+            "document pushed through the thread-pool front-end"
+        ),
+    )
     _add_backend_arguments(parser)
     _add_topology_arguments(parser)
     return parser
@@ -547,6 +563,158 @@ def build_simulate_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def build_load_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments load",
+        description=(
+            "Drive the concurrent thread-pool front-end with a closed-loop "
+            "multi-client mixed put/get/delete workload and report ops/sec "
+            "and latency percentiles (see docs/architecture.md)."
+        ),
+    )
+    _add_scheme_argument(parser)
+    parser.add_argument(
+        "--clients",
+        type=int,
+        default=8,
+        help="closed-loop client threads (default 8)",
+    )
+    parser.add_argument(
+        "--duration",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="run wall-clock bounded for this many seconds (default 5)",
+    )
+    parser.add_argument(
+        "--ops",
+        type=int,
+        default=None,
+        help="run exactly this many operations per client instead of --duration",
+    )
+    parser.add_argument(
+        "--think-ms",
+        type=float,
+        default=0.0,
+        help="per-client think time between operations in milliseconds (default 0)",
+    )
+    parser.add_argument(
+        "--payload-bytes",
+        type=int,
+        default=4096,
+        help="document payload size in bytes (default 4096)",
+    )
+    parser.add_argument(
+        "--documents",
+        type=int,
+        default=64,
+        help="shared document name pool size (default 64; clients overlap)",
+    )
+    parser.add_argument(
+        "--block-size", type=int, default=1024, help="block size in bytes (default 1024)"
+    )
+    parser.add_argument(
+        "--locations", type=int, default=40, help="cluster locations (default 40)"
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="front-end worker threads (default: the client count)",
+    )
+    parser.add_argument(
+        "--queue-depth",
+        type=int,
+        default=None,
+        help="admission queue bound (default: workers x 4); overflow bounces",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="workload seed (default 0)")
+    _add_backend_arguments(parser)
+    _add_topology_arguments(parser)
+    return parser
+
+
+def load_main(argv: List[str] | None = None) -> int:
+    """Entry point of ``repro-experiments load``."""
+    from repro.exceptions import ReproError
+    from repro.system.frontend import ConcurrentStorageService
+    from repro.system.loadgen import run_load
+    from repro.system.service import StorageConfig
+
+    parser = build_load_parser()
+    args = parser.parse_args(argv)
+    if args.clients < 1:
+        parser.error("--clients must be at least 1")
+    if args.ops is not None and args.duration is not None:
+        parser.error("pass --ops or --duration, not both")
+    if args.ops is None and args.duration is None:
+        args.duration = 5.0
+    _validate_backend_arguments(parser, args)
+    topology = _resolve_topology_argument(parser, args)
+    workers = args.workers if args.workers is not None else args.clients
+    try:
+        frontend = ConcurrentStorageService.open(
+            StorageConfig(
+                scheme=args.scheme,
+                location_count=None if topology is not None else args.locations,
+                block_size=args.block_size,
+                seed=args.seed,
+                backend=args.backend,
+                data_dir=args.data_dir,
+                fsync=args.fsync,
+                topology=topology,
+                placement=args.placement,
+            ),
+            workers=workers,
+            queue_depth=args.queue_depth,
+        )
+    except (ReproError, ValueError) as exc:
+        parser.error(str(exc))
+    try:
+        report = run_load(
+            frontend,
+            clients=args.clients,
+            ops_per_client=args.ops,
+            duration_seconds=args.duration,
+            payload_bytes=args.payload_bytes,
+            documents=args.documents,
+            think_seconds=args.think_ms / 1000.0,
+            seed=args.seed,
+        )
+    except (ReproError, ValueError) as exc:
+        parser.error(str(exc))
+    print(f"scheme       : {frontend.service.scheme.scheme_id}")
+    print(f"backend      : {args.backend}")
+    if args.topology is not None:
+        print(f"topology     : {frontend.service.topology.describe()}")
+    print(
+        f"front-end    : {workers} workers, queue depth "
+        f"{frontend.queue_depth}, {frontend.stripe_count} lock stripes"
+    )
+    print(
+        f"workload     : {report.clients} clients, {args.payload_bytes} B "
+        f"payloads over {args.documents} names, think {args.think_ms:.1f} ms"
+    )
+    print(
+        f"operations   : {report.ops} ({report.puts} puts, {report.gets} gets, "
+        f"{report.deletes} deletes; {report.misses} misses, "
+        f"{report.overloads} overloads)"
+    )
+    print(
+        f"throughput   : {report.ops_per_sec:.0f} ops/s over "
+        f"{report.duration_seconds:.2f} s"
+    )
+    print(
+        f"latency      : p50 {report.p50_seconds * 1e3:.2f} ms, "
+        f"p99 {report.p99_seconds * 1e3:.2f} ms, "
+        f"mean {report.mean_seconds * 1e3:.2f} ms"
+    )
+    if args.data_dir is not None:
+        frontend.close()
+        print(f"persisted    : {args.data_dir}")
+    return 0
+
+
 def simulate_main(argv: List[str] | None = None) -> int:
     """Entry point of ``repro-experiments simulate``."""
     from repro.exceptions import ReproError
@@ -657,8 +825,11 @@ def ingest_main(argv: List[str] | None = None) -> int:
     args = parser.parse_args(argv)
     if args.chunk_size < 1:
         parser.error("--chunk-size must be at least 1 byte")
+    if args.workers < 1:
+        parser.error("--workers must be at least 1")
     _validate_backend_arguments(parser, args)
     topology = _resolve_topology_argument(parser, args)
+    frontend = None
     try:
         scheme_id = args.scheme
         if args.spec is not None:
@@ -677,14 +848,39 @@ def ingest_main(argv: List[str] | None = None) -> int:
             )
         )
         started = time.perf_counter()
-        document = service.put_stream("ingest", _read_chunks(args.path, args.chunk_size))
+        if args.workers > 1:
+            # Fan the chunks out as part documents over the thread-pool
+            # front-end; a bounded window of in-flight futures keeps the
+            # admission queue from bouncing our own submissions.
+            from repro.system.frontend import ConcurrentStorageService
+
+            frontend = ConcurrentStorageService(service, workers=args.workers)
+            parts = []
+            futures = []
+            for chunk in _read_chunks(args.path, args.chunk_size):
+                if len(futures) >= args.workers * 2:
+                    parts.append(futures.pop(0).result())
+                futures.append(
+                    frontend.put_async(
+                        f"ingest/part-{len(parts) + len(futures):05d}", chunk
+                    )
+                )
+            parts.extend(future.result() for future in futures)
+            length = sum(part.length for part in parts)
+            block_count = sum(part.block_count for part in parts)
+            part_count = len(parts)
+        else:
+            document = service.put_stream(
+                "ingest", _read_chunks(args.path, args.chunk_size)
+            )
+            length, block_count = document.length, document.block_count
     except (ReproError, ValueError) as exc:
         parser.error(str(exc))
     except OSError as exc:
         parser.error(f"cannot read {args.path!r}: {exc.strerror or exc}")
     elapsed = time.perf_counter() - started
-    throughput = document.length / elapsed / 1e6 if elapsed > 0 else float("inf")
-    redundancy = service.cluster.stats().blocks - document.block_count
+    throughput = length / elapsed / 1e6 if elapsed > 0 else float("inf")
+    redundancy = service.cluster.stats().blocks - block_count
     print(f"code setting : {service.capabilities.name}")
     print(f"scheme       : {service.scheme.scheme_id}")
     print(f"backend      : {args.backend}")
@@ -692,14 +888,22 @@ def ingest_main(argv: List[str] | None = None) -> int:
         print(f"topology     : {service.topology.describe()}")
     if args.placement is not None:
         print(f"placement    : {service.cluster.placement.describe()}")
-    print(f"ingested     : {document.length} bytes in {document.block_count} blocks")
+    if args.workers > 1:
+        print(f"workers      : {args.workers} ({part_count} part documents)")
+    print(f"ingested     : {length} bytes in {block_count} blocks")
     print(f"redundancy   : {redundancy} blocks")
     print(f"elapsed      : {elapsed:.3f} s")
     print(f"throughput   : {throughput:.1f} MB/s")
     exit_code = 0
     if args.verify:
-        read_back = b"".join(service.get_stream("ingest"))
-        if len(read_back) != document.length:
+        if frontend is not None:
+            read_back = b"".join(
+                frontend.get(f"ingest/part-{index:05d}")
+                for index in range(part_count)
+            )
+        else:
+            read_back = b"".join(service.get_stream("ingest"))
+        if len(read_back) != length:
             print("verify       : FAILED (length mismatch)")
             exit_code = 1
         elif args.path == "-":
@@ -713,7 +917,10 @@ def ingest_main(argv: List[str] | None = None) -> int:
             else:
                 print("verify       : OK (byte-exact round trip)")
     if args.data_dir is not None:
-        service.close()
+        if frontend is not None:
+            frontend.close()
+        else:
+            service.close()
         print(f"persisted    : {args.data_dir} (reopen with the same --scheme/--backend)")
     return exit_code
 
@@ -834,6 +1041,7 @@ SUBCOMMANDS: Dict[str, Callable[[List[str]], int]] = {
     "repair": repair_main,
     "compare": compare_main,
     "simulate": simulate_main,
+    "load": load_main,
 }
 
 

@@ -63,3 +63,12 @@ class LatticeBoundsError(ReproError, IndexError):
 
 class IntegrityError(ReproError):
     """Raised when a block payload fails an integrity (checksum) verification."""
+
+
+class ServiceOverloadedError(ReproError):
+    """Raised when the concurrent front-end's admission queue is full.
+
+    Backpressure, not failure: the request was never started, so the caller
+    may retry once in-flight requests drain (see
+    :class:`~repro.system.frontend.ConcurrentStorageService`).
+    """

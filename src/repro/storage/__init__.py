@@ -16,8 +16,10 @@ Payload bytes live on pluggable, durable backends
 (one file per block) and ``"segment"`` (append-only segment log with
 compaction) for restartable archives.  ``repro.storage.backends.get(name,
 root=...)`` resolves a backend; :class:`BlockStore` and
-:class:`StorageCluster` accept the same specs.  See ``docs/persistence.md``
-for the on-disk layout and crash-recovery semantics.
+:class:`StorageCluster` accept the same specs.  Service *metadata* commits
+go through the group-committed write-ahead log of :mod:`repro.storage.wal`
+(:class:`MetadataWAL`).  See ``docs/persistence.md`` for the on-disk layout
+and crash-recovery semantics.
 """
 
 from repro.storage import backends
@@ -69,6 +71,13 @@ from repro.storage.topology import (
     iter_targets,
     parse_topology_spec,
 )
+from repro.storage.wal import (
+    MetadataWAL,
+    WalFrame,
+    WalGroup,
+    iter_frames,
+    scan_wal,
+)
 
 __all__ = [
     "BlockStore",
@@ -88,6 +97,7 @@ __all__ = [
     "MaintenanceBudget",
     "MaintenancePolicy",
     "MemoryBackend",
+    "MetadataWAL",
     "PAPER_DISASTER_SIZES",
     "PlacementPolicy",
     "RandomPlacement",
@@ -103,6 +113,8 @@ __all__ = [
     "Topology",
     "TopologyBuilder",
     "TopologyNode",
+    "WalFrame",
+    "WalGroup",
     "WeightedPlacement",
     "backends",
     "decode_block_id",
@@ -111,9 +123,11 @@ __all__ = [
     "disaster_series",
     "domain_balance",
     "encode_block_id",
+    "iter_frames",
     "iter_targets",
     "parse_topology_spec",
     "placement",
     "placement_balance",
+    "scan_wal",
     "topology",
 ]

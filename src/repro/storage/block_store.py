@@ -14,10 +14,17 @@ cache that keeps repeated reads on persistent backends close to memory speed.
 Opening a store over a persistent backend with pre-existing data rebuilds the
 block index (and restores the persisted counters), so a location survives a
 process restart with its content intact.
+
+Block operations are thread-safe: one lock per store guards the block
+index, the LRU cache (an ``OrderedDict`` whose re-linking is *not* atomic
+under concurrent mutation) and the read/write/hit/miss counters, so the
+concurrent front-end (:mod:`repro.system.frontend`) can drive reads during
+repair without corrupting the cache.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from typing import Dict, Iterable, Iterator, List, Optional, Tuple, Union
 
@@ -57,6 +64,9 @@ class BlockStore:
         self._cache: "OrderedDict[BlockId, Payload]" = OrderedDict()
         self._cache_hits = 0
         self._cache_misses = 0
+        # Guards the index, the cache and the counters (reentrant: put_many
+        # and wipe call helpers that also take it).
+        self._lock = threading.RLock()
         self._available = True
         # Index of stored blocks (id -> payload size): membership, capacity
         # and byte accounting without touching the backend medium.
@@ -126,11 +136,12 @@ class BlockStore:
 
     def wipe(self) -> None:
         """Simulate a destructive failure: content is lost, location stays down."""
-        self._backend.clear()
-        self._sizes.clear()
-        self._bytes = 0
-        self._cache.clear()
-        self._available = False
+        with self._lock:
+            self._backend.clear()
+            self._sizes.clear()
+            self._bytes = 0
+            self._cache.clear()
+            self._available = False
 
     # ------------------------------------------------------------------
     # Cache plumbing
@@ -164,23 +175,24 @@ class BlockStore:
             raise BlockUnavailableError(
                 f"location {self._location_id} is unavailable for writes"
             )
-        if (
-            self._capacity is not None
-            and block_id not in self._sizes
-            and len(self._sizes) >= self._capacity
-        ):
-            raise StorageFullError(
-                f"location {self._location_id} is full ({self._capacity} blocks)"
-            )
         payload = as_payload(payload)
-        self._backend.put(block_id, payload)
-        self._bytes += int(payload.size) - self._sizes.get(block_id, 0)
-        self._sizes[block_id] = int(payload.size)
-        # Write-through coherence: refresh a cached entry, never insert one
-        # (bulk ingest must not evict the hot read set).
-        if block_id in self._cache:
-            self._cache[block_id] = payload
-        self._writes += 1
+        with self._lock:
+            if (
+                self._capacity is not None
+                and block_id not in self._sizes
+                and len(self._sizes) >= self._capacity
+            ):
+                raise StorageFullError(
+                    f"location {self._location_id} is full ({self._capacity} blocks)"
+                )
+            self._backend.put(block_id, payload)
+            self._bytes += int(payload.size) - self._sizes.get(block_id, 0)
+            self._sizes[block_id] = int(payload.size)
+            # Write-through coherence: refresh a cached entry, never insert
+            # one (bulk ingest must not evict the hot read set).
+            if block_id in self._cache:
+                self._cache[block_id] = payload
+            self._writes += 1
 
     def put_many(self, items: Iterable[Tuple[BlockId, Payload]]) -> int:
         """Store a batch of blocks in one call, returning how many were stored.
@@ -204,20 +216,23 @@ class BlockStore:
             )
             for block_id, payload in items
         }
-        if self._capacity is not None:
-            new_blocks = sum(1 for block_id in staged if block_id not in self._sizes)
-            if len(self._sizes) + new_blocks > self._capacity:
-                raise StorageFullError(
-                    f"location {self._location_id} cannot absorb {new_blocks} new "
-                    f"blocks (capacity {self._capacity}, holding {len(self._sizes)})"
+        with self._lock:
+            if self._capacity is not None:
+                new_blocks = sum(
+                    1 for block_id in staged if block_id not in self._sizes
                 )
-        self._backend.put_many(staged.items())
-        for block_id, payload in staged.items():
-            self._bytes += int(payload.size) - self._sizes.get(block_id, 0)
-            self._sizes[block_id] = int(payload.size)
-            if block_id in self._cache:
-                self._cache[block_id] = payload
-        self._writes += len(staged)
+                if len(self._sizes) + new_blocks > self._capacity:
+                    raise StorageFullError(
+                        f"location {self._location_id} cannot absorb {new_blocks} new "
+                        f"blocks (capacity {self._capacity}, holding {len(self._sizes)})"
+                    )
+            self._backend.put_many(staged.items())
+            for block_id, payload in staged.items():
+                self._bytes += int(payload.size) - self._sizes.get(block_id, 0)
+                self._sizes[block_id] = int(payload.size)
+                if block_id in self._cache:
+                    self._cache[block_id] = payload
+            self._writes += len(staged)
         return len(staged)
 
     def get(self, block_id: BlockId) -> Payload:
@@ -225,19 +240,23 @@ class BlockStore:
             raise BlockUnavailableError(
                 f"location {self._location_id} is unavailable for reads"
             )
-        if block_id not in self._sizes:
-            raise UnknownBlockError(
-                f"block {block_id!r} is not stored at location {self._location_id}"
-            )
-        self._reads += 1
-        return self._cached_read(block_id)
+        with self._lock:
+            if block_id not in self._sizes:
+                raise UnknownBlockError(
+                    f"block {block_id!r} is not stored at location {self._location_id}"
+                )
+            self._reads += 1
+            return self._cached_read(block_id)
 
     def try_get(self, block_id: BlockId) -> Optional[Payload]:
         """Like :meth:`get` but returns ``None`` instead of raising."""
-        if not self._available or block_id not in self._sizes:
+        if not self._available:
             return None
-        self._reads += 1
-        return self._cached_read(block_id)
+        with self._lock:
+            if block_id not in self._sizes:
+                return None
+            self._reads += 1
+            return self._cached_read(block_id)
 
     def get_many(self, block_ids: Iterable[BlockId]) -> List[Payload]:
         """Read a batch of blocks with one availability check.
@@ -250,13 +269,15 @@ class BlockStore:
                 f"location {self._location_id} is unavailable for reads"
             )
         payloads: List[Payload] = []
-        for block_id in block_ids:
-            if block_id not in self._sizes:
-                raise UnknownBlockError(
-                    f"block {block_id!r} is not stored at location {self._location_id}"
-                )
-            payloads.append(self._cached_read(block_id))
-        self._reads += len(payloads)
+        with self._lock:
+            for block_id in block_ids:
+                if block_id not in self._sizes:
+                    raise UnknownBlockError(
+                        f"block {block_id!r} is not stored at location "
+                        f"{self._location_id}"
+                    )
+                payloads.append(self._cached_read(block_id))
+            self._reads += len(payloads)
         return payloads
 
     def try_get_many(self, block_ids: Iterable[BlockId]) -> List[Optional[Payload]]:
@@ -268,35 +289,38 @@ class BlockStore:
             return [None] * len(wanted)
         payloads: List[Optional[Payload]] = []
         hits = 0
-        if not self._cache_blocks:
-            # No read cache configured: serve straight from the backend at
-            # list-comprehension speed (the hot path of batched repair).
-            sizes = self._sizes
-            backend_get = self._backend.get
-            payloads = [
-                backend_get(block_id) if block_id in sizes else None
-                for block_id in wanted
-            ]
-            hits = sum(1 for payload in payloads if payload is not None)
+        with self._lock:
+            if not self._cache_blocks:
+                # No read cache configured: serve straight from the backend
+                # at list-comprehension speed (the hot path of batched
+                # repair; one lock acquisition for the whole batch).
+                sizes = self._sizes
+                backend_get = self._backend.get
+                payloads = [
+                    backend_get(block_id) if block_id in sizes else None
+                    for block_id in wanted
+                ]
+                hits = sum(1 for payload in payloads if payload is not None)
+                self._reads += hits
+                return payloads
+            for block_id in wanted:
+                if block_id in self._sizes:
+                    payloads.append(self._cached_read(block_id))
+                    hits += 1
+                else:
+                    payloads.append(None)
             self._reads += hits
-            return payloads
-        for block_id in wanted:
-            if block_id in self._sizes:
-                payloads.append(self._cached_read(block_id))
-                hits += 1
-            else:
-                payloads.append(None)
-        self._reads += hits
         return payloads
 
     def delete(self, block_id: BlockId) -> None:
-        if block_id not in self._sizes:
-            raise UnknownBlockError(
-                f"block {block_id!r} is not stored at location {self._location_id}"
-            )
-        self._backend.delete(block_id)
-        self._bytes -= self._sizes.pop(block_id)
-        self._cache.pop(block_id, None)
+        with self._lock:
+            if block_id not in self._sizes:
+                raise UnknownBlockError(
+                    f"block {block_id!r} is not stored at location {self._location_id}"
+                )
+            self._backend.delete(block_id)
+            self._bytes -= self._sizes.pop(block_id)
+            self._cache.pop(block_id, None)
 
     def contains(self, block_id: BlockId) -> bool:
         """True when the block is physically present (even if unavailable)."""
@@ -307,7 +331,8 @@ class BlockStore:
         return self._available and block_id in self._sizes
 
     def block_ids(self) -> Iterator[BlockId]:
-        return iter(list(self._sizes.keys()))
+        with self._lock:
+            return iter(list(self._sizes.keys()))
 
     # ------------------------------------------------------------------
     # Lifecycle

@@ -2,6 +2,10 @@
 
 * :mod:`repro.system.service` -- :class:`StorageService`, the
   put/get/delete/repair front-end over any redundancy scheme;
+* :mod:`repro.system.frontend` -- :class:`ConcurrentStorageService`, the
+  thread-pool multi-client request path with striped locks and backpressure;
+* :mod:`repro.system.loadgen` -- the closed-loop multi-client load generator
+  behind ``repro-experiments load`` and the service benchmark;
 * :mod:`repro.system.compare` -- the same workload and failure trace run
   across schemes, measured next to the analytic Table IV costs;
 * :mod:`repro.system.entangled_store` -- the AE-specific legacy shim;
@@ -17,6 +21,12 @@ from repro.system.compare import (
     compare_schemes,
     single_failure_reads_measured,
 )
+from repro.system.frontend import (
+    ConcurrentStorageService,
+    ReadWriteLock,
+    derive_stripe_count,
+)
+from repro.system.loadgen import LoadReport, run_load
 from repro.system.service import (
     DEFAULT_BATCH_BLOCKS,
     ServiceRepairReport,
@@ -49,14 +59,19 @@ __all__ = [
     "ArchiveEntry",
     "ArchiveStore",
     "BackupDocument",
+    "ConcurrentStorageService",
     "DEFAULT_BATCH_BLOCKS",
     "DEFAULT_COMPARE_SCHEMES",
+    "LoadReport",
+    "ReadWriteLock",
     "SchemeComparison",
     "ServiceRepairReport",
     "ServiceStatus",
     "StorageConfig",
     "StorageService",
     "compare_schemes",
+    "derive_stripe_count",
+    "run_load",
     "single_failure_reads_measured",
     "BackupNode",
     "BlockKey",

@@ -1,0 +1,363 @@
+"""Concurrent multi-client front-end over :class:`StorageService`.
+
+The paper pitches entanglement codes as infrastructure for open storage
+systems serving many writers; :class:`ConcurrentStorageService` is the
+reproduction's multi-client request path.  It wraps one
+:class:`~repro.system.service.StorageService` with:
+
+* a **thread-pool executor** -- every request runs on a worker thread, with
+  ``*_async`` variants returning :class:`concurrent.futures.Future` and the
+  plain methods blocking on the result;
+* a **bounded admission queue** -- at most ``queue_depth`` requests may be
+  admitted (queued or running) at once; past that, submission raises
+  :class:`~repro.exceptions.ServiceOverloadedError` *before* any work starts
+  (backpressure, so a slow medium cannot build an unbounded backlog);
+* **striped document locks** -- writers to the same document serialise on a
+  reader-writer lock picked by a deterministic hash of the name (the stripe
+  count derives from the scheme's repair-group width and the worker count),
+  so put/get/delete of one document are mutually consistent while traffic to
+  different stripes proceeds in parallel;
+* a **maintenance gate** -- mutations hold the gate's *read* side, while
+  :meth:`repair` / :meth:`fail_locations` / :meth:`restore_locations` take
+  the *write* side: maintenance sees a quiescent catalogue, but plain
+  ``get``/``get_stream`` never touch the gate and keep streaming during a
+  repair (reads-during-repair are safe end to end: the cluster relocates
+  blocks write-before-index, the block stores lock their caches, and the
+  service serialises scheme access).
+
+The lock hierarchy is admission -> maintenance gate -> stripe lock ->
+service state lock -> WAL group commit; every path acquires in that order,
+so the composition cannot deadlock.  See ``docs/architecture.md``.
+
+Underneath, concurrent mutators benefit from the metadata WAL's group
+commit (:mod:`repro.storage.wal`): their records are batched into one
+fsync.  The closed-loop benchmark ``benchmarks/bench_service_load.py``
+measures both effects.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from concurrent.futures import Future, ThreadPoolExecutor
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, TypeVar
+
+from repro.exceptions import InvalidParametersError, ServiceOverloadedError
+from repro.system.service import (
+    ServiceRepairReport,
+    ServiceStatus,
+    StorageConfig,
+    StorageService,
+    StoredDocument,
+)
+
+T = TypeVar("T")
+
+#: Default worker-thread count of the request executor.
+DEFAULT_WORKERS = 8
+
+#: Admitted requests per worker before submissions bounce (queue depth =
+#: workers * this factor unless given explicitly).
+DEFAULT_QUEUE_FACTOR = 4
+
+
+class ReadWriteLock:
+    """A writer-preferring reader-writer lock.
+
+    Any number of readers may hold the lock together; a writer holds it
+    alone.  Arriving writers block new readers (no writer starvation).
+    Not reentrant.
+    """
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._readers = 0
+        self._writer = False
+        self._writers_waiting = 0
+
+    def acquire_read(self) -> None:
+        with self._cond:
+            while self._writer or self._writers_waiting:
+                self._cond.wait()
+            self._readers += 1
+
+    def release_read(self) -> None:
+        with self._cond:
+            self._readers -= 1
+            if self._readers == 0:
+                self._cond.notify_all()
+
+    def acquire_write(self) -> None:
+        with self._cond:
+            self._writers_waiting += 1
+            try:
+                while self._writer or self._readers:
+                    self._cond.wait()
+            finally:
+                self._writers_waiting -= 1
+            self._writer = True
+
+    def release_write(self) -> None:
+        with self._cond:
+            self._writer = False
+            self._cond.notify_all()
+
+    class _ReadGuard:
+        def __init__(self, lock: "ReadWriteLock") -> None:
+            self._lock = lock
+
+        def __enter__(self) -> None:
+            self._lock.acquire_read()
+
+        def __exit__(self, *exc: object) -> None:
+            self._lock.release_read()
+
+    class _WriteGuard:
+        def __init__(self, lock: "ReadWriteLock") -> None:
+            self._lock = lock
+
+        def __enter__(self) -> None:
+            self._lock.acquire_write()
+
+        def __exit__(self, *exc: object) -> None:
+            self._lock.release_write()
+
+    def read_locked(self) -> "ReadWriteLock._ReadGuard":
+        return ReadWriteLock._ReadGuard(self)
+
+    def write_locked(self) -> "ReadWriteLock._WriteGuard":
+        return ReadWriteLock._WriteGuard(self)
+
+
+def derive_stripe_count(service: StorageService, workers: int) -> int:
+    """Lock stripes for a service: repair-group width x available parallelism.
+
+    The width comes from the scheme's parameters -- for entanglement the
+    ``s + p`` helical strand classes (the per-strand conflict groups), for
+    stripe codes ``k + m`` (one stripe's extent); the floor of twice the
+    worker count keeps collisions rare under uniform names.  Deterministic:
+    no clock or RNG involved (this module is on the RPR001 engine path).
+    """
+    params = getattr(service.scheme, "params", None)
+    width = 0
+    for attribute in ("s", "p", "k", "m"):
+        value = getattr(params, attribute, 0)
+        if isinstance(value, int) and value > 0:
+            width += value
+    return max(1, 2 * workers, width)
+
+
+class ConcurrentStorageService:
+    """Thread-pool request front-end with striped locking and backpressure.
+
+    Wraps an already-open :class:`StorageService` (or opens one through
+    :meth:`open`).  All public operations are thread-safe; the ``*_async``
+    variants return futures resolved on the worker pool.  Closing the
+    front-end drains in-flight requests, then closes the wrapped service.
+    """
+
+    def __init__(
+        self,
+        service: StorageService,
+        workers: int = DEFAULT_WORKERS,
+        queue_depth: Optional[int] = None,
+        stripes: Optional[int] = None,
+    ) -> None:
+        if workers < 1:
+            raise InvalidParametersError("workers must be at least 1")
+        if queue_depth is None:
+            queue_depth = workers * DEFAULT_QUEUE_FACTOR
+        if queue_depth < 1:
+            raise InvalidParametersError("queue_depth must be at least 1")
+        if stripes is None:
+            stripes = derive_stripe_count(service, workers)
+        if stripes < 1:
+            raise InvalidParametersError("stripes must be at least 1")
+        self._service = service
+        self._workers = workers
+        self._queue_depth = queue_depth
+        self._admission = threading.Semaphore(queue_depth)
+        self._pool = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="repro-frontend"
+        )
+        self._stripes: List[ReadWriteLock] = [ReadWriteLock() for _ in range(stripes)]
+        self._maintenance = ReadWriteLock()
+        self._closed = False
+
+    @classmethod
+    def open(
+        cls,
+        config: Optional[StorageConfig] = None,
+        *,
+        workers: int = DEFAULT_WORKERS,
+        queue_depth: Optional[int] = None,
+        stripes: Optional[int] = None,
+        **overrides: object,
+    ) -> "ConcurrentStorageService":
+        """Open the underlying service from a config and wrap it."""
+        service = StorageService.open(config, **overrides)
+        return cls(
+            service, workers=workers, queue_depth=queue_depth, stripes=stripes
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def service(self) -> StorageService:
+        """The wrapped single-threaded service."""
+        return self._service
+
+    @property
+    def workers(self) -> int:
+        return self._workers
+
+    @property
+    def queue_depth(self) -> int:
+        return self._queue_depth
+
+    @property
+    def stripe_count(self) -> int:
+        return len(self._stripes)
+
+    @property
+    def documents(self) -> Dict[str, StoredDocument]:
+        return self._service.documents
+
+    def status(self) -> ServiceStatus:
+        return self._service.status()
+
+    # ------------------------------------------------------------------
+    # Request plumbing
+    # ------------------------------------------------------------------
+    def _stripe_for(self, name: str) -> ReadWriteLock:
+        digest = hashlib.blake2b(name.encode("utf-8"), digest_size=4).digest()
+        return self._stripes[int.from_bytes(digest, "big") % len(self._stripes)]
+
+    def _submit(self, request: Callable[[], T]) -> "Future[T]":
+        if self._closed:
+            raise InvalidParametersError(
+                "this ConcurrentStorageService has been closed"
+            )
+        # Non-blocking admission: a full queue bounces the request *now*
+        # instead of queueing unbounded work behind a slow medium.
+        if not self._admission.acquire(blocking=False):
+            raise ServiceOverloadedError(
+                f"admission queue full ({self._queue_depth} requests in "
+                "flight); retry once responses drain"
+            )
+        try:
+            future = self._pool.submit(request)
+        except BaseException:  # noqa: B036,RPR004 - release the slot, then re-raise
+            self._admission.release()
+            raise
+        future.add_done_callback(lambda _done: self._admission.release())
+        return future
+
+    # ------------------------------------------------------------------
+    # Document operations
+    # ------------------------------------------------------------------
+    def put_async(self, name: str, data: bytes) -> "Future[StoredDocument]":
+        def request() -> StoredDocument:
+            with self._maintenance.read_locked():
+                with self._stripe_for(name).write_locked():
+                    return self._service.put(name, data)
+
+        return self._submit(request)
+
+    def put(self, name: str, data: bytes) -> StoredDocument:
+        return self.put_async(name, data).result()
+
+    def get_async(self, name: str) -> "Future[bytes]":
+        def request() -> bytes:
+            # No maintenance gate: reads proceed during repair.
+            with self._stripe_for(name).read_locked():
+                return self._service.get(name)
+
+        return self._submit(request)
+
+    def get(self, name: str) -> bytes:
+        return self.get_async(name).result()
+
+    def delete_async(self, name: str) -> "Future[List[object]]":
+        def request() -> List[object]:
+            with self._maintenance.read_locked():
+                with self._stripe_for(name).write_locked():
+                    return self._service.delete(name)
+
+        return self._submit(request)
+
+    def delete(self, name: str) -> List[object]:
+        return self.delete_async(name).result()
+
+    def get_stream(self, name: str) -> Iterator[bytes]:
+        """Stream a document, holding its stripe's read lock until exhausted.
+
+        Runs on the *calling* thread (a generator cannot usefully run on the
+        pool); concurrent writers to the same stripe wait until the stream
+        is consumed or closed, readers and other stripes proceed.
+        """
+        stripe = self._stripe_for(name)
+        stripe.acquire_read()
+        try:
+            inner = self._service.get_stream(name)
+        except BaseException:  # noqa: B036,RPR004 - release the stripe, then re-raise
+            stripe.release_read()
+            raise
+
+        def guarded() -> Iterator[bytes]:
+            try:
+                yield from inner
+            finally:
+                stripe.release_read()
+
+        return guarded()
+
+    def verify_document(self, name: str, expected: bytes) -> bool:
+        return self.get(name) == expected
+
+    # ------------------------------------------------------------------
+    # Maintenance (exclusive against mutations, never against reads)
+    # ------------------------------------------------------------------
+    def repair(self) -> ServiceRepairReport:
+        """Run a repair pass while mutations are quiesced; reads continue."""
+        with self._maintenance.write_locked():
+            return self._service.repair()
+
+    def fail_locations(self, location_ids: Iterable[int]) -> None:
+        with self._maintenance.write_locked():
+            self._service.fail_locations(location_ids)
+
+    def restore_locations(
+        self, location_ids: Optional[Iterable[int]] = None
+    ) -> None:
+        with self._maintenance.write_locked():
+            self._service.restore_locations(location_ids)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def flush(self) -> None:
+        """Drain nothing, but checkpoint metadata and flush block writes."""
+        with self._maintenance.write_locked():
+            self._service.flush()
+
+    def close(self) -> None:
+        """Drain in-flight requests, then close the wrapped service."""
+        if self._closed:
+            return
+        self._closed = True
+        self._pool.shutdown(wait=True)
+        self._service.close()
+
+    def __enter__(self) -> "ConcurrentStorageService":
+        return self
+
+    def __exit__(self, exc_type: object, exc_value: object, traceback: object) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ConcurrentStorageService(workers={self._workers}, "
+            f"queue_depth={self._queue_depth}, stripes={len(self._stripes)})"
+        )

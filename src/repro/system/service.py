@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import json
 import os
+import threading
 from dataclasses import dataclass, field, replace
 from typing import Dict, Iterable, Iterator, List, Optional, Union
 
@@ -37,6 +38,7 @@ from repro.storage.backends import decode_block_id, encode_block_id, write_json
 from repro.storage.cluster import StorageCluster
 from repro.storage.placement import PlacementPolicy
 from repro.storage.topology import Topology
+from repro.storage.wal import WAL_NAME, MetadataWAL, WalGroup
 
 #: Number of blocks encoded per batch by :meth:`StorageService.put_stream`.
 DEFAULT_BATCH_BLOCKS = 256
@@ -49,6 +51,10 @@ MANIFEST_NAME = "manifest.json"
 
 #: Manifest format version (bumped on incompatible layout changes).
 MANIFEST_FORMAT = 1
+
+#: WAL size (bytes) past which a mutation triggers a checkpoint that
+#: collapses the log back into ``manifest.json``.
+DEFAULT_WAL_CHECKPOINT_BYTES = 1 << 20
 
 
 def _encode_id_runs(data_ids: List[object]) -> List[object]:
@@ -155,6 +161,14 @@ class StorageConfig:
     contains a manifest *reopens* the stored service: placements, documents,
     the topology and the scheme's write position are restored (see
     ``docs/persistence.md`` and ``docs/topology.md``).
+
+    ``wal`` selects how a durable service persists metadata mutations:
+    ``True`` (the default) appends group-committed records to ``wal.log``
+    and checkpoints into ``manifest.json`` once the log passes
+    ``wal_checkpoint_bytes``; ``False`` restores the PR 4 behaviour of
+    rewriting the whole manifest after every mutation (kept as the
+    baseline the WAL is benchmarked against).  Both modes survive a crash
+    at any point; see ``docs/persistence.md``.
     """
 
     scheme: Union[str, RedundancyScheme] = schemes.DEFAULT_SCHEME
@@ -172,6 +186,8 @@ class StorageConfig:
     fsync: bool = False
     cache_blocks: Optional[int] = None
     topology: Optional[Union[str, int, Topology]] = None
+    wal: bool = True
+    wal_checkpoint_bytes: int = DEFAULT_WAL_CHECKPOINT_BYTES
 
     def resolve_scheme(self) -> RedundancyScheme:
         if isinstance(self.scheme, RedundancyScheme):
@@ -249,6 +265,8 @@ class StorageService:
         seed: int = 0,
         custom_placement: bool = False,
         placement_spec: Optional[str] = None,
+        wal: bool = True,
+        wal_checkpoint_bytes: int = DEFAULT_WAL_CHECKPOINT_BYTES,
     ) -> None:
         if batch_blocks < 1:
             raise ValueError("batch_blocks must be at least 1")
@@ -269,6 +287,16 @@ class StorageService:
         self._custom_placement = custom_placement
         self._placement_spec = placement_spec
         self._closed = False
+        # Scheme/catalogue mutations are serialised by one lock: entanglement
+        # is a single helical lattice with a monotonic write position, so
+        # encodes cannot proceed in parallel anyway -- concurrency lives in
+        # the block writes and the group-committed WAL, both outside it.
+        self._state_lock = threading.RLock()
+        self._checkpoint_lock = threading.Lock()
+        self._mutation_seq = 0
+        self._wal: Optional[MetadataWAL] = None
+        self._wal_enabled = wal
+        self._wal_checkpoint_bytes = int(wal_checkpoint_bytes)
 
     @classmethod
     def open(
@@ -403,7 +431,17 @@ class StorageService:
             seed=seed,
             custom_placement=custom_placement,
             placement_spec=placement_spec,
+            wal=config.wal,
+            wal_checkpoint_bytes=config.wal_checkpoint_bytes,
         )
+        wal_groups: List[WalGroup] = []
+        if config.data_dir is not None:
+            os.makedirs(config.data_dir, exist_ok=True)
+            service._wal = MetadataWAL(
+                os.path.join(config.data_dir, WAL_NAME), fsync=config.fsync
+            )
+            wal_groups = service._wal.recovered_groups()
+        scheme_state: Optional[Dict[str, object]] = None
         if manifest is not None:
             for name, entry in manifest.get("documents", {}).items():
                 service._documents[name] = StoredDocument(
@@ -411,11 +449,18 @@ class StorageService:
                     data_ids=_decode_id_runs(entry["data_ids"]),
                     length=int(entry["length"]),
                 )
-            scheme.restore_state(
-                manifest.get("scheme_state", {}), cluster.try_get_block
-            )
+            scheme_state = manifest.get("scheme_state", {})
+        if wal_groups:
+            # Reopen = last checkpoint + committed WAL tail (a crash may have
+            # happened any time after the last checkpoint; the log holds the
+            # mutations the manifest has not absorbed yet).
+            scheme_state = service._replay_wal(wal_groups, scheme_state)
+        if scheme_state is not None:
+            scheme.restore_state(scheme_state, cluster.try_get_block)
         if config.data_dir is not None:
-            service._sync_manifest()
+            # Collapse the replayed tail into a fresh checkpoint so the next
+            # crash window starts from an empty log.
+            service._checkpoint()
         return service
 
     # ------------------------------------------------------------------
@@ -487,6 +532,142 @@ class StorageService:
             os.path.join(self._data_dir, MANIFEST_NAME), manifest, fsync=self._fsync
         )
 
+    def _replay_wal(
+        self,
+        groups: List[WalGroup],
+        scheme_state: Optional[Dict[str, object]],
+    ) -> Optional[Dict[str, object]]:
+        """Apply the committed WAL tail on top of the manifest checkpoint.
+
+        Replay is idempotent (``put_doc`` overwrites, ``delete_doc`` pops if
+        present, the newest ``scheme_state`` wins), which is what makes the
+        crash window between "manifest written" and "WAL reset" safe: the
+        tail is simply applied again over the checkpoint that already
+        contains it.  Returns the scheme state to restore.
+        """
+        state = scheme_state
+        state_seq = -1
+        for group in groups:
+            for op in group.ops:
+                kind = op.get("op")
+                if kind == "put_doc":
+                    name = str(op["name"])
+                    self._documents[name] = StoredDocument(
+                        name=name,
+                        data_ids=_decode_id_runs(list(op["data_ids"])),  # type: ignore[arg-type]
+                        length=int(op["length"]),  # type: ignore[arg-type]
+                    )
+                elif kind == "delete_doc":
+                    self._documents.pop(str(op["name"]), None)
+                elif kind == "scheme_state":
+                    seq = int(op.get("seq", 0))  # type: ignore[arg-type]
+                    if seq >= state_seq:
+                        state = op.get("state", {})  # type: ignore[assignment]
+                        state_seq = seq
+                elif kind == "placement":
+                    self._check_wal_binding(op)
+                else:
+                    raise InvalidParametersError(
+                        f"unknown WAL record type {kind!r} in "
+                        f"{self._data_dir!r}; the log was written by an "
+                        "incompatible version or corrupted"
+                    )
+        return state
+
+    def _check_wal_binding(self, op: Dict[str, object]) -> None:
+        """Reject a WAL tail that was written by a different service."""
+        if "scheme" not in op:
+            return  # informational placement record (e.g. repair relocations)
+        stored_scheme = op.get("scheme")
+        stored_block_size = int(op.get("block_size", self._scheme.block_size))  # type: ignore[arg-type]
+        stored_backend = op.get("backend", self._cluster.backend_spec)
+        if (
+            stored_scheme != self._scheme.scheme_id
+            or stored_block_size != self._scheme.block_size
+            or stored_backend != self._cluster.backend_spec
+        ):
+            raise InvalidParametersError(
+                f"WAL in {self._data_dir!r} was written by a "
+                f"{stored_scheme!r} service (block size {stored_block_size}, "
+                f"backend {stored_backend!r}); it does not belong to this "
+                f"{self._scheme.scheme_id!r} service"
+            )
+
+    def _binding_record(self) -> Dict[str, object]:
+        """The header record opening every fresh WAL epoch."""
+        return {
+            "op": "placement",
+            "scheme": self._scheme.scheme_id,
+            "block_size": self._scheme.block_size,
+            "backend": self._cluster.backend_spec,
+            "location_count": self._cluster.location_count,
+            "seed": self._seed,
+            "custom_placement": self._custom_placement,
+        }
+
+    def _next_mutation(self) -> int:
+        """Monotonic mutation sequence (call with the state lock held)."""
+        self._mutation_seq += 1
+        return self._mutation_seq
+
+    def _document_ops(self, document: StoredDocument) -> List[Dict[str, object]]:
+        """WAL records of one put (call with the state lock held).
+
+        The scheme state is snapshotted in the same critical section as the
+        encode, so replaying the newest surviving snapshot always covers
+        every catalogued document's blocks.
+        """
+        seq = self._next_mutation()
+        return [
+            {
+                "op": "put_doc",
+                "name": document.name,
+                "data_ids": _encode_id_runs(document.data_ids),
+                "length": document.length,
+            },
+            {"op": "scheme_state", "state": self._scheme.state(), "seq": seq},
+        ]
+
+    def _commit_meta(self, ops: List[Dict[str, object]]) -> None:
+        """Durably record one mutation's metadata.
+
+        WAL mode appends one group-committed batch of records (concurrent
+        mutators share a single fsync); legacy mode (``wal=False``) rewrites
+        the whole manifest, PR 4 style.  Volatile services skip both.
+        """
+        if self._data_dir is None:
+            return
+        wal = self._wal
+        if not self._wal_enabled or wal is None:
+            with self._state_lock:
+                self._sync_manifest()
+            return
+        if wal.size_bytes == 0:
+            # Open the fresh epoch with the binding header; a duplicate from
+            # a racing mutator is harmless (replay just validates it twice).
+            ops = [self._binding_record()] + ops
+        wal.commit(ops)
+        if wal.size_bytes >= self._wal_checkpoint_bytes:
+            self._checkpoint()
+
+    def _checkpoint(self) -> None:
+        """Collapse the WAL into ``manifest.json`` and reset the log.
+
+        Runs under the state lock: every mutation that updated the catalogue
+        before the snapshot is inside the manifest, and none can slip in
+        between the snapshot and the reset.  A mutator that has already left
+        the critical section but not yet committed its records re-appends
+        them *after* the reset -- replay is idempotent, so re-applying them
+        over a checkpoint that already contains them is safe.
+        """
+        if self._data_dir is None:
+            return
+        with self._checkpoint_lock:
+            with self._state_lock:
+                self._sync_manifest()
+                if self._wal is not None:
+                    self._wal.reset()
+
     def _ensure_open(self) -> None:
         if self._closed:
             raise InvalidParametersError(
@@ -495,12 +676,16 @@ class StorageService:
             )
 
     def flush(self) -> None:
-        """Push buffered writes (block data and manifest) to the medium."""
+        """Push buffered writes to the medium and checkpoint the metadata.
+
+        After ``flush`` the manifest alone describes the full catalogue
+        (the WAL is empty), so external tooling may read it directly.
+        """
         self._cluster.flush()
-        self._sync_manifest()
+        self._checkpoint()
 
     def close(self) -> None:
-        """Persist the manifest and close every location's backend.
+        """Checkpoint the metadata and close every location's backend.
 
         After ``close`` the service must not be used; reopen it with
         ``StorageService.open(StorageConfig(scheme=..., backend=...,
@@ -508,7 +693,9 @@ class StorageService:
         """
         if self._closed:
             return
-        self._sync_manifest()
+        self._checkpoint()
+        if self._wal is not None:
+            self._wal.close()
         self._cluster.close()
         self._closed = True
 
@@ -548,7 +735,8 @@ class StorageService:
 
     @property
     def documents(self) -> Dict[str, StoredDocument]:
-        return dict(self._documents)
+        with self._state_lock:
+            return dict(self._documents)
 
     def status(self) -> ServiceStatus:
         stats = self._cluster.stats()
@@ -579,15 +767,27 @@ class StorageService:
         fully stored.
         """
         self._ensure_open()
-        part = self._scheme.encode(data)
-        self._cluster.put_many(part.blocks)
-        document = StoredDocument(name=name, data_ids=part.data_ids, length=len(data))
-        previous = self._documents.get(name)
-        self._documents[name] = document
+        with self._state_lock:
+            # Encode *and* block write share the critical section: the
+            # lattice has one monotonic write position, and any scheme-state
+            # snapshot (WAL record or checkpoint) taken under this lock must
+            # only ever cover encodes whose blocks are already on the medium
+            # -- restore refetches the strand heads from storage.
+            part = self._scheme.encode(data)
+            self._cluster.put_many(part.blocks)
+            document = StoredDocument(
+                name=name, data_ids=part.data_ids, length=len(data)
+            )
+            previous = self._documents.get(name)
+            self._documents[name] = document
+            ops = self._document_ops(document)
+        # The metadata commit runs outside the lock: that is where
+        # concurrent mutators pile up and the WAL batches their fsyncs
+        # into one group commit.
+        self._commit_meta(ops)
         # Catalogue the new version before deleting the old one: a crash in
         # between leaks the old version's blocks as orphans, but never loses
         # a committed document.
-        self._sync_manifest()
         self._reclaim(previous)
         return document
 
@@ -624,16 +824,19 @@ class StorageService:
                 del buffer[:batch_bytes]
         if buffer:
             self._ingest_batch(buffer, data_ids)
-        document = StoredDocument(name=name, data_ids=data_ids, length=length)
-        previous = self._documents.get(name)
-        self._documents[name] = document
-        self._sync_manifest()
+        with self._state_lock:
+            document = StoredDocument(name=name, data_ids=data_ids, length=length)
+            previous = self._documents.get(name)
+            self._documents[name] = document
+            ops = self._document_ops(document)
+        self._commit_meta(ops)
         self._reclaim(previous)
         return document
 
     def _ingest_batch(self, payload: bytearray, data_ids: List[object]) -> None:
-        part = self._scheme.encode(payload)
-        self._cluster.put_many(part.blocks)
+        with self._state_lock:
+            part = self._scheme.encode(payload)
+            self._cluster.put_many(part.blocks)
         data_ids.extend(part.data_ids)
 
     # ------------------------------------------------------------------
@@ -642,7 +845,8 @@ class StorageService:
     def get_block(self, block_id: object) -> Payload:
         """Read one block, repairing it through the scheme when unreachable."""
         self._ensure_open()
-        return self._scheme.read_block(block_id, self._cluster.try_get_block)
+        with self._state_lock:
+            return self._scheme.read_block(block_id, self._cluster.try_get_block)
 
     def _read_payloads(self, data_ids: List[object]) -> List[Payload]:
         """Bulk-read payloads, repairing unreachable blocks in one batch.
@@ -664,16 +868,23 @@ class StorageService:
             if payload is None
         ]
         if missing:
-            outcome = self._scheme.repair(set(missing), self._cluster.block_source())
-            for position, payload in enumerate(payloads):
-                if payload is None:
-                    payloads[position] = outcome.recovered.get(data_ids[position])
-        return [
-            payload
-            if payload is not None
-            else self._scheme.read_block(data_id, self._cluster.try_get_block)
-            for data_id, payload in zip(data_ids, payloads)
-        ]
+            # Degraded reads walk the scheme's lattice/stripe structures, so
+            # they serialise against concurrent encodes; healthy reads (the
+            # branch above) never touch the scheme and stay lock-free.
+            with self._state_lock:
+                outcome = self._scheme.repair(
+                    set(missing), self._cluster.block_source()
+                )
+                for position, payload in enumerate(payloads):
+                    if payload is None:
+                        payloads[position] = outcome.recovered.get(data_ids[position])
+                return [
+                    payload
+                    if payload is not None
+                    else self._scheme.read_block(data_id, self._cluster.try_get_block)
+                    for data_id, payload in zip(data_ids, payloads)
+                ]
+        return payloads
 
     def get(self, name: str) -> bytes:
         """Read a full document back, repairing blocks as needed."""
@@ -730,19 +941,25 @@ class StorageService:
         protecting their lattice neighbourhood.
         """
         self._ensure_open()
-        document = self._document(name)
-        del self._documents[name]
+        with self._state_lock:
+            document = self._document(name)
+            del self._documents[name]
+            seq = self._next_mutation()
+            ops: List[Dict[str, object]] = [
+                {"op": "delete_doc", "name": name, "seq": seq}
+            ]
         # Uncatalogue first, reclaim second (the mirror of put's ordering):
         # a crash mid-delete leaves orphan blocks, never a catalogued
         # document whose payloads are already gone.
-        self._sync_manifest()
+        self._commit_meta(ops)
         if not self._scheme.capabilities().erasable:
             return []
         removed: List[object] = []
-        for block_id in self._scheme.document_blocks(document.data_ids):
-            if self._cluster.knows(block_id):
-                self._cluster.delete_block(block_id)
-                removed.append(block_id)
+        with self._state_lock:
+            for block_id in self._scheme.document_blocks(document.data_ids):
+                if self._cluster.knows(block_id):
+                    self._cluster.delete_block(block_id)
+                    removed.append(block_id)
         return removed
 
     # ------------------------------------------------------------------
@@ -762,10 +979,18 @@ class StorageService:
         resurrect stale replicas as the only copy.
         """
         self._ensure_open()
-        missing = self._cluster.unavailable_blocks()
-        outcome = self._scheme.repair(missing, self._cluster.block_source())
-        avoid = tuple(self._cluster.unavailable_locations())
-        self._cluster.relocate_many(outcome.recovered.items(), avoid=avoid)
+        with self._state_lock:
+            missing = self._cluster.unavailable_blocks()
+            outcome = self._scheme.repair(missing, self._cluster.block_source())
+            avoid = tuple(self._cluster.unavailable_locations())
+            self._cluster.relocate_many(outcome.recovered.items(), avoid=avoid)
+        if outcome.recovered:
+            # An informational WAL record: repair moved blocks, giving the
+            # log a durability point (the directory itself is rebuilt from
+            # backend scans on reopen, so replay ignores the content).
+            self._commit_meta(
+                [{"op": "placement", "relocated": len(outcome.recovered)}]
+            )
         return ServiceRepairReport(
             scheme=self._scheme.scheme_id,
             repaired=sorted(

@@ -247,3 +247,73 @@ def test_memory_backend_defaults_to_no_cache():
     store.get(DataId(1))
     store.get(DataId(1))
     assert (store.cache_hits, store.cache_misses) == (0, 0)
+
+
+class TestConcurrentAccess:
+    """Hammer the store from many threads: the LRU cache's OrderedDict
+    re-linking and the hit/miss/read/write counters must stay coherent
+    under concurrent mutation (the concurrent front-end drives exactly
+    this access pattern during reads-under-repair)."""
+
+    THREADS = 8
+    OPS_PER_THREAD = 2000
+    BLOCKS = 128
+
+    def test_cache_and_counters_survive_hammering(self):
+        import random
+        import threading
+
+        # A small cache over the memory backend forces constant eviction
+        # and re-linking -- the racy part of an unlocked OrderedDict.
+        store = BlockStore(0, backend="memory", cache_blocks=16)
+        for number in range(self.BLOCKS):
+            store.put(DataId(number), bytes([number % 251]) * 8)
+
+        errors: list = []
+        barrier = threading.Barrier(self.THREADS)
+
+        def worker(index: int) -> None:
+            rng = random.Random(1000 + index)
+            # Each thread is the sole writer of its own block slice, so the
+            # final payloads are deterministic; reads roam the whole range.
+            own = range(index, self.BLOCKS, self.THREADS)
+            try:
+                barrier.wait()
+                for _ in range(self.OPS_PER_THREAD):
+                    roll = rng.random()
+                    if roll < 0.25:
+                        victim = rng.choice(list(own))
+                        store.put(DataId(victim), bytes([index]) * 8)
+                    elif roll < 0.35:
+                        store.try_get_many(
+                            [DataId(rng.randrange(self.BLOCKS)) for _ in range(4)]
+                        )
+                    else:
+                        store.get(DataId(rng.randrange(self.BLOCKS)))
+            except Exception as exc:  # noqa: RPR004 - hammer thread collects any failure
+                errors.append(exc)  # pragma: no cover - failure path
+
+        threads = [
+            threading.Thread(target=worker, args=(index,))
+            for index in range(self.THREADS)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        assert errors == []
+        # No blocks lost or duplicated, byte accounting intact.
+        assert store.block_count == self.BLOCKS
+        assert store.bytes_stored == self.BLOCKS * 8
+        # Cache coherence: every read returns the last write of the block's
+        # sole writer (either the seed payload or that thread's stamp).
+        for number in range(self.BLOCKS):
+            writer = number % self.THREADS
+            got = bytes(store.get(DataId(number)).tobytes())
+            assert got in (bytes([number % 251]) * 8, bytes([writer]) * 8)
+            assert len(got) == 8
+        # Counter sanity: every completed get/try_get_many hit advanced the
+        # read counter; hits + misses never exceeds reads.
+        assert store.read_count >= self.THREADS * self.OPS_PER_THREAD * 0.5
+        assert store.cache_hits + store.cache_misses <= store.read_count

@@ -316,3 +316,104 @@ class TestSimulateSubcommand:
     def test_simulate_listed(self, capsys):
         assert main(["--list"]) == 0
         assert "simulate" in capsys.readouterr().out
+
+
+class TestIngestWorkers:
+    def test_parallel_ingest_with_verify(self, tmp_path, capsys):
+        source = tmp_path / "input.bin"
+        source.write_bytes(bytes(range(256)) * 400)
+        assert (
+            main(
+                [
+                    "ingest",
+                    str(source),
+                    "--workers",
+                    "3",
+                    "--block-size",
+                    "512",
+                    "--chunk-size",
+                    "16384",
+                    "--verify",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "workers      : 3" in out
+        assert "part documents" in out
+        assert "verify       : OK (byte-exact round trip)" in out
+
+    def test_workers_must_be_positive(self, tmp_path):
+        source = tmp_path / "input.bin"
+        source.write_bytes(b"x")
+        with pytest.raises(SystemExit) as excinfo:
+            main(["ingest", str(source), "--workers", "0"])
+        assert excinfo.value.code == 2
+
+
+class TestLoadSubcommand:
+    def test_bounded_ops_run(self, capsys):
+        assert (
+            main(
+                [
+                    "load",
+                    "--clients",
+                    "2",
+                    "--ops",
+                    "10",
+                    "--payload-bytes",
+                    "256",
+                    "--documents",
+                    "8",
+                    "--block-size",
+                    "256",
+                    "--locations",
+                    "12",
+                    "--seed",
+                    "5",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "front-end    :" in out
+        assert "ops/s" in out
+        assert "p50" in out and "p99" in out
+        assert "operations   : 20" in out
+
+    def test_persistent_backend_run(self, tmp_path, capsys):
+        assert (
+            main(
+                [
+                    "load",
+                    "--clients",
+                    "2",
+                    "--ops",
+                    "5",
+                    "--payload-bytes",
+                    "128",
+                    "--documents",
+                    "4",
+                    "--block-size",
+                    "128",
+                    "--locations",
+                    "10",
+                    "--backend",
+                    "disk",
+                    "--data-dir",
+                    str(tmp_path / "store"),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "persisted    :" in out
+
+    def test_ops_and_duration_conflict(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["load", "--ops", "5", "--duration", "1"])
+        assert excinfo.value.code == 2
+
+    def test_load_listed(self, capsys):
+        assert main(["--list"]) == 0
+        assert "load" in capsys.readouterr().out.split()

@@ -13,6 +13,7 @@ from __future__ import annotations
 import json
 import os
 import random
+import shutil
 
 import pytest
 
@@ -105,13 +106,30 @@ class TestServiceReopen:
 
 @pytest.mark.parametrize("backend", BACKENDS)
 class TestManifest:
-    def test_manifest_written_after_every_put(self, backend, tmp_path):
+    def test_put_is_durable_before_close(self, backend, tmp_path):
+        # No close()/flush() yet: the mutation must already be committed to
+        # the WAL, so a copy of the directory (= a crash image) reopens with
+        # the document catalogued and byte-exact.
+        payload = workload(size=4_000)
+        service = StorageService.open(config("rs-10-4", backend, tmp_path))
+        service.put("doc", payload)
+        crash_dir = tmp_path.parent / f"{tmp_path.name}-crash-image"
+        shutil.copytree(tmp_path, crash_dir)
+        service.close()
+        reopened = StorageService.open(config("rs-10-4", backend, crash_dir))
+        assert reopened.get("doc") == payload
+        reopened.close()
+
+    def test_flush_collapses_wal_into_manifest(self, backend, tmp_path):
+        # After flush() the manifest alone describes the catalogue (the WAL
+        # is empty), so external tooling may read it directly.
         service = StorageService.open(config("rs-10-4", backend, tmp_path))
         service.put("doc", workload(size=4_000))
-        # No close() yet: the catalogue must already be on disk.
+        service.flush()
         manifest = json.loads((tmp_path / "manifest.json").read_text())
         assert manifest["scheme"] == "rs-10-4"
         assert "doc" in manifest["documents"]
+        assert (tmp_path / "wal.log").stat().st_size == 0
         service.close()
 
     def test_delete_updates_manifest(self, backend, tmp_path):
@@ -252,6 +270,7 @@ class TestManifest:
         service = StorageService.open(config("rs-10-4", backend, tmp_path))
         service.put("doc", workload(size=40_000))  # ~79 data blocks
         document = service.documents["doc"]
+        service.flush()  # checkpoint the WAL so the manifest holds the doc
         manifest = json.loads((tmp_path / "manifest.json").read_text())
         entries = manifest["documents"]["doc"]["data_ids"]
         # Run-length encoding keeps the catalogue O(stripes), not O(blocks).

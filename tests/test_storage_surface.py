@@ -40,6 +40,7 @@ class TestStorageImportSurface:
         import repro.storage.repair
         import repro.storage.scrub
         import repro.storage.topology
+        import repro.storage.wal
 
         submodules = [
             repro.storage.backends,
@@ -51,6 +52,7 @@ class TestStorageImportSurface:
             repro.storage.repair,
             repro.storage.scrub,
             repro.storage.topology,
+            repro.storage.wal,
         ]
         #: Registry submodules exported as modules: their registry entry
         #: points (get/register/available and policy/backend factories) stay

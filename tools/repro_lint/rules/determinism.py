@@ -20,6 +20,7 @@ ENGINE_PATHS = (
     "repro/simulation/",
     "repro/storage/failures.py",
     "repro/system/compare.py",
+    "repro/system/frontend.py",
 )
 
 #: Dotted calls that read the wall clock or process entropy.
