@@ -1,0 +1,228 @@
+"""Sharded-namespace acceptance benchmarks for the federation front-end.
+
+Two gates, recorded into ``BENCH_shard.json`` (docs/benchmarks.md):
+
+* ``test_sharding_scales_commit_throughput`` -- the closed-loop loadgen
+  (8 clients, zero think time) against a disk-backed, fsync'd federation
+  at 4 shards versus 1, same client fleet on both sides.  Each shard is
+  an independent ``StorageService`` with its own state lock, metadata WAL
+  and backend root, so commits routed to different shards overlap; the
+  single shard serializes every commit -- including its GIL-releasing
+  ``fsync`` waits -- behind one lock.  The floor is hardware-aware: on a
+  host with >= 4 CPUs the shards genuinely run in parallel and the run
+  must show >= 2x ops/sec; on a single-CPU host the GIL serializes all
+  Python and the filesystem journal serializes most of each fsync, so
+  only a no-regression floor (0.9x) is enforceable -- sharding must not
+  *cost* throughput.  The CPU count is recorded in the snapshot, making
+  the committed baseline self-describing.
+* ``test_join_rebalance_moves_the_minimum`` -- growing a 4-shard
+  federation by one shard must re-home a non-zero fraction of documents
+  bounded by ``1.5/(M+1)`` (consistent hashing's minimal-movement
+  property, vnode variance allowed for), every move must target the new
+  shard, and every document must read back byte-exact afterwards.  The
+  moved fraction is recorded as an informational metric: it gates in
+  neither direction (lower is not better -- zero movement would mean the
+  ring ignored the join).
+
+``REPRO_BENCH_SMOKE=1`` shrinks the workloads and relaxes the in-test
+floors for CI smoke runs; the regression gate proper is the BENCH
+snapshot compare (``perf_record.py``).
+
+Run with::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_sharded_load.py -q -s \
+        --benchmark-disable
+"""
+
+from __future__ import annotations
+
+import os
+
+from perf_record import record_entry
+
+from repro.system.loadgen import run_load
+from repro.system.service import StorageConfig
+from repro.system.sharding import ShardedStorageService
+
+_SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
+
+SCHEME = "ae-3-2-5"
+SEED = 7
+BLOCK_SIZE = 512
+CLIENTS = 8
+SHARDS = 4
+
+#: Closed-loop scaling run (disk backend, fsync on, zero think time).
+#: Put-only mix: commits are the path the single shard serializes (the
+#: "one metadata WAL" bottleneck); cached gets would only dilute the
+#: signal with GIL-bound work that cannot scale anywhere.
+LOAD_OPS_PER_CLIENT = 8 if _SMOKE else 40
+LOAD_PAYLOAD = 1024
+LOAD_DOCUMENTS = 32
+LOAD_MIX = (1.0, 0.0, 0.0)
+#: Best-of-K per configuration: container IO throughput fluctuates ~2x
+#: run to run, so a single closed-loop pass cannot anchor a ratio.
+LOAD_REPS = 1 if _SMOKE else 3
+
+#: Join-rebalance run (memory backend).
+JOIN_DOCUMENTS = 48 if _SMOKE else 160
+JOIN_PAYLOAD = 640
+
+
+def _cpus() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux fallback
+        return os.cpu_count() or 1
+
+
+def _scaling_floor(cpus: int) -> float:
+    """The speedup this host can honestly sustain (see module docstring).
+
+    With >= 4 CPUs the four shards commit in true parallel and 2x is the
+    acceptance floor.  With one CPU the GIL serializes all Python work
+    and the filesystem journal serializes the fsyncs, so measured
+    scaling hovers at 1.0-1.3x amid ~2x container-IO noise; the only
+    robust assertion is that sharding does not cost throughput (0.9x
+    noise allowance).  Smoke runs use tiny workloads and relax each
+    floor further.
+    """
+    if _SMOKE:
+        return 0.8 if cpus < 4 else 1.2
+    if cpus >= 4:
+        return 2.0
+    if cpus >= 2:
+        return 1.2
+    return 0.9
+
+
+def _run_federation(shards: int, data_dir: str):
+    federation = ShardedStorageService.open(
+        StorageConfig(
+            scheme=SCHEME,
+            location_count=16,
+            block_size=BLOCK_SIZE,
+            seed=SEED,
+            backend="disk",
+            data_dir=data_dir,
+            fsync=True,
+            shards=shards if shards > 1 else None,
+        ),
+        workers=CLIENTS,
+    )
+    try:
+        return run_load(
+            federation,
+            clients=CLIENTS,
+            ops_per_client=LOAD_OPS_PER_CLIENT,
+            payload_bytes=LOAD_PAYLOAD,
+            documents=LOAD_DOCUMENTS,
+            think_seconds=0.0,
+            seed=SEED,
+            mix=LOAD_MIX,
+        )
+    finally:
+        federation.close()
+
+
+def _best_run(shards: int, root: str):
+    """Best of ``LOAD_REPS`` closed-loop passes (fresh data dir each)."""
+    runs = [
+        _run_federation(shards, os.path.join(root, f"rep{number}"))
+        for number in range(LOAD_REPS)
+    ]
+    return max(runs, key=lambda report: report.ops_per_sec)
+
+
+def test_sharding_scales_commit_throughput(tmp_path, print_tables):
+    """Acceptance gate: sharded ops/sec floor, 4 shards vs 1 (disk, fsync)."""
+    single = _best_run(1, str(tmp_path / "m1"))
+    sharded = _best_run(SHARDS, str(tmp_path / "m4"))
+    speedup = sharded.ops_per_sec / single.ops_per_sec
+    cpus = _cpus()
+    if print_tables:
+        print()
+        print(f"closed loop, {CLIENTS} clients, zero think, best of "
+              f"{LOAD_REPS} [{SCHEME}, disk, fsync, {cpus} cpu(s)]:")
+        print(f"  1 shard : {single.summary()}")
+        print(f"  {SHARDS} shards: {sharded.summary()}")
+        print(f"  scaling : {speedup:.1f}x")
+    record_entry(
+        "shard",
+        f"{SCHEME}/federation-scaling@{SHARDS}shards",
+        scheme=SCHEME,
+        block_size=BLOCK_SIZE,
+        seed=SEED,
+        metrics={
+            "ops_per_sec": sharded.ops_per_sec,
+            "ops_per_sec_single_shard": single.ops_per_sec,
+            "speedup": speedup,
+            "cpus": float(cpus),
+        },
+        gates=["speedup"],
+    )
+    floor = _scaling_floor(cpus)
+    assert speedup >= floor, (
+        f"{SHARDS} shards only {speedup:.2f}x one shard "
+        f"(floor {floor}x on {cpus} cpu(s)); per-shard commits are not "
+        f"overlapping"
+    )
+    assert sharded.overloads == 0, (
+        "the per-shard queue depth must absorb the client fleet"
+    )
+
+
+def test_join_rebalance_moves_the_minimum(print_tables):
+    """Acceptance gate: a join re-homes 0 < fraction <= 1.5/(M+1), byte-exact."""
+    federation = ShardedStorageService.open(
+        StorageConfig(
+            scheme=SCHEME,
+            location_count=16,
+            block_size=BLOCK_SIZE,
+            seed=SEED,
+            shards=SHARDS,
+        )
+    )
+    try:
+        payloads = {
+            f"doc-{number:04d}": bytes(
+                (number + offset) % 251 for offset in range(JOIN_PAYLOAD)
+            )
+            for number in range(JOIN_DOCUMENTS)
+        }
+        for name, payload in payloads.items():
+            federation.put(name, payload)
+        report = federation.add_shard()
+        bound = 1.5 / (SHARDS + 1)
+        if print_tables:
+            print()
+            print(f"join {SHARDS} -> {SHARDS + 1} shards over "
+                  f"{JOIN_DOCUMENTS} documents [{SCHEME}, memory]:")
+            print(f"  {report.summary()}")
+            print(f"  moved fraction: {report.moved_fraction:.3f} "
+                  f"(bound {bound:.3f})")
+        record_entry(
+            "shard",
+            f"{SCHEME}/join-rebalance@{SHARDS}+1shards",
+            scheme=SCHEME,
+            block_size=BLOCK_SIZE,
+            seed=SEED,
+            metrics={
+                "moved_fraction": report.moved_fraction,
+                "moved_documents": float(report.moved_documents),
+                "movement_bound": bound,
+            },
+            gates=[],
+        )
+        assert 0 < report.moved_fraction <= bound, (
+            f"join moved {report.moved_fraction:.3f} of documents "
+            f"(bound {bound:.3f})"
+        )
+        new_shard = max(federation.shard_ids)
+        assert all(dst == new_shard for _src, dst in report.moves.values()), (
+            "a join must only move documents onto the new shard"
+        )
+        for name, payload in payloads.items():
+            assert federation.get(name) == payload
+    finally:
+        federation.close()

@@ -90,6 +90,8 @@ The higher layers are re-exported or imported from their subpackages:
 ``StorageService`` / ``StorageConfig`` (the scheme-agnostic front-end, from
 ``repro.system.service``), ``ConcurrentStorageService`` (the thread-pool
 multi-client request path, from ``repro.system.frontend``),
+``ShardedStorageService`` / ``ShardRing`` (the consistent-hash federation of
+many services, from ``repro.system.sharding``),
 ``RedundancyScheme`` / ``get_scheme`` (the
 pluggable redundancy protocol and registry, from ``repro.schemes``),
 ``repro.system.entangled_store.EntangledStorageSystem`` (the AE-specific
@@ -133,6 +135,7 @@ from repro.schemes import RedundancyScheme, SchemeCapabilities
 from repro.schemes import get as get_scheme
 from repro.system.frontend import ConcurrentStorageService
 from repro.system.service import StorageConfig, StorageService
+from repro.system.sharding import ShardRing, ShardedStorageService
 
 __version__ = "1.2.0"
 
@@ -164,6 +167,8 @@ __all__ = [
     "ReproError",
     "SchemeCapabilities",
     "ServiceOverloadedError",
+    "ShardRing",
+    "ShardedStorageService",
     "StorageConfig",
     "StorageFullError",
     "StorageService",

@@ -268,6 +268,27 @@ def _add_backend_arguments(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_shards_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        metavar="M",
+        help=(
+            "shard the document namespace across M independent services "
+            "joined by a consistent-hash ring (default 1: a single service; "
+            "see docs/sharding.md)"
+        ),
+    )
+
+
+def _validate_shards_argument(
+    parser: argparse.ArgumentParser, args: argparse.Namespace
+) -> None:
+    if args.shards < 1:
+        parser.error("--shards must be at least 1")
+
+
 def _validate_backend_arguments(
     parser: argparse.ArgumentParser, args: argparse.Namespace
 ) -> None:
@@ -388,6 +409,7 @@ def build_ingest_parser() -> argparse.ArgumentParser:
             "document pushed through the thread-pool front-end"
         ),
     )
+    _add_shards_argument(parser)
     _add_backend_arguments(parser)
     _add_topology_arguments(parser)
     return parser
@@ -421,6 +443,7 @@ def build_repair_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument("--seed", type=int, default=7, help="workload seed (default 7)")
+    _add_shards_argument(parser)
     _add_backend_arguments(parser)
     _add_topology_arguments(parser)
     return parser
@@ -474,6 +497,7 @@ def build_compare_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="tiny fast configuration for CI (60 blocks of 512 bytes, 30 locations)",
     )
+    _add_shards_argument(parser)
     _add_backend_arguments(parser)
     _add_topology_arguments(parser)
     return parser
@@ -629,6 +653,7 @@ def build_load_parser() -> argparse.ArgumentParser:
         help="admission queue bound (default: workers x 4); overflow bounces",
     )
     parser.add_argument("--seed", type=int, default=0, help="workload seed (default 0)")
+    _add_shards_argument(parser)
     _add_backend_arguments(parser)
     _add_topology_arguments(parser)
     return parser
@@ -649,25 +674,33 @@ def load_main(argv: List[str] | None = None) -> int:
         parser.error("pass --ops or --duration, not both")
     if args.ops is None and args.duration is None:
         args.duration = 5.0
+    _validate_shards_argument(parser, args)
     _validate_backend_arguments(parser, args)
     topology = _resolve_topology_argument(parser, args)
     workers = args.workers if args.workers is not None else args.clients
+    config = StorageConfig(
+        scheme=args.scheme,
+        location_count=None if topology is not None else args.locations,
+        block_size=args.block_size,
+        seed=args.seed,
+        backend=args.backend,
+        data_dir=args.data_dir,
+        fsync=args.fsync,
+        topology=topology,
+        placement=args.placement,
+        shards=args.shards if args.shards > 1 else None,
+    )
     try:
-        frontend = ConcurrentStorageService.open(
-            StorageConfig(
-                scheme=args.scheme,
-                location_count=None if topology is not None else args.locations,
-                block_size=args.block_size,
-                seed=args.seed,
-                backend=args.backend,
-                data_dir=args.data_dir,
-                fsync=args.fsync,
-                topology=topology,
-                placement=args.placement,
-            ),
-            workers=workers,
-            queue_depth=args.queue_depth,
-        )
+        if args.shards > 1:
+            from repro.system.sharding import ShardedStorageService
+
+            frontend = ShardedStorageService.open(
+                config, workers=workers, queue_depth=args.queue_depth
+            )
+        else:
+            frontend = ConcurrentStorageService.open(
+                config, workers=workers, queue_depth=args.queue_depth
+            )
     except (ReproError, ValueError) as exc:
         parser.error(str(exc))
     try:
@@ -683,14 +716,20 @@ def load_main(argv: List[str] | None = None) -> int:
         )
     except (ReproError, ValueError) as exc:
         parser.error(str(exc))
-    print(f"scheme       : {frontend.service.scheme.scheme_id}")
+    print(f"scheme       : {frontend.scheme_id if args.shards > 1 else frontend.service.scheme.scheme_id}")
     print(f"backend      : {args.backend}")
-    if args.topology is not None:
+    if args.topology is not None and args.shards == 1:
         print(f"topology     : {frontend.service.topology.describe()}")
-    print(
-        f"front-end    : {workers} workers, queue depth "
-        f"{frontend.queue_depth}, {frontend.stripe_count} lock stripes"
-    )
+    if args.shards > 1:
+        print(
+            f"front-end    : {args.shards} shards x {workers} workers "
+            f"(consistent-hash ring, {frontend.ring.vnodes} vnodes/shard)"
+        )
+    else:
+        print(
+            f"front-end    : {workers} workers, queue depth "
+            f"{frontend.queue_depth}, {frontend.stripe_count} lock stripes"
+        )
     print(
         f"workload     : {report.clients} clients, {args.payload_bytes} B "
         f"payloads over {args.documents} names, think {args.think_ms:.1f} ms"
@@ -827,6 +866,7 @@ def ingest_main(argv: List[str] | None = None) -> int:
         parser.error("--chunk-size must be at least 1 byte")
     if args.workers < 1:
         parser.error("--workers must be at least 1")
+    _validate_shards_argument(parser, args)
     _validate_backend_arguments(parser, args)
     topology = _resolve_topology_argument(parser, args)
     frontend = None
@@ -834,36 +874,44 @@ def ingest_main(argv: List[str] | None = None) -> int:
         scheme_id = args.scheme
         if args.spec is not None:
             scheme_id = ae_scheme_id(_AEParameters.parse(args.spec))
-        service = StorageService.open(
-            StorageConfig(
-                scheme=scheme_id,
-                location_count=None if topology is not None else args.locations,
-                block_size=args.block_size,
-                batch_blocks=args.batch_blocks,
-                backend=args.backend,
-                data_dir=args.data_dir,
-                fsync=args.fsync,
-                topology=topology,
-                placement=args.placement,
-            )
+        config = StorageConfig(
+            scheme=scheme_id,
+            location_count=None if topology is not None else args.locations,
+            block_size=args.block_size,
+            batch_blocks=args.batch_blocks,
+            backend=args.backend,
+            data_dir=args.data_dir,
+            fsync=args.fsync,
+            topology=topology,
+            placement=args.placement,
+            shards=args.shards if args.shards > 1 else None,
         )
+        if args.shards > 1:
+            from repro.system.sharding import ShardedStorageService
+
+            service = ShardedStorageService.open(config, workers=args.workers)
+        else:
+            service = StorageService.open(config)
         started = time.perf_counter()
         if args.workers > 1:
             # Fan the chunks out as part documents over the thread-pool
-            # front-end; a bounded window of in-flight futures keeps the
-            # admission queue from bouncing our own submissions.
-            from repro.system.frontend import ConcurrentStorageService
+            # front-end (per shard when sharded: part names spread over the
+            # ring); a bounded window of in-flight futures keeps the
+            # admission queues from bouncing our own submissions.
+            if args.shards > 1:
+                submit = service.put_async
+            else:
+                from repro.system.frontend import ConcurrentStorageService
 
-            frontend = ConcurrentStorageService(service, workers=args.workers)
+                frontend = ConcurrentStorageService(service, workers=args.workers)
+                submit = frontend.put_async
             parts = []
             futures = []
             for chunk in _read_chunks(args.path, args.chunk_size):
                 if len(futures) >= args.workers * 2:
                     parts.append(futures.pop(0).result())
                 futures.append(
-                    frontend.put_async(
-                        f"ingest/part-{len(parts) + len(futures):05d}", chunk
-                    )
+                    submit(f"ingest/part-{len(parts) + len(futures):05d}", chunk)
                 )
             parts.extend(future.result() for future in futures)
             length = sum(part.length for part in parts)
@@ -880,13 +928,22 @@ def ingest_main(argv: List[str] | None = None) -> int:
         parser.error(f"cannot read {args.path!r}: {exc.strerror or exc}")
     elapsed = time.perf_counter() - started
     throughput = length / elapsed / 1e6 if elapsed > 0 else float("inf")
-    redundancy = service.cluster.stats().blocks - block_count
+    if args.shards > 1:
+        total_blocks = service.status().blocks
+    else:
+        total_blocks = service.cluster.stats().blocks
+    redundancy = total_blocks - block_count
     print(f"code setting : {service.capabilities.name}")
     print(f"scheme       : {service.scheme.scheme_id}")
     print(f"backend      : {args.backend}")
-    if args.topology is not None:
+    if args.shards > 1:
+        print(
+            f"shards       : {args.shards} independent services on a "
+            f"consistent-hash ring"
+        )
+    if args.topology is not None and args.shards == 1:
         print(f"topology     : {service.topology.describe()}")
-    if args.placement is not None:
+    if args.placement is not None and args.shards == 1:
         print(f"placement    : {service.cluster.placement.describe()}")
     if args.workers > 1:
         print(f"workers      : {args.workers} ({part_count} part documents)")
@@ -896,11 +953,13 @@ def ingest_main(argv: List[str] | None = None) -> int:
     print(f"throughput   : {throughput:.1f} MB/s")
     exit_code = 0
     if args.verify:
-        if frontend is not None:
-            read_back = b"".join(
-                frontend.get(f"ingest/part-{index:05d}")
-                for index in range(part_count)
-            )
+        if args.workers > 1:
+            names = [f"ingest/part-{index:05d}" for index in range(part_count)]
+            if args.shards > 1:
+                # Scatter-gather bulk read across the shards.
+                read_back = b"".join(service.get_many(names))
+            else:
+                read_back = b"".join(frontend.get(name) for name in names)
         else:
             read_back = b"".join(service.get_stream("ingest"))
         if len(read_back) != length:
@@ -935,43 +994,64 @@ def repair_main(argv: List[str] | None = None) -> int:
     fail = _parse_fail(parser, args.fail)
     if isinstance(fail, str) and args.topology is None:
         parser.error(f"--fail {fail!r} targets a topology domain; add --topology")
+    _validate_shards_argument(parser, args)
     _validate_backend_arguments(parser, args)
     topology = _resolve_topology_argument(parser, args)
     rng = random.Random(args.seed)
     payload = rng.randbytes(args.blocks * args.block_size)
     try:
-        service = StorageService.open(
-            StorageConfig(
-                scheme=args.scheme,
-                location_count=None if topology is not None else args.locations,
-                block_size=args.block_size,
-                seed=args.seed,
-                backend=args.backend,
-                data_dir=args.data_dir,
-                fsync=args.fsync,
-                topology=topology,
-                placement=args.placement,
-            )
+        config = StorageConfig(
+            scheme=args.scheme,
+            location_count=None if topology is not None else args.locations,
+            block_size=args.block_size,
+            seed=args.seed,
+            backend=args.backend,
+            data_dir=args.data_dir,
+            fsync=args.fsync,
+            topology=topology,
+            placement=args.placement,
+            shards=args.shards if args.shards > 1 else None,
         )
-        if isinstance(fail, str):
-            failed = sorted(service.topology.locations_for_target(fail))
+        if args.shards > 1:
+            from repro.system.sharding import ShardedStorageService
+
+            service = ShardedStorageService.open(config)
+            probe = service.shard(service.shard_ids[0]).service
         else:
-            if not 0 <= fail <= service.cluster.location_count:
+            service = StorageService.open(config)
+            probe = service
+        if isinstance(fail, str):
+            failed = sorted(probe.topology.locations_for_target(fail))
+        else:
+            if not 0 <= fail <= probe.cluster.location_count:
                 parser.error("--fail must lie between 0 and the location count")
-            failed = rng.sample(range(service.cluster.location_count), fail)
+            failed = rng.sample(range(probe.cluster.location_count), fail)
         service.put("workload", payload)
-        service.fail_locations(failed)
-        report = service.repair()
+        if args.shards > 1:
+            # The same location ids go down on every shard; each shard
+            # repairs its own disaster independently.
+            for shard_id in service.shard_ids:
+                service.fail_locations(failed, shard_id)
+            report = service.repair()
+        else:
+            service.fail_locations(failed)
+            report = service.repair()
     except (ReproError, ValueError) as exc:
         parser.error(str(exc))
     print(f"code setting : {service.capabilities.name}")
     print(f"scheme       : {service.scheme.scheme_id}")
+    if args.shards > 1:
+        print(
+            f"shards       : {args.shards} independent services on a "
+            f"consistent-hash ring"
+        )
     if args.topology is not None:
-        print(f"topology     : {service.topology.describe()}")
+        print(f"topology     : {probe.topology.describe()}")
     if args.placement is not None:
-        print(f"placement    : {service.cluster.placement.describe()}")
+        print(f"placement    : {probe.cluster.placement.describe()}")
     label = f" ({fail})" if isinstance(fail, str) else ""
-    print(f"failed       : locations {sorted(failed)}{label}")
+    per_shard = " per shard" if args.shards > 1 else ""
+    print(f"failed       : locations {sorted(failed)}{label}{per_shard}")
     print(f"repair       : {report.summary()}")
     try:
         intact = service.get("workload") == payload
@@ -1003,6 +1083,7 @@ def compare_main(argv: List[str] | None = None) -> int:
     fail = _parse_fail(parser, args.fail)
     if isinstance(fail, str) and args.topology is None:
         parser.error(f"--fail {fail!r} targets a topology domain; add --topology")
+    _validate_shards_argument(parser, args)
     _validate_backend_arguments(parser, args)
     topology = _resolve_topology_argument(parser, args)
     scheme_ids = [scheme.strip() for scheme in args.schemes.split(",") if scheme.strip()]
@@ -1023,6 +1104,7 @@ def compare_main(argv: List[str] | None = None) -> int:
             topology=topology,
             placement=args.placement,
             fail_target=fail if isinstance(fail, str) else None,
+            shards=args.shards,
         )
     except (ReproError, ValueError) as exc:
         parser.error(str(exc))

@@ -11,7 +11,10 @@
 * :mod:`repro.system.entangled_store` -- the AE-specific legacy shim;
 * :mod:`repro.system.backup` -- the geo-replicated cooperative backup network;
 * :mod:`repro.system.raid` -- entangled mirror arrays and RAID-AE;
-* :mod:`repro.system.keys` -- deterministic block keys and location mapping.
+* :mod:`repro.system.keys` -- deterministic block keys and location mapping;
+* :mod:`repro.system.sharding` -- :class:`ShardedStorageService`, the
+  consistent-hash federation of many services with scatter-gather reads and
+  cross-shard rebalancing.
 """
 
 from repro.system.archive import ArchiveEntry, ArchiveStore
@@ -33,6 +36,13 @@ from repro.system.service import (
     ServiceStatus,
     StorageConfig,
     StorageService,
+)
+from repro.system.sharding import (
+    FederationRepairReport,
+    FederationStatus,
+    RebalanceReport,
+    ShardRing,
+    ShardedStorageService,
 )
 from repro.system.backup import (
     BackupDocument,
@@ -62,11 +72,16 @@ __all__ = [
     "ConcurrentStorageService",
     "DEFAULT_BATCH_BLOCKS",
     "DEFAULT_COMPARE_SCHEMES",
+    "FederationRepairReport",
+    "FederationStatus",
     "LoadReport",
     "ReadWriteLock",
+    "RebalanceReport",
     "SchemeComparison",
     "ServiceRepairReport",
     "ServiceStatus",
+    "ShardRing",
+    "ShardedStorageService",
     "StorageConfig",
     "StorageService",
     "compare_schemes",

@@ -290,6 +290,26 @@ class ConcurrentStorageService:
     def delete(self, name: str) -> List[object]:
         return self.delete_async(name).result()
 
+    def put_stream(self, name: str, chunks: Iterable[bytes]) -> StoredDocument:
+        """Store a document from a chunk iterable, on the *calling* thread.
+
+        A generator argument cannot usefully be consumed on the pool, so the
+        caller's thread drives the ingest while holding the maintenance read
+        side and the name's stripe write lock -- the same exclusion as
+        :meth:`put`, without occupying a worker for the stream's lifetime.
+        """
+        if self._closed:
+            raise InvalidParametersError(
+                "this ConcurrentStorageService has been closed"
+            )
+        with self._maintenance.read_locked():
+            with self._stripe_for(name).write_locked():
+                return self._service.put_stream(name, chunks)
+
+    def has_document(self, name: str) -> bool:
+        """Catalogue membership; lock-free (the catalogue copy is atomic)."""
+        return self._service.has_document(name)
+
     def get_stream(self, name: str) -> Iterator[bytes]:
         """Stream a document, holding its stripe's read lock until exhausted.
 

@@ -14,7 +14,6 @@ import hashlib
 from dataclasses import dataclass
 
 from repro.core.blocks import BlockId, is_data
-from repro.exceptions import PlacementError
 
 
 @dataclass(frozen=True)
@@ -45,10 +44,15 @@ def derive_key(owner: str, block_id: BlockId) -> BlockKey:
 
 
 def location_for_key(key: BlockKey, location_count: int) -> int:
-    """Deterministic key -> storage-node mapping (consistent-hash style)."""
-    if location_count < 1:
-        raise PlacementError("location_count must be positive")
-    return int(key.digest[:12], 16) % location_count
+    """Deterministic key -> storage-node mapping (consistent-hash style).
+
+    A thin shim over :meth:`repro.system.sharding.ShardRing.digest_index`,
+    so block keys and the sharded document namespace share one hashing
+    convention.
+    """
+    from repro.system.sharding import ShardRing
+
+    return ShardRing.digest_index(key.digest, location_count)
 
 
 def location_for_block(

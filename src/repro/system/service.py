@@ -162,6 +162,13 @@ class StorageConfig:
     the topology and the scheme's write position are restored (see
     ``docs/persistence.md`` and ``docs/topology.md``).
 
+    ``shards`` requests a *sharded* namespace: pass the config to
+    :meth:`repro.system.sharding.ShardedStorageService.open` and the
+    federation routes documents across that many independent services (each
+    with its own cluster, WAL and thread pool).  A plain
+    :class:`StorageService` accepts only ``shards=None`` / ``shards=1`` --
+    it *is* one shard.
+
     ``wal`` selects how a durable service persists metadata mutations:
     ``True`` (the default) appends group-committed records to ``wal.log``
     and checkpoints into ``manifest.json`` once the log passes
@@ -188,6 +195,9 @@ class StorageConfig:
     topology: Optional[Union[str, int, Topology]] = None
     wal: bool = True
     wal_checkpoint_bytes: int = DEFAULT_WAL_CHECKPOINT_BYTES
+    #: Shard count for :class:`~repro.system.sharding.ShardedStorageService`;
+    #: ``None`` (or 1) means an unsharded service.
+    shards: Optional[int] = None
 
     def resolve_scheme(self) -> RedundancyScheme:
         if isinstance(self.scheme, RedundancyScheme):
@@ -312,6 +322,12 @@ class StorageService:
         the pre-existing data.
         """
         config = replace(config or StorageConfig(), **overrides)
+        if config.shards not in (None, 1):
+            raise InvalidParametersError(
+                f"shards={config.shards} needs the sharded front-end; open "
+                "the config with ShardedStorageService.open "
+                "(repro.system.sharding) instead"
+            )
         scheme = config.resolve_scheme()
         manifest = cls._load_manifest(config.data_dir)
         if manifest is not None:
@@ -926,6 +942,11 @@ class StorageService:
         if name not in self._documents:
             raise UnknownBlockError(f"unknown document {name!r}")
         return self._documents[name]
+
+    def has_document(self, name: str) -> bool:
+        """Whether ``name`` is in the catalogue (no blocks are touched)."""
+        with self._state_lock:
+            return name in self._documents
 
     # ------------------------------------------------------------------
     # Deletes

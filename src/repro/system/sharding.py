@@ -1,0 +1,969 @@
+"""Sharded document namespace: one federation over many storage services.
+
+The paper's decentralised use case (Sec. IV-A) locates blocks by
+deterministic keys every participant can recompute without coordination;
+:mod:`repro.system.keys` seeds that key scheme.  This module scales the
+*live* system the same way: a :class:`ShardedStorageService` routes whole
+documents across ``M`` independent :class:`~repro.system.service.StorageService`
+shards -- each with its own backend root, metadata WAL and
+:class:`~repro.system.frontend.ConcurrentStorageService` thread pool -- via a
+vnode-weighted consistent-hash ring (:class:`ShardRing`).  The federation
+
+* **scatter-gathers reads**: :meth:`ShardedStorageService.get_many` fans
+  lookups out shard-parallel and gathers payloads back in request order, and
+  :meth:`ShardedStorageService.scatter_stream` fans *streaming* reads in
+  through one bounded queue;
+* **rebalances on membership changes**: :meth:`add_shard` /
+  :meth:`remove_shard` move only the ring-delta documents (streamed
+  shard-to-shard through ``put_stream``/``get_stream``), and every move is
+  two durable single-shard mutations -- the destination's WAL commits the
+  copy before the source's WAL commits the delete -- so a crash at any point
+  leaves either the old home, the new home, or both, never neither.
+  Reopening the federation resumes the interrupted rebalance
+  (:meth:`rebalance` re-homes every document the ring no longer maps to its
+  current shard);
+* **isolates failures**: ``fail_locations``/``repair`` target one shard, and
+  a federation-wide :meth:`repair` collects per-shard reports without letting
+  one shard's unrecoverable disaster abort the others;
+* **aggregates health**: :meth:`status` sums per-shard
+  :class:`~repro.system.service.ServiceStatus` into one
+  :class:`FederationStatus`.
+
+Durable federations keep a small ``federation.json`` manifest (shard ids,
+ring vnodes, scheme binding) next to one ``shard-NN/`` sub-root per shard;
+see ``docs/sharding.md``.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+import os
+import queue
+import threading
+from concurrent.futures import Future
+from dataclasses import dataclass, field, replace
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
+
+from repro.exceptions import InvalidParametersError, PlacementError, ReproError, UnknownBlockError
+from repro.schemes.base import RedundancyScheme, SchemeCapabilities
+from repro.storage.backends import write_json
+from repro.storage.placement import PlacementPolicy
+from repro.system.frontend import DEFAULT_WORKERS, ConcurrentStorageService
+from repro.system.service import (
+    ServiceRepairReport,
+    ServiceStatus,
+    StorageConfig,
+    StorageService,
+    StoredDocument,
+)
+
+__all__ = [
+    "DEFAULT_VNODES",
+    "FEDERATION_FORMAT",
+    "FEDERATION_NAME",
+    "FederationRepairReport",
+    "FederationStatus",
+    "RebalanceReport",
+    "ShardRing",
+    "ShardedStorageService",
+]
+
+#: Virtual nodes per shard on the ring.  More vnodes -> tighter key balance
+#: at a small lookup-table cost; 64 keeps every shard's share within a few
+#: percent of ideal for realistic document counts.
+DEFAULT_VNODES = 64
+
+#: Name of the federation manifest inside a durable ``data_dir``.
+FEDERATION_NAME = "federation.json"
+
+#: Federation manifest format version.
+FEDERATION_FORMAT = 1
+
+
+class ShardRing:
+    """A vnode-weighted consistent-hash ring over integer shard ids.
+
+    Every shard contributes ``vnodes`` points on a 64-bit ring (SHA-256 of
+    ``shard-<id>/vnode-<n>``); a key is owned by the shard whose point
+    follows the key's own hash point.  Adding or removing one shard
+    therefore moves only the keys that fall between the changed points --
+    about ``1/(M+1)`` of them on a join of an ``M``-shard ring -- and never
+    reassigns a key between two surviving shards.
+
+    The ring is immutable: :meth:`with_shard` / :meth:`without_shard` return
+    new rings, so concurrent readers can keep routing against a snapshot
+    while a membership change builds its successor.
+
+    The digest -> index mapping of the decentralised key scheme
+    (:func:`repro.system.keys.location_for_key`) is the degenerate
+    single-point form of the same idea and lives here too
+    (:meth:`digest_index`), so the system has exactly one key-hashing
+    convention.
+    """
+
+    __slots__ = ("_shard_ids", "_vnodes", "_points", "_owners")
+
+    def __init__(self, shard_ids: Sequence[int], vnodes: int = DEFAULT_VNODES) -> None:
+        ids = sorted(set(int(shard_id) for shard_id in shard_ids))
+        if not ids:
+            raise PlacementError("a shard ring needs at least one shard")
+        if len(ids) != len(list(shard_ids)):
+            raise PlacementError("shard ids must be unique")
+        if any(shard_id < 0 for shard_id in ids):
+            raise PlacementError("shard ids must be non-negative")
+        if vnodes < 1:
+            raise PlacementError("vnodes must be at least 1")
+        self._shard_ids: Tuple[int, ...] = tuple(ids)
+        self._vnodes = int(vnodes)
+        ring = sorted(
+            (self._vnode_point(shard_id, vnode), shard_id)
+            for shard_id in ids
+            for vnode in range(vnodes)
+        )
+        self._points: List[int] = [point for point, _ in ring]
+        self._owners: List[int] = [shard_id for _, shard_id in ring]
+
+    # ------------------------------------------------------------------
+    # Hashing (the project-wide key-hash convention)
+    # ------------------------------------------------------------------
+    @staticmethod
+    def key_point(key: str) -> int:
+        """The 64-bit ring point of a document key (SHA-256 prefix)."""
+        digest = hashlib.sha256(key.encode("utf-8")).hexdigest()
+        return int(digest[:16], 16)
+
+    @staticmethod
+    def _vnode_point(shard_id: int, vnode: int) -> int:
+        digest = hashlib.sha256(
+            f"shard-{shard_id}/vnode-{vnode}".encode("utf-8")
+        ).hexdigest()
+        return int(digest[:16], 16)
+
+    @staticmethod
+    def digest_index(digest: str, count: int) -> int:
+        """Deterministic hex-digest -> index mapping (modulo form).
+
+        The single-point convention of :mod:`repro.system.keys`:
+        ``location_for_key`` is a thin shim over this method, so block keys
+        and document routing share one hashing scheme.
+        """
+        if count < 1:
+            raise PlacementError("location_count must be positive")
+        return int(digest[:12], 16) % count
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def shard_ids(self) -> Tuple[int, ...]:
+        return self._shard_ids
+
+    @property
+    def shard_count(self) -> int:
+        return len(self._shard_ids)
+
+    @property
+    def vnodes(self) -> int:
+        return self._vnodes
+
+    def __contains__(self, shard_id: int) -> bool:
+        return shard_id in self._shard_ids
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ShardRing(shards={list(self._shard_ids)}, vnodes={self._vnodes})"
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    def shard_for(self, key: str) -> int:
+        """The shard owning ``key``: the first ring point at or after it."""
+        position = bisect.bisect_left(self._points, self.key_point(key))
+        if position == len(self._points):
+            position = 0  # wrap around the ring
+        return self._owners[position]
+
+    def assignment(self, keys: Iterable[str]) -> Dict[str, int]:
+        """Bulk :meth:`shard_for` (key -> shard id)."""
+        return {key: self.shard_for(key) for key in keys}
+
+    # ------------------------------------------------------------------
+    # Membership (immutable: returns new rings)
+    # ------------------------------------------------------------------
+    def with_shard(self, shard_id: int) -> "ShardRing":
+        if shard_id in self._shard_ids:
+            raise PlacementError(f"shard {shard_id} is already on the ring")
+        return ShardRing((*self._shard_ids, shard_id), vnodes=self._vnodes)
+
+    def without_shard(self, shard_id: int) -> "ShardRing":
+        if shard_id not in self._shard_ids:
+            raise PlacementError(f"shard {shard_id} is not on the ring")
+        if len(self._shard_ids) == 1:
+            raise PlacementError("cannot remove the last shard from the ring")
+        remaining = tuple(sid for sid in self._shard_ids if sid != shard_id)
+        return ShardRing(remaining, vnodes=self._vnodes)
+
+
+@dataclass
+class FederationStatus:
+    """Aggregated health of every shard plus the per-shard breakdown."""
+
+    scheme: str
+    shards: int
+    blocks: int
+    unavailable_blocks: int
+    locations: int
+    unavailable_locations: int
+    documents: int
+    bytes_stored: int
+    per_shard: Dict[int, ServiceStatus] = field(default_factory=dict)
+
+    def summary(self) -> str:
+        return (
+            f"[{self.scheme} x{self.shards} shards] {self.blocks} blocks on "
+            f"{self.locations} locations ({self.unavailable_locations} down); "
+            f"{self.unavailable_blocks} blocks unreachable; "
+            f"{self.documents} documents, {self.bytes_stored} bytes"
+        )
+
+
+@dataclass
+class FederationRepairReport:
+    """Per-shard repair outcomes; one shard's failure never hides the rest.
+
+    ``errors`` maps shard ids whose repair pass itself *raised* (not merely
+    reported unrecovered blocks) to the error text; their entries are absent
+    from ``per_shard``.
+    """
+
+    per_shard: Dict[int, ServiceRepairReport] = field(default_factory=dict)
+    errors: Dict[int, str] = field(default_factory=dict)
+
+    @property
+    def repaired_count(self) -> int:
+        return sum(report.repaired_count for report in self.per_shard.values())
+
+    @property
+    def blocks_read(self) -> int:
+        return sum(report.blocks_read for report in self.per_shard.values())
+
+    @property
+    def rounds(self) -> int:
+        return max(
+            (report.rounds for report in self.per_shard.values()), default=0
+        )
+
+    @property
+    def data_loss(self) -> int:
+        return sum(report.data_loss for report in self.per_shard.values())
+
+    @property
+    def unrecovered_count(self) -> int:
+        return sum(len(report.unrecovered) for report in self.per_shard.values())
+
+    def summary(self) -> str:
+        text = (
+            f"{len(self.per_shard)} shards: repaired {self.repaired_count} "
+            f"blocks in <= {self.rounds} rounds ({self.blocks_read} reads); "
+            f"data loss {self.data_loss}, {self.unrecovered_count} unrecovered"
+        )
+        if self.errors:
+            text += f"; failed shards: {sorted(self.errors)}"
+        return text
+
+
+@dataclass
+class RebalanceReport:
+    """Outcome of one rebalance pass (join, leave or crash resume)."""
+
+    reason: str
+    shard: Optional[int]
+    total_documents: int
+    bytes_moved: int = 0
+    #: name -> (source shard, destination shard) for every moved document.
+    moves: Dict[str, Tuple[int, int]] = field(default_factory=dict)
+
+    @property
+    def moved_documents(self) -> int:
+        return len(self.moves)
+
+    @property
+    def moved_fraction(self) -> float:
+        if self.total_documents == 0:
+            return 0.0
+        return self.moved_documents / self.total_documents
+
+    def summary(self) -> str:
+        label = f" (shard {self.shard})" if self.shard is not None else ""
+        return (
+            f"rebalance[{self.reason}{label}]: moved {self.moved_documents}/"
+            f"{self.total_documents} documents "
+            f"({self.moved_fraction:.1%}, {self.bytes_moved} bytes)"
+        )
+
+
+class ShardedStorageService:
+    """Routes documents across ``M`` independent storage-service shards.
+
+    Every shard is a full :class:`~repro.system.service.StorageService`
+    behind its own :class:`~repro.system.frontend.ConcurrentStorageService`
+    thread pool, with its own cluster, backend root and metadata WAL --
+    shards share *nothing*, which is what makes the federation scale writes
+    and isolate disasters.  Documents route by name over a
+    :class:`ShardRing`; reads fall back to a federation-wide catalogue scan
+    when a document is mid-move (or a crash left it on its pre-move shard),
+    so they stay byte-exact before, during and after a rebalance.
+
+    Open one from a config with ``shards=M``::
+
+        from repro.system.sharding import ShardedStorageService
+
+        federation = ShardedStorageService.open(
+            StorageConfig(scheme="ae-3-2-5", shards=4)
+        )
+        federation.put("report", payload)
+        report = federation.add_shard()      # moves ~1/5 of the documents
+        assert federation.get("report") == payload
+    """
+
+    def __init__(
+        self,
+        shards: Dict[int, ConcurrentStorageService],
+        ring: ShardRing,
+        *,
+        shard_config: Optional[StorageConfig] = None,
+        data_dir: Optional[str] = None,
+        workers: int = DEFAULT_WORKERS,
+        queue_depth: Optional[int] = None,
+        leaving: Iterable[int] = (),
+    ) -> None:
+        if not shards:
+            raise InvalidParametersError("a federation needs at least one shard")
+        if set(ring.shard_ids) - set(shards):
+            raise InvalidParametersError(
+                "every ring shard needs a service: missing "
+                f"{sorted(set(ring.shard_ids) - set(shards))}"
+            )
+        self._shards: Dict[int, ConcurrentStorageService] = dict(shards)
+        self._ring = ring
+        self._shard_config = shard_config
+        self._data_dir = data_dir
+        self._workers = workers
+        self._queue_depth = queue_depth
+        self._leaving: set[int] = set(leaving)
+        self._lock = threading.RLock()
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Opening / federation manifest
+    # ------------------------------------------------------------------
+    @classmethod
+    def open(
+        cls,
+        config: Optional[StorageConfig] = None,
+        *,
+        workers: int = DEFAULT_WORKERS,
+        queue_depth: Optional[int] = None,
+        vnodes: int = DEFAULT_VNODES,
+        **overrides: object,
+    ) -> "ShardedStorageService":
+        """Open (or durably reopen) a federation from a config.
+
+        ``config.shards`` picks the shard count for a fresh federation; a
+        ``data_dir`` that already holds a ``federation.json`` *reopens* the
+        stored one -- shard ids, the ring's vnode count and the scheme
+        binding come from the manifest (an explicit conflicting ``shards``
+        value is rejected), every shard reopens from its own sub-root, and
+        any rebalance a crash interrupted is resumed before the call
+        returns.
+        """
+        config = replace(config or StorageConfig(), **overrides)
+        if config.cluster is not None or isinstance(config.placement, PlacementPolicy):
+            raise InvalidParametersError(
+                "a sharded service builds one cluster per shard; pass a "
+                "placement registry name and a topology spec instead of "
+                "pre-built instances"
+            )
+        if isinstance(config.scheme, RedundancyScheme):
+            raise InvalidParametersError(
+                "a sharded service needs a scheme registry id (each shard "
+                "gets its own scheme instance), not a scheme object"
+            )
+        scheme_id = str(config.scheme)
+        shard_ids: List[int]
+        leaving: List[int] = []
+        manifest = cls._load_federation(config.data_dir)
+        if manifest is not None:
+            stored_scheme = manifest.get("scheme")
+            if stored_scheme != scheme_id:
+                raise InvalidParametersError(
+                    f"data_dir {config.data_dir!r} holds a {stored_scheme!r} "
+                    f"federation, not {scheme_id!r}"
+                )
+            stored_backend = manifest.get("backend", config.backend)
+            if stored_backend != config.backend:
+                raise InvalidParametersError(
+                    f"data_dir {config.data_dir!r} was written with the "
+                    f"{stored_backend!r} backend, not {config.backend!r}"
+                )
+            shard_ids = [int(shard_id) for shard_id in manifest["shard_ids"]]
+            leaving = [int(shard_id) for shard_id in manifest.get("leaving", [])]
+            vnodes = int(manifest.get("vnodes", vnodes))
+            if config.shards is not None and config.shards != len(shard_ids) - len(leaving):
+                raise InvalidParametersError(
+                    f"data_dir {config.data_dir!r} holds "
+                    f"{len(shard_ids) - len(leaving)} shards, not {config.shards}"
+                )
+        else:
+            shard_count = 1 if config.shards is None else int(config.shards)
+            if shard_count < 1:
+                raise InvalidParametersError("shards must be at least 1")
+            shard_ids = list(range(shard_count))
+        shard_config = replace(config, shards=None, data_dir=None)
+        shards: Dict[int, ConcurrentStorageService] = {}
+        opened_all = False
+        try:
+            for shard_id in shard_ids:
+                shards[shard_id] = ConcurrentStorageService.open(
+                    cls._shard_storage_config(
+                        shard_config, config.data_dir, shard_id
+                    ),
+                    workers=workers,
+                    queue_depth=queue_depth,
+                )
+            opened_all = True
+        finally:
+            if not opened_all:  # close the half-built federation, then re-raise
+                for opened in shards.values():
+                    opened.close()
+        ring = ShardRing(
+            [shard_id for shard_id in shard_ids if shard_id not in leaving],
+            vnodes=vnodes,
+        )
+        federation = cls(
+            shards,
+            ring,
+            shard_config=shard_config,
+            data_dir=config.data_dir,
+            workers=workers,
+            queue_depth=queue_depth,
+            leaving=leaving,
+        )
+        if config.data_dir is not None:
+            federation._write_federation()
+            # Resume whatever a crash interrupted: re-home misplaced
+            # documents, then finish any half-completed shard removal.
+            if federation._misplaced() or leaving:
+                federation.rebalance(reason="resume")
+                for shard_id in list(leaving):
+                    federation._complete_removal(shard_id)
+        return federation
+
+    @staticmethod
+    def _shard_storage_config(
+        shard_config: StorageConfig, data_dir: Optional[str], shard_id: int
+    ) -> StorageConfig:
+        """The per-shard config: the template plus the shard's own sub-root."""
+        return replace(
+            shard_config,
+            data_dir=(
+                os.path.join(data_dir, f"shard-{shard_id:02d}")
+                if data_dir is not None
+                else None
+            ),
+        )
+
+    @staticmethod
+    def _load_federation(data_dir: Optional[str]) -> Optional[Dict[str, object]]:
+        if data_dir is None:
+            return None
+        path = os.path.join(data_dir, FEDERATION_NAME)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                import json
+
+                manifest = json.load(handle)
+        except FileNotFoundError:
+            return None
+        except ValueError as exc:
+            raise InvalidParametersError(
+                f"corrupt federation manifest {path!r}: {exc}; the per-shard "
+                "data is still on disk -- restore the manifest or rebuild it "
+                "before reopening"
+            ) from exc
+        if int(manifest.get("format", 0)) != FEDERATION_FORMAT:
+            raise InvalidParametersError(
+                f"unsupported federation manifest format in {path!r}: "
+                f"{manifest.get('format')!r}"
+            )
+        return manifest
+
+    def _write_federation(self) -> None:
+        """Atomically persist the membership next to the shard sub-roots.
+
+        Written *before* data moves on a join and kept listing a leaving
+        shard until its drain completes, so a crash at any point reopens a
+        federation that can still reach every document.
+        """
+        if self._data_dir is None:
+            return
+        os.makedirs(self._data_dir, exist_ok=True)
+        shard_config = self._shard_config or StorageConfig()
+        write_json(
+            os.path.join(self._data_dir, FEDERATION_NAME),
+            {
+                "format": FEDERATION_FORMAT,
+                "scheme": str(shard_config.scheme),
+                "backend": shard_config.backend,
+                "vnodes": self._ring.vnodes,
+                "shard_ids": sorted(self._shards),
+                "leaving": sorted(self._leaving),
+            },
+            fsync=shard_config.fsync,
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def ring(self) -> ShardRing:
+        return self._ring
+
+    @property
+    def shard_ids(self) -> Tuple[int, ...]:
+        """Active (ring) shard ids."""
+        return self._ring.shard_ids
+
+    @property
+    def shard_count(self) -> int:
+        return self._ring.shard_count
+
+    @property
+    def data_dir(self) -> Optional[str]:
+        return self._data_dir
+
+    @property
+    def scheme_id(self) -> str:
+        return self._any_shard().service.scheme.scheme_id
+
+    @property
+    def scheme(self) -> RedundancyScheme:
+        """One shard's scheme instance -- introspection only (every shard
+        has its own independent instance)."""
+        return self._any_shard().service.scheme
+
+    @property
+    def block_size(self) -> int:
+        return self._any_shard().service.block_size
+
+    @property
+    def capabilities(self) -> SchemeCapabilities:
+        return self._any_shard().service.capabilities
+
+    def shard(self, shard_id: int) -> ConcurrentStorageService:
+        """The front-end of one shard (tests, probes, targeted maintenance)."""
+        return self._shards[shard_id]
+
+    def _any_shard(self) -> ConcurrentStorageService:
+        return self._shards[min(self._shards)]
+
+    def shard_for(self, name: str) -> int:
+        """The ring owner of a document name (where a write would go)."""
+        return self._ring.shard_for(name)
+
+    @property
+    def documents(self) -> Dict[str, StoredDocument]:
+        """The merged catalogue (ring owner's copy wins for mid-move names)."""
+        merged: Dict[str, StoredDocument] = {}
+        ring = self._ring
+        for shard_id, shard in self._shards.items():
+            for name, document in shard.documents.items():
+                if name not in merged or ring.shard_for(name) == shard_id:
+                    merged[name] = document
+        return merged
+
+    def status(self) -> FederationStatus:
+        per_shard = {
+            shard_id: shard.status() for shard_id, shard in self._shards.items()
+        }
+        return FederationStatus(
+            scheme=self.scheme_id,
+            shards=len(per_shard),
+            blocks=sum(status.blocks for status in per_shard.values()),
+            unavailable_blocks=sum(
+                status.unavailable_blocks for status in per_shard.values()
+            ),
+            locations=sum(status.locations for status in per_shard.values()),
+            unavailable_locations=sum(
+                status.unavailable_locations for status in per_shard.values()
+            ),
+            documents=len(self.documents),
+            bytes_stored=sum(status.bytes_stored for status in per_shard.values()),
+            per_shard=per_shard,
+        )
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    def _locate(self, name: str) -> int:
+        """The shard actually holding ``name``: ring owner first, then a
+        catalogue scan -- a document mid-move (or stranded by a crash) is
+        still served from wherever its committed copy lives."""
+        owner = self._ring.shard_for(name)
+        if self._shards[owner].has_document(name):
+            return owner
+        for shard_id, shard in self._shards.items():
+            if shard_id != owner and shard.has_document(name):
+                return shard_id
+        return owner  # let the owner raise the canonical UnknownBlockError
+
+    def _drop_stale(self, name: str, owner: int) -> None:
+        """Delete surviving pre-move copies after a write established a new
+        authoritative version on the ring owner."""
+        for shard_id, shard in self._shards.items():
+            if shard_id != owner and shard.has_document(name):
+                shard.delete(name)
+
+    # ------------------------------------------------------------------
+    # Document operations
+    # ------------------------------------------------------------------
+    def put(self, name: str, data: bytes) -> StoredDocument:
+        self._ensure_open()
+        owner = self._ring.shard_for(name)
+        document = self._shards[owner].put(name, data)
+        self._drop_stale(name, owner)
+        return document
+
+    def put_async(self, name: str, data: bytes) -> "Future[StoredDocument]":
+        """Submit a put to the owner shard's pool (no stale-copy sweep --
+        use :meth:`put` while a rebalance may be in flight)."""
+        self._ensure_open()
+        return self._shards[self._ring.shard_for(name)].put_async(name, data)
+
+    def put_stream(self, name: str, chunks: Iterable[bytes]) -> StoredDocument:
+        self._ensure_open()
+        owner = self._ring.shard_for(name)
+        document = self._shards[owner].put_stream(name, chunks)
+        self._drop_stale(name, owner)
+        return document
+
+    def get(self, name: str) -> bytes:
+        self._ensure_open()
+        return self._shards[self._locate(name)].get(name)
+
+    def get_async(self, name: str) -> "Future[bytes]":
+        self._ensure_open()
+        return self._shards[self._locate(name)].get_async(name)
+
+    def get_stream(self, name: str) -> Iterator[bytes]:
+        self._ensure_open()
+        return self._shards[self._locate(name)].get_stream(name)
+
+    def get_many(self, names: Sequence[str]) -> List[bytes]:
+        """Scatter-gather bulk read: fan out shard-parallel, gather in order.
+
+        Names are grouped per owning shard; one worker thread per shard
+        reads its group sequentially (each shard's own thread pool and lock
+        striping provide the intra-shard concurrency), and the payloads come
+        back in request order.  The federation-level win is the fan-out:
+        ``M`` shards serve ``M`` disjoint groups concurrently.
+        """
+        self._ensure_open()
+        wanted = list(names)
+        grouped: Dict[int, List[int]] = {}
+        for position, name in enumerate(wanted):
+            grouped.setdefault(self._locate(name), []).append(position)
+        results: List[Optional[bytes]] = [None] * len(wanted)
+        errors: List[BaseException] = []
+
+        def reader(shard_id: int, positions: List[int]) -> None:
+            shard = self._shards[shard_id]
+            try:
+                for position in positions:
+                    results[position] = shard.get(wanted[position])
+            except BaseException as exc:  # noqa: B036,RPR004 - gathered and re-raised below
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(
+                target=reader, args=(shard_id, positions), name=f"repro-gather-{shard_id}"
+            )
+            for shard_id, positions in grouped.items()
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        if errors:
+            raise errors[0]
+        return results  # type: ignore[return-value]
+
+    def scatter_stream(
+        self, names: Sequence[str], buffer_chunks: int = 64
+    ) -> Iterator[Tuple[str, bytes]]:
+        """Fan-in streaming read: yields ``(name, chunk)`` pairs as shards
+        produce them.
+
+        One worker per owning shard streams its documents' blocks
+        (``get_stream``) into a bounded queue; the caller consumes the
+        merged stream.  Chunks of one document arrive in order; documents on
+        different shards interleave.  At most ``buffer_chunks`` chunks are
+        buffered federation-wide, so a slow consumer backpressures every
+        shard instead of buffering whole documents.
+        """
+        self._ensure_open()
+        wanted = list(names)
+        grouped: Dict[int, List[str]] = {}
+        for name in wanted:
+            grouped.setdefault(self._locate(name), []).append(name)
+        fan_in: "queue.Queue[object]" = queue.Queue(maxsize=max(1, buffer_chunks))
+        _DONE = object()
+
+        def streamer(shard_id: int, group: List[str]) -> None:
+            shard = self._shards[shard_id]
+            try:
+                for name in group:
+                    for chunk in shard.get_stream(name):
+                        fan_in.put((name, chunk))
+            except BaseException as exc:  # noqa: B036,RPR004 - surfaced to the consumer
+                fan_in.put(exc)
+            finally:
+                fan_in.put(_DONE)
+
+        threads = [
+            threading.Thread(
+                target=streamer, args=(shard_id, group), name=f"repro-scatter-{shard_id}"
+            )
+            for shard_id, group in grouped.items()
+        ]
+
+        def merged() -> Iterator[Tuple[str, bytes]]:
+            for thread in threads:
+                thread.start()
+            pending = len(threads)
+            failure: Optional[BaseException] = None
+            try:
+                while pending:
+                    item = fan_in.get()
+                    if item is _DONE:
+                        pending -= 1
+                    elif isinstance(item, BaseException):
+                        failure = failure or item
+                    elif failure is None:
+                        yield item  # type: ignore[misc]
+            finally:
+                # A consumer that stops early must not leave producers
+                # blocked on a full queue.
+                while pending:
+                    item = fan_in.get()
+                    if item is _DONE:
+                        pending -= 1
+                for thread in threads:
+                    thread.join()
+            if failure is not None:
+                raise failure
+
+        return merged()
+
+    def delete(self, name: str) -> List[object]:
+        """Delete a document everywhere it lives (owner plus stale copies)."""
+        self._ensure_open()
+        holders = [
+            shard_id
+            for shard_id, shard in self._shards.items()
+            if shard.has_document(name)
+        ]
+        if not holders:
+            raise UnknownBlockError(f"unknown document {name!r}")
+        removed: List[object] = []
+        for shard_id in holders:
+            removed.extend(self._shards[shard_id].delete(name))
+        return removed
+
+    def has_document(self, name: str) -> bool:
+        return any(shard.has_document(name) for shard in self._shards.values())
+
+    def verify_document(self, name: str, expected: bytes) -> bool:
+        return self.get(name) == expected
+
+    # ------------------------------------------------------------------
+    # Failures and repair (per shard: one disaster never blocks the rest)
+    # ------------------------------------------------------------------
+    def fail_locations(self, location_ids: Iterable[int], shard: int) -> None:
+        """Fail locations of *one* shard; the other shards keep serving."""
+        self._shards[shard].fail_locations(location_ids)
+
+    def restore_locations(
+        self,
+        location_ids: Optional[Iterable[int]] = None,
+        shard: Optional[int] = None,
+    ) -> None:
+        targets = [shard] if shard is not None else list(self._shards)
+        ids = list(location_ids) if location_ids is not None else None
+        for shard_id in targets:
+            self._shards[shard_id].restore_locations(ids)
+
+    def repair(self, shard: Optional[int] = None) -> FederationRepairReport:
+        """Repair one shard, or every shard independently.
+
+        A shard whose repair pass raises (an unrecoverable disaster, a
+        placement dead-end) is recorded in ``errors`` and the remaining
+        shards still run -- failure independence is the point of the
+        federation.
+        """
+        self._ensure_open()
+        targets = [shard] if shard is not None else sorted(self._shards)
+        report = FederationRepairReport()
+        for shard_id in targets:
+            try:
+                report.per_shard[shard_id] = self._shards[shard_id].repair()
+            except ReproError as exc:
+                report.errors[shard_id] = str(exc)
+        return report
+
+    # ------------------------------------------------------------------
+    # Membership and rebalancing
+    # ------------------------------------------------------------------
+    def _misplaced(self) -> List[Tuple[str, int, int]]:
+        """``(name, holder, owner)`` for documents the ring maps elsewhere."""
+        ring = self._ring
+        moves: List[Tuple[str, int, int]] = []
+        for shard_id, shard in self._shards.items():
+            for name in shard.documents:
+                owner = ring.shard_for(name)
+                if owner != shard_id:
+                    moves.append((name, shard_id, owner))
+        return moves
+
+    def _move_document(self, name: str, source: int, target: int) -> int:
+        """Stream one document shard-to-shard; returns the bytes moved.
+
+        Two durable single-shard mutations in a fixed order: the target's
+        WAL commits the full copy *before* the source's WAL commits the
+        delete.  A crash in between leaves both copies; :meth:`_locate`
+        prefers the ring owner (the target), and the next rebalance deletes
+        the stale source copy -- replay-idempotent, like the WAL itself.
+        """
+        source_shard = self._shards[source]
+        target_shard = self._shards[target]
+        moved = 0
+        if not target_shard.has_document(name):
+            if not source_shard.has_document(name):
+                return 0  # deleted concurrently
+            document = target_shard.put_stream(name, source_shard.get_stream(name))
+            moved = document.length
+        if source_shard.has_document(name):
+            source_shard.delete(name)
+        return moved
+
+    def rebalance(self, reason: str = "resume", shard: Optional[int] = None) -> RebalanceReport:
+        """Re-home every document the current ring maps to another shard.
+
+        Normally invoked through :meth:`add_shard` / :meth:`remove_shard`;
+        calling it directly finishes a rebalance a crash interrupted (a
+        durable reopen does this automatically).  Only misplaced documents
+        are touched -- by the ring's minimal-movement property that is the
+        ring delta, about ``1/(M+1)`` of the namespace on a join.
+        """
+        self._ensure_open()
+        with self._lock:
+            moves = self._misplaced()
+            total = len(self.documents)
+            report = RebalanceReport(reason=reason, shard=shard, total_documents=total)
+            for name, holder, owner in moves:
+                report.bytes_moved += self._move_document(name, holder, owner)
+                report.moves[name] = (holder, owner)
+            return report
+
+    def add_shard(self) -> RebalanceReport:
+        """Join a fresh shard and move exactly the ring-delta documents to it.
+
+        The membership change is durable *before* any data moves (a crash
+        mid-move resumes on reopen), and reads stay byte-exact throughout:
+        documents not yet moved are still served from their old shard via
+        the catalogue-scan fallback.
+        """
+        self._ensure_open()
+        with self._lock:
+            shard_id = max(self._shards) + 1
+            shard_config = self._shard_config or StorageConfig()
+            self._shards[shard_id] = ConcurrentStorageService.open(
+                self._shard_storage_config(shard_config, self._data_dir, shard_id),
+                workers=self._workers,
+                queue_depth=self._queue_depth,
+            )
+            self._ring = self._ring.with_shard(shard_id)
+            self._write_federation()
+            return self.rebalance(reason="join", shard=shard_id)
+
+    def remove_shard(self, shard_id: int) -> RebalanceReport:
+        """Drain a shard onto the survivors, then drop it from the federation.
+
+        The leaving shard stays in the federation manifest (flagged
+        ``leaving``) until its last document has moved, so a crash mid-drain
+        reopens with the shard still reachable and resumes.  Exactly the
+        departing shard's documents move; every other document keeps its
+        placement (the ring's minimal-movement property).
+        """
+        self._ensure_open()
+        with self._lock:
+            if shard_id not in self._shards:
+                raise InvalidParametersError(f"no shard {shard_id} in this federation")
+            if len(self._ring.shard_ids) == 1:
+                raise InvalidParametersError("cannot remove the last shard")
+            self._ring = self._ring.without_shard(shard_id)
+            self._leaving.add(shard_id)
+            self._write_federation()
+            report = self.rebalance(reason="leave", shard=shard_id)
+            self._complete_removal(shard_id)
+            return report
+
+    def _complete_removal(self, shard_id: int) -> None:
+        """Drop a fully-drained leaving shard from the federation."""
+        with self._lock:
+            shard = self._shards.get(shard_id)
+            if shard is None:
+                self._leaving.discard(shard_id)
+                return
+            if shard.documents:
+                raise InvalidParametersError(
+                    f"shard {shard_id} still holds documents; rebalance first"
+                )
+            del self._shards[shard_id]
+            self._leaving.discard(shard_id)
+            self._write_federation()
+            shard.close()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def _ensure_open(self) -> None:
+        if self._closed:
+            raise InvalidParametersError(
+                "this ShardedStorageService has been closed; reopen it with "
+                "ShardedStorageService.open on the same data_dir"
+            )
+
+    def flush(self) -> None:
+        for shard in self._shards.values():
+            shard.flush()
+
+    def close(self) -> None:
+        """Drain and close every shard.  Idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        for shard in self._shards.values():
+            shard.close()
+
+    def __enter__(self) -> "ShardedStorageService":
+        return self
+
+    def __exit__(self, exc_type: object, exc_value: object, traceback: object) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ShardedStorageService(shards={list(self._ring.shard_ids)}, "
+            f"scheme={self.scheme_id!r})"
+        )

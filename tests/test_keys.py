@@ -36,6 +36,17 @@ class TestKeys:
         with pytest.raises(PlacementError):
             location_for_key(derive_key("alice", DataId(1)), 0)
 
+    def test_location_mapping_is_the_ring_digest_convention(self):
+        """location_for_key is a thin shim over ShardRing.digest_index; the
+        historical mapping (first-12-hex modulo) is pinned byte-for-byte."""
+        from repro.system.sharding import ShardRing
+
+        for index in range(1, 50):
+            key = derive_key("alice", DataId(index))
+            expected = int(key.digest[:12], 16) % 13
+            assert location_for_key(key, 13) == expected
+            assert ShardRing.digest_index(key.digest, 13) == expected
+
     def test_exclusion_avoids_owner_node(self):
         for index in range(1, 100):
             parity = ParityId(index, StrandClass.HORIZONTAL)

@@ -114,3 +114,34 @@ class TestStorageImportSurface:
             "disk",
             "segment",
         }
+
+
+class TestShardingSurface:
+    """RPR002 anchor for the sharded-namespace exports (PR 9)."""
+
+    def test_sharding_module_all_resolves(self):
+        import repro.system.sharding as sharding
+
+        for name in sharding.__all__:
+            assert getattr(sharding, name) is not None
+        assert sorted(sharding.__all__) == list(sharding.__all__)
+
+    def test_system_package_exports_the_federation_api(self):
+        import repro.system
+
+        for required in (
+            "FederationRepairReport",
+            "FederationStatus",
+            "RebalanceReport",
+            "ShardRing",
+            "ShardedStorageService",
+        ):
+            assert required in repro.system.__all__
+            assert getattr(repro.system, required) is not None
+
+    def test_top_level_exports_the_federation_front_door(self):
+        import repro
+
+        for required in ("ShardRing", "ShardedStorageService"):
+            assert required in repro.__all__
+            assert getattr(repro, required) is not None
