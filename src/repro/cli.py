@@ -1117,6 +1117,147 @@ def compare_main(argv: List[str] | None = None) -> int:
     return 0
 
 
+def build_transition_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments transition",
+        description=(
+            "Write documents under one redundancy scheme, then migrate the "
+            "live service through a chain of schemes (alpha raises, "
+            "puncturing, cross-family re-encodes) verifying every document "
+            "byte-exact after each hop."
+        ),
+    )
+    _add_scheme_argument(parser)
+    parser.add_argument(
+        "--to",
+        default="ae-3-2-5,rs-10-4",
+        help=(
+            "comma-separated chain of target scheme ids, applied in order "
+            "(default 'ae-3-2-5,rs-10-4': re-encode into the lattice, then "
+            "into Reed-Solomon)"
+        ),
+    )
+    parser.add_argument(
+        "--docs", type=int, default=6, help="documents to write (default 6)"
+    )
+    parser.add_argument(
+        "--doc-size",
+        type=int,
+        default=8192,
+        help="bytes per document (default 8192)",
+    )
+    parser.add_argument(
+        "--block-size", type=int, default=1024, help="block size in bytes (default 1024)"
+    )
+    parser.add_argument(
+        "--locations", type=int, default=40, help="cluster locations (default 40)"
+    )
+    parser.add_argument("--seed", type=int, default=7, help="workload seed (default 7)")
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        help=(
+            "front-end workers (default 2); the transition runs behind the "
+            "front-end's writer-preferring maintenance lock while reads "
+            "keep streaming"
+        ),
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="CI-sized run: 4 small documents through the default chain",
+    )
+    _add_shards_argument(parser)
+    _add_backend_arguments(parser)
+    return parser
+
+
+def transition_main(argv: List[str] | None = None) -> int:
+    """Entry point of ``repro-experiments transition``."""
+    from repro.exceptions import ReproError
+    from repro.system.frontend import ConcurrentStorageService
+    from repro.system.service import StorageConfig, StorageService
+
+    parser = build_transition_parser()
+    args = parser.parse_args(argv)
+    if args.smoke:
+        args.docs, args.doc_size, args.block_size, args.locations = 4, 4096, 512, 24
+    _validate_shards_argument(parser, args)
+    _validate_backend_arguments(parser, args)
+    targets = [target.strip() for target in args.to.split(",") if target.strip()]
+    if not targets:
+        parser.error("--to must name at least one target scheme")
+    rng = random.Random(args.seed)
+    payloads = {
+        f"doc-{index:03d}": rng.randbytes(args.doc_size) for index in range(args.docs)
+    }
+    intact = True
+    try:
+        config = StorageConfig(
+            scheme=args.scheme,
+            location_count=args.locations,
+            block_size=args.block_size,
+            seed=args.seed,
+            backend=args.backend,
+            data_dir=args.data_dir,
+            fsync=args.fsync,
+            shards=args.shards if args.shards > 1 else None,
+        )
+        if args.shards > 1:
+            from repro.system.sharding import ShardedStorageService
+
+            sharded = ShardedStorageService.open(config)
+            for name, payload in payloads.items():
+                sharded.put(name, payload)
+            print(f"scheme       : {args.scheme} ({args.shards} shards)")
+            print(f"documents    : {args.docs} x {args.doc_size} bytes")
+            for target in targets:
+                reports = sharded.transition_to(target)
+                migrated = sum(
+                    report.documents_migrated
+                    for report in reports.values()
+                    if report is not None
+                )
+                hop_ok = all(
+                    sharded.get(name) == payload for name, payload in payloads.items()
+                )
+                intact = intact and hop_ok
+                print(
+                    f"transition   : -> {target}: {len(reports)} shards, "
+                    f"{migrated} documents migrated, reads "
+                    f"{'byte-exact' if hop_ok else 'MISMATCH'}"
+                )
+            sharded.close()
+        else:
+            frontend = ConcurrentStorageService.open(config, workers=args.workers)
+            for name, payload in payloads.items():
+                frontend.put(name, payload)
+            print(f"scheme       : {frontend.service.scheme.scheme_id}")
+            print(f"documents    : {args.docs} x {args.doc_size} bytes")
+            for target in targets:
+                report = frontend.transition_to(target)
+                hop_ok = all(
+                    frontend.get(name) == payload for name, payload in payloads.items()
+                )
+                intact = intact and hop_ok
+                summary = report.summary() if report is not None else f"-> {target}: no-op"
+                print(
+                    f"transition   : {summary}, reads "
+                    f"{'byte-exact' if hop_ok else 'MISMATCH'}"
+                )
+            frontend.close()
+    except (ReproError, ValueError) as exc:
+        parser.error(str(exc))
+    print(
+        f"verify       : "
+        f"{'OK (byte-exact after every hop)' if intact else 'FAILED (data mismatch)'}"
+    )
+    if args.data_dir is not None:
+        print(f"persisted    : {args.data_dir}")
+    return 0 if intact else 1
+
+
 #: Subcommands with their own option sets (must come first on the command line).
 SUBCOMMANDS: Dict[str, Callable[[List[str]], int]] = {
     "ingest": ingest_main,
@@ -1124,6 +1265,7 @@ SUBCOMMANDS: Dict[str, Callable[[List[str]], int]] = {
     "compare": compare_main,
     "simulate": simulate_main,
     "load": load_main,
+    "transition": transition_main,
 }
 
 

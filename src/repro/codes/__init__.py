@@ -43,7 +43,12 @@ from repro.codes.replication import (
     ReplicationCode,
     paper_replication_codes,
 )
-from repro.codes.entanglement import EntanglementScheme, ae_scheme_id
+from repro.codes.entanglement import (
+    EntanglementScheme,
+    PuncturedEntanglementScheme,
+    ae_scheme_id,
+    punctured_scheme_id,
+)
 
 #: Names re-exported from :mod:`repro.schemes`; resolved lazily through the
 #: module ``__getattr__`` below because repro.schemes imports the concrete
@@ -78,6 +83,7 @@ __all__ = [
     "PAPER_REPLICATION_FACTORS",
     "PAPER_RS_SETTINGS",
     "PRIMITIVE_POLYNOMIAL",
+    "PuncturedEntanglementScheme",
     "RedundancyScheme",
     "ReedSolomonCode",
     "ReplicationCode",
@@ -104,6 +110,7 @@ __all__ = [
     "mirrored_pairs_code",
     "paper_replication_codes",
     "paper_rs_codes",
+    "punctured_scheme_id",
     "raid5_code",
     "register_scheme",
     "systematic_encoding_matrix",

@@ -13,15 +13,17 @@ mesh).
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
 from repro.core.batch_repair import execute_plan, plan_inputs, plan_round
-from repro.core.blocks import BlockId, is_data
+from repro.core.blocks import BlockId, ParityId, is_data, is_parity
 from repro.core.decoder import Decoder
 from repro.core.encoder import DEFAULT_BLOCK_SIZE, BatchEntangler
 from repro.core.lattice import HelicalLattice
 from repro.core.parameters import AEParameters
+from repro.core.puncturing import PuncturedCode, puncture_rate
 from repro.core.xor import Payload, PayloadBatch
+from repro.exceptions import InvalidParametersError
 from repro.schemes.base import (
     BlockFetcher,
     EncodedPart,
@@ -30,7 +32,12 @@ from repro.schemes.base import (
     SchemeRepairOutcome,
 )
 
-__all__ = ["EntanglementScheme", "ae_scheme_id"]
+__all__ = [
+    "EntanglementScheme",
+    "PuncturedEntanglementScheme",
+    "ae_scheme_id",
+    "punctured_scheme_id",
+]
 
 
 def _sort_key(block_id: BlockId) -> Tuple[int, int, str]:
@@ -44,6 +51,15 @@ def ae_scheme_id(params: AEParameters) -> str:
     if params.is_single:
         return "ae-1"
     return f"ae-{params.alpha}-{params.s}-{params.p}"
+
+
+def punctured_scheme_id(params: AEParameters, keep_fraction: float) -> str:
+    """The registry identifier of a rate-punctured AE setting.
+
+    ``ae-3-2-5-p75`` keeps 75% of the parities of AE(3,2,5); the stored
+    overhead drops from ``alpha`` towards ``alpha * keep_fraction``.
+    """
+    return f"{ae_scheme_id(params)}-p{int(round(keep_fraction * 100))}"
 
 
 class EntanglementScheme(RedundancyScheme):
@@ -232,3 +248,138 @@ class EntanglementScheme(RedundancyScheme):
         # Parities are shared lattice state and must survive document
         # deletion; only the data handles belong to the document.
         return list(data_ids)
+
+
+class PuncturedEntanglementScheme(EntanglementScheme):
+    """A rate-punctured AE code: some parities are computed but never stored.
+
+    Puncturing (paper, Sec. III-B, "Reducing Storage Overhead") trades fault
+    tolerance for intermediate code rates between the ``alpha`` steps: the
+    deterministic :func:`~repro.core.puncturing.puncture_rate` policy decides
+    per parity identity whether the block is stored, so readers, writers and
+    repair agree on the punctured set without extra metadata.  Punctured
+    parities behave exactly like missing blocks -- the decoder regenerates
+    them on demand during reads and repair -- but they are never written
+    back to storage.
+    """
+
+    def __init__(
+        self,
+        params: AEParameters,
+        keep_fraction: float,
+        block_size: int = DEFAULT_BLOCK_SIZE,
+        scheme_id: Optional[str] = None,
+    ) -> None:
+        if params.is_single:
+            raise InvalidParametersError(
+                "ae-1 has a single parity chain; puncturing it is data loss, "
+                "not a rate change"
+            )
+        super().__init__(
+            params,
+            block_size=block_size,
+            scheme_id=scheme_id or punctured_scheme_id(params, keep_fraction),
+        )
+        self._code: PuncturedCode = puncture_rate(params, keep_fraction)
+        self._keep_fraction = float(keep_fraction)
+
+    @property
+    def punctured_code(self) -> PuncturedCode:
+        return self._code
+
+    @property
+    def keep_fraction(self) -> float:
+        return self._keep_fraction
+
+    def capabilities(self) -> SchemeCapabilities:
+        params = self.params
+        return SchemeCapabilities(
+            scheme_id=self.scheme_id,
+            name=f"{params.spec()} p{int(round(self._keep_fraction * 100))}",
+            kind="ae",
+            # The stored overhead after puncturing; the wiring (and the
+            # 2-read single-failure repair of an unpunctured neighbourhood)
+            # is unchanged.
+            storage_overhead=self._code.effective_overhead(),
+            single_failure_reads=params.single_failure_cost,
+            streaming=True,
+            erasable=False,
+        )
+
+    def punctured_parities(self) -> Iterator[ParityId]:
+        """Every punctured parity of the lattice encoded so far."""
+        for index in range(1, self._entangler.blocks_encoded + 1):
+            for strand_class in self.params.strand_classes:
+                parity = ParityId(index, strand_class)
+                if self._code.is_punctured(parity):
+                    yield parity
+
+    # ------------------------------------------------------------------
+    # Write path: drop the punctured parities after computing them
+    # ------------------------------------------------------------------
+    def encode(self, payloads: PayloadBatch) -> EncodedPart:
+        part = super().encode(payloads)
+        part.blocks = [
+            (block_id, payload)
+            for block_id, payload in part.blocks
+            if is_data(block_id) or not self._code.is_punctured(block_id)
+        ]
+        return part
+
+    # ------------------------------------------------------------------
+    # Repair: regenerate punctured parities as intermediates when needed
+    # ------------------------------------------------------------------
+    def repair(self, missing: Set[object], fetch: BlockFetcher) -> SchemeRepairOutcome:
+        """Batched repair with a punctured-regeneration fallback pass.
+
+        The first pass is the plain round-based repair; targets it cannot
+        reach may depend on punctured parities, so a second pass adds the
+        punctured set to the plan -- the planner rebuilds those parities as
+        intermediate targets -- and the outcome is filtered back to the
+        caller's missing set, so regenerated punctured parities are counted
+        in ``blocks_read`` but never surface as recovered blocks (nothing
+        un-punctures the code by writing them back).
+        """
+        outcome = super().repair(missing, fetch)
+        stuck = [
+            block_id
+            for block_id in outcome.unrecovered
+            if self.lattice.has_block(block_id)
+        ]
+        if not stuck:
+            return outcome
+        wanted = set(missing)
+        expanded = wanted | set(self.punctured_parities())
+        second = super().repair(expanded, fetch)
+        second.recovered = {
+            block_id: payload
+            for block_id, payload in second.recovered.items()
+            if block_id in wanted
+        }
+        second.unrecovered = [
+            block_id for block_id in second.unrecovered if block_id in wanted
+        ]
+        return second
+
+    # ------------------------------------------------------------------
+    # Durability: strand heads may be punctured and need regeneration
+    # ------------------------------------------------------------------
+    def restore_state(self, state: Dict[str, object], fetch: BlockFetcher) -> None:
+        size = int(state.get("blocks_encoded", 0))
+        if size == 0:
+            self._entangler.restore(size, fetch)
+            return
+        lattice = HelicalLattice(self.params, size)
+        decoder = Decoder(lattice, fetch, self._block_size)
+
+        def fetch_or_regenerate(block_id: object) -> Optional[Payload]:
+            payload = fetch(block_id)
+            if (
+                payload is None
+                and is_parity(block_id)
+                and self._code.is_punctured(block_id)
+            ):
+                return decoder.get(block_id)
+            return payload
+
+        self._entangler.restore(size, fetch_or_regenerate)

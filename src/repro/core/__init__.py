@@ -33,7 +33,9 @@ from repro.core.decoder import (
 )
 from repro.core.dynamic import (
     AlphaUpgrader,
+    DataFetcher,
     EpochHistory,
+    ParameterEpoch,
     UpgradePlan,
     plan_alpha_upgrade,
     upgrade_alpha,
@@ -56,7 +58,9 @@ from repro.core.position import (
 )
 from repro.core.puncturing import (
     PuncturedCode,
+    PuncturingPolicy,
     no_puncturing,
+    parity_survivors,
     puncture_periodic,
     puncture_rate,
     puncture_strand_class,
@@ -91,6 +95,7 @@ __all__ = [
     "BatchEntangler",
     "Block",
     "BlockId",
+    "DataFetcher",
     "DataId",
     "DataRepairOption",
     "Decoder",
@@ -102,9 +107,11 @@ __all__ = [
     "IterativeRepairer",
     "LatticePosition",
     "NodeCategory",
+    "ParameterEpoch",
     "ParityId",
     "ParityRepairOption",
     "PuncturedCode",
+    "PuncturingPolicy",
     "RepairPlanStep",
     "RepairReport",
     "RepairRound",
@@ -134,6 +141,7 @@ __all__ = [
     "node_column",
     "node_row",
     "output_index",
+    "parity_survivors",
     "payload_to_bytes",
     "plan_alpha_upgrade",
     "plan_inputs",

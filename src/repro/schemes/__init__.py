@@ -97,15 +97,25 @@ def get(scheme_id: str, block_size: int = 4096) -> RedundancyScheme:
 # ----------------------------------------------------------------------
 def _ae_factory(scheme_id: str, args: Sequence[str], block_size: int) -> RedundancyScheme:
     # Imported lazily: repro.codes.entanglement imports this package.
-    from repro.codes.entanglement import EntanglementScheme
+    from repro.codes.entanglement import EntanglementScheme, PuncturedEntanglementScheme
     from repro.core.parameters import AEParameters
 
     if len(args) == 1 and args[0] == "1":
         params = AEParameters.single()
+    elif len(args) == 4 and args[3].startswith("p"):
+        # ae-<alpha>-<s>-<p>-p<keep%>: a rate-punctured variant storing only
+        # keep% of the parities (paper Sec. III-B).
+        params = AEParameters(int(args[0]), int(args[1]), int(args[2]))
+        percent = int(args[3][1:])
+        if not 0 < percent <= 100:
+            raise ValueError("puncture keep percentage must be in (0, 100]")
+        return PuncturedEntanglementScheme(
+            params, percent / 100.0, block_size=block_size, scheme_id=scheme_id
+        )
     elif len(args) == 3:
         params = AEParameters(int(args[0]), int(args[1]), int(args[2]))
     else:
-        raise ValueError("expected ae-1 or ae-<alpha>-<s>-<p>")
+        raise ValueError("expected ae-1, ae-<alpha>-<s>-<p> or ae-<alpha>-<s>-<p>-p<keep%>")
     return EntanglementScheme(params, block_size=block_size, scheme_id=scheme_id)
 
 

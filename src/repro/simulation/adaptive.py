@@ -1,0 +1,527 @@
+"""Adaptive maintenance: deciding *when* to change the redundancy scheme.
+
+The dynamic-redundancy subsystem (:mod:`repro.system.transitions`) can
+migrate a live service between schemes -- raise alpha in place, puncture or
+restore parities, or re-encode across families.  This module supplies the
+control loop that decides when such a transition is worth running.
+
+An :class:`AdaptiveMaintenancePolicy` watches a sliding window of health
+samples -- served availability, the vulnerable-data fraction and a read-rate
+"temperature" -- and recommends one of three actions:
+
+* **hot-data promotion** (``strengthen``): reads run hot, availability dips
+  or too much data sits vulnerable, so climb the redundancy ladder -- restore
+  a punctured lattice to its plain setting, raise alpha (up to the lattice's
+  alpha=3 ceiling), or re-encode a non-AE scheme into the default lattice;
+* **cold-archive demotion** (``weaken``): the window shows nothing but
+  healthy, cold data, so puncture the lattice and reclaim parity storage
+  (the code-collapsing direction of the paper's Sec. VII discussion);
+* **hold**: neither signal is decisive, or a transition just ran and the
+  cooldown keeps the controller from flapping.
+
+:func:`run_adaptive` replays an event timeline (churn, disasters) against
+the availability engine, feeds the per-step health into the policy and
+applies each recommendation by rebuilding the placement under the new
+scheme id -- the simulation counterpart of
+:meth:`repro.system.service.StorageService.transition_to`.  The
+:func:`cold_archive_demotion` and :func:`hot_data_promotion` scenarios wire
+both directions end to end with fixed seeds and fixed read schedules, so
+every run is deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.exceptions import InvalidParametersError
+from repro.simulation.engine import (
+    EventSource,
+    SimulationEvent,
+    build_simulation,
+    normalise_events,
+)
+from repro.storage.maintenance import MaintenanceBudget, MaintenancePolicy
+
+__all__ = [
+    "ACTION_HOLD",
+    "ACTION_STRENGTHEN",
+    "ACTION_WEAKEN",
+    "AdaptiveDecision",
+    "AdaptiveMaintenancePolicy",
+    "AdaptiveRun",
+    "AdaptiveSample",
+    "AdaptiveStep",
+    "cold_archive_demotion",
+    "hot_data_promotion",
+    "run_adaptive",
+]
+
+#: The three recommendations a policy can emit.
+ACTION_HOLD = "hold"
+ACTION_STRENGTHEN = "strengthen"
+ACTION_WEAKEN = "weaken"
+
+#: Default scheme a non-AE deployment is promoted into (the paper's
+#: recommended setting).
+DEFAULT_PROMOTION_TARGET = "ae-3-2-5"
+
+
+@dataclass(frozen=True)
+class AdaptiveSample:
+    """One observation of the deployment's health.
+
+    ``availability`` is the fraction of data blocks the scheme can still
+    serve (degraded reads included), ``vulnerable_fraction`` the share of
+    data blocks left without a complete repair tuple, and ``read_rate`` the
+    workload temperature in reads per data block per step.
+    """
+
+    time: float
+    availability: float
+    vulnerable_fraction: float
+    read_rate: float
+
+
+@dataclass(frozen=True)
+class AdaptiveDecision:
+    """One recommendation: what to do, to which scheme, and why."""
+
+    time: float
+    action: str
+    scheme_id: str
+    target_id: Optional[str]
+    reason: str
+
+
+class AdaptiveMaintenancePolicy:
+    """Sliding-window controller recommending live scheme transitions.
+
+    The policy is observation-driven and scheme-aware: it knows the
+    redundancy ladder (punctured lattice < plain lattice < higher alpha,
+    topping out at alpha=3) and never recommends a transition the
+    :mod:`repro.system.transitions` engine would reject.
+
+    ``observe`` returns a decision for every sample; a non-``hold`` decision
+    advances the policy's own notion of the current scheme (the caller is
+    expected to apply it, e.g. via ``StorageService.transition_to``) and
+    starts a ``cooldown`` of held samples so back-to-back migrations cannot
+    flap.
+    """
+
+    def __init__(
+        self,
+        scheme_id: str,
+        *,
+        window: int = 4,
+        cooldown: Optional[int] = None,
+        availability_floor: float = 0.999,
+        vulnerable_ceiling: float = 0.01,
+        hot_read_rate: float = 1.0,
+        cold_read_rate: float = 0.1,
+        demote_keep_percent: int = 75,
+        promotion_target: str = DEFAULT_PROMOTION_TARGET,
+        block_size: int = 4096,
+    ) -> None:
+        if window < 1:
+            raise InvalidParametersError("window must be at least 1 sample")
+        if not 0 < demote_keep_percent < 100:
+            raise InvalidParametersError(
+                "demote_keep_percent must lie strictly between 0 and 100"
+            )
+        if cold_read_rate >= hot_read_rate:
+            raise InvalidParametersError(
+                "cold_read_rate must be below hot_read_rate"
+            )
+        self._block_size = block_size
+        self._scheme_id = self._validate(scheme_id)
+        self._window_size = window
+        self._cooldown_steps = window if cooldown is None else cooldown
+        self._availability_floor = availability_floor
+        self._vulnerable_ceiling = vulnerable_ceiling
+        self._hot_read_rate = hot_read_rate
+        self._cold_read_rate = cold_read_rate
+        self._demote_keep_percent = demote_keep_percent
+        self._promotion_target = self._validate(promotion_target)
+        self._window: List[AdaptiveSample] = []
+        self._cooldown_left = 0
+        self._decisions: List[AdaptiveDecision] = []
+
+    def _validate(self, scheme_id: str) -> str:
+        import repro.schemes as schemes
+
+        return schemes.get(scheme_id, block_size=self._block_size).scheme_id
+
+    # ------------------------------------------------------------------
+    # State
+    # ------------------------------------------------------------------
+    @property
+    def scheme_id(self) -> str:
+        """The scheme the policy currently assumes is deployed."""
+        return self._scheme_id
+
+    @property
+    def decisions(self) -> List[AdaptiveDecision]:
+        """Every non-``hold`` decision issued so far."""
+        return list(self._decisions)
+
+    # ------------------------------------------------------------------
+    # The redundancy ladder
+    # ------------------------------------------------------------------
+    def _resolve(self, scheme_id: str):
+        import repro.schemes as schemes
+
+        return schemes.get(scheme_id, block_size=self._block_size)
+
+    def strengthen_target(self) -> Optional[str]:
+        """Next rung up, or ``None`` when already at the strongest setting."""
+        from repro.codes.entanglement import (
+            EntanglementScheme,
+            PuncturedEntanglementScheme,
+            ae_scheme_id,
+        )
+        from repro.core.parameters import AEParameters
+
+        current = self._resolve(self._scheme_id)
+        if isinstance(current, PuncturedEntanglementScheme):
+            return ae_scheme_id(current.params)
+        if isinstance(current, EntanglementScheme):
+            params = current.params
+            if params.alpha >= 3:
+                return None  # the helical lattice tops out at alpha=3
+            return ae_scheme_id(AEParameters(params.alpha + 1, params.s, params.p))
+        if self._promotion_target != self._scheme_id:
+            return self._promotion_target
+        return None
+
+    def weaken_target(self) -> Optional[str]:
+        """Next rung down, or ``None`` when there is nothing left to shed."""
+        from repro.codes.entanglement import (
+            EntanglementScheme,
+            PuncturedEntanglementScheme,
+            punctured_scheme_id,
+        )
+
+        current = self._resolve(self._scheme_id)
+        if isinstance(current, PuncturedEntanglementScheme):
+            return None  # already punctured; do not erode protection further
+        if isinstance(current, EntanglementScheme):
+            return punctured_scheme_id(
+                current.params, self._demote_keep_percent / 100.0
+            )
+        return None  # demotion is an AE-lattice feature (puncturing)
+
+    # ------------------------------------------------------------------
+    # The control loop
+    # ------------------------------------------------------------------
+    def observe(self, sample: AdaptiveSample) -> AdaptiveDecision:
+        """Fold one health sample in and return the recommendation."""
+        self._window.append(sample)
+        if len(self._window) > self._window_size:
+            self._window.pop(0)
+
+        if self._cooldown_left > 0:
+            self._cooldown_left -= 1
+            return self._hold(sample, "cooling down after a transition")
+        if len(self._window) < self._window_size:
+            return self._hold(sample, "warming up the observation window")
+
+        min_availability = min(s.availability for s in self._window)
+        mean_vulnerable = sum(s.vulnerable_fraction for s in self._window) / len(
+            self._window
+        )
+        mean_read_rate = sum(s.read_rate for s in self._window) / len(self._window)
+
+        unhealthy = (
+            min_availability < self._availability_floor
+            or mean_vulnerable > self._vulnerable_ceiling
+        )
+        if unhealthy or mean_read_rate >= self._hot_read_rate:
+            target = self.strengthen_target()
+            if target is None:
+                return self._hold(sample, "already at the strongest setting")
+            reason = (
+                f"availability {min_availability:.6f} below floor"
+                if min_availability < self._availability_floor
+                else f"vulnerable fraction {mean_vulnerable:.6f} above ceiling"
+                if mean_vulnerable > self._vulnerable_ceiling
+                else f"read rate {mean_read_rate:.3f} is hot"
+            )
+            return self._transition(sample, ACTION_STRENGTHEN, target, reason)
+
+        if mean_read_rate <= self._cold_read_rate:
+            target = self.weaken_target()
+            if target is None:
+                return self._hold(sample, "cold, but nothing left to shed")
+            return self._transition(
+                sample,
+                ACTION_WEAKEN,
+                target,
+                f"read rate {mean_read_rate:.3f} is cold and the window is healthy",
+            )
+
+        return self._hold(sample, "within the hold band")
+
+    def _hold(self, sample: AdaptiveSample, reason: str) -> AdaptiveDecision:
+        return AdaptiveDecision(
+            time=sample.time,
+            action=ACTION_HOLD,
+            scheme_id=self._scheme_id,
+            target_id=None,
+            reason=reason,
+        )
+
+    def _transition(
+        self, sample: AdaptiveSample, action: str, target: str, reason: str
+    ) -> AdaptiveDecision:
+        decision = AdaptiveDecision(
+            time=sample.time,
+            action=action,
+            scheme_id=self._scheme_id,
+            target_id=target,
+            reason=reason,
+        )
+        self._decisions.append(decision)
+        self._scheme_id = target
+        self._window.clear()
+        self._cooldown_left = self._cooldown_steps
+        return decision
+
+
+# ----------------------------------------------------------------------
+# Driving the policy against the availability engine
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class AdaptiveStep:
+    """State of the adaptive run after one timeline event."""
+
+    time: float
+    scheme_id: str
+    availability: float
+    vulnerable_fraction: float
+    read_rate: float
+    stored_blocks: int
+    action: str
+
+
+@dataclass
+class AdaptiveRun:
+    """Full result of :func:`run_adaptive`."""
+
+    initial_scheme: str
+    final_scheme: str
+    data_blocks: int
+    steps: List[AdaptiveStep] = field(default_factory=list)
+    decisions: List[AdaptiveDecision] = field(default_factory=list)
+
+    @property
+    def mean_availability(self) -> float:
+        if not self.steps:
+            return 1.0
+        return float(np.mean([step.availability for step in self.steps]))
+
+    @property
+    def min_availability(self) -> float:
+        if not self.steps:
+            return 1.0
+        return float(np.min([step.availability for step in self.steps]))
+
+    @property
+    def stored_blocks_saved(self) -> int:
+        """Stored-block delta between the first and last step (demotion win)."""
+        if not self.steps:
+            return 0
+        return self.steps[0].stored_blocks - self.steps[-1].stored_blocks
+
+    def as_row(self) -> dict:
+        return {
+            "initial scheme": self.initial_scheme,
+            "final scheme": self.final_scheme,
+            "events": len(self.steps),
+            "transitions": len(self.decisions),
+            "mean availability": round(self.mean_availability, 6),
+            "min availability": round(self.min_availability, 6),
+            "stored blocks saved": self.stored_blocks_saved,
+        }
+
+
+def run_adaptive(
+    policy: AdaptiveMaintenancePolicy,
+    events: EventSource,
+    read_rates: Sequence[float],
+    *,
+    data_blocks: int = 2000,
+    location_count: int = 50,
+    seed: int = 0,
+    maintenance: MaintenancePolicy = MaintenancePolicy.FULL,
+    budget: Optional[MaintenanceBudget] = None,
+    block_size: int = 4096,
+) -> AdaptiveRun:
+    """Replay a timeline, let the policy steer the scheme, record everything.
+
+    Each event updates the offline-location set; the engine then *evaluates*
+    (without persisting) what the current scheme could repair, exactly like
+    :meth:`~repro.simulation.engine.SimulationEngine.run_events`.  The
+    resulting availability and vulnerable fraction, together with the
+    aligned ``read_rates`` entry, form the policy's health sample.  A
+    non-``hold`` decision rebuilds the placement under the recommended
+    scheme id with the same block population, seed and location count --
+    the availability-study analogue of a live, zero-downtime transition.
+    """
+    timeline = normalise_events(events)
+    if len(read_rates) != len(timeline):
+        raise InvalidParametersError(
+            f"read_rates has {len(read_rates)} entries for {len(timeline)} events; "
+            "provide one read-rate sample per timeline event"
+        )
+    placement = build_simulation(
+        policy.scheme_id, data_blocks, location_count, seed, block_size
+    )
+    limit = placement.location_count
+    run = AdaptiveRun(
+        initial_scheme=policy.scheme_id,
+        final_scheme=policy.scheme_id,
+        data_blocks=placement.data_blocks,
+    )
+    offline: set = set()
+    for event, read_rate in zip(timeline, read_rates):
+        for location in event.restore:
+            offline.discard(location)
+        for location in event.fail:
+            if not 0 <= location < limit:
+                raise InvalidParametersError(
+                    f"event location {location} lies outside 0..{limit - 1}"
+                )
+            offline.add(location)
+        if offline:
+            outcome = placement.run_repair(
+                np.asarray(sorted(offline), dtype=np.int64),
+                policy=maintenance,
+                budget=budget,
+            )
+            availability = 1.0 - outcome.data_loss / placement.data_blocks
+            vulnerable = outcome.vulnerable_data / placement.data_blocks
+        else:
+            availability = 1.0
+            vulnerable = 0.0
+        sample = AdaptiveSample(
+            time=event.time,
+            availability=availability,
+            vulnerable_fraction=vulnerable,
+            read_rate=float(read_rate),
+        )
+        decision = policy.observe(sample)
+        run.steps.append(
+            AdaptiveStep(
+                time=event.time,
+                scheme_id=decision.scheme_id,
+                availability=availability,
+                vulnerable_fraction=vulnerable,
+                read_rate=float(read_rate),
+                stored_blocks=placement.total_blocks,
+                action=decision.action,
+            )
+        )
+        if decision.action != ACTION_HOLD:
+            run.decisions.append(decision)
+            placement = build_simulation(
+                policy.scheme_id, data_blocks, location_count, seed, block_size
+            )
+    run.final_scheme = policy.scheme_id
+    return run
+
+
+# ----------------------------------------------------------------------
+# Canonical scenarios
+# ----------------------------------------------------------------------
+def _churn_timeline(
+    steps: int, location_count: int, churn_every: int = 3
+) -> List[SimulationEvent]:
+    """A gentle, fully deterministic churn pattern: one location bounces."""
+    events: List[SimulationEvent] = []
+    bouncing = 0
+    down = False
+    for step in range(steps):
+        fail: tuple = ()
+        restore: tuple = ()
+        if step % churn_every == churn_every - 1:
+            if down:
+                restore = (bouncing,)
+                bouncing = (bouncing + 1) % location_count
+            else:
+                fail = (bouncing,)
+            down = not down
+        events.append(
+            SimulationEvent(time=float(step), fail=fail, restore=restore, label="churn")
+        )
+    return events
+
+
+def cold_archive_demotion(
+    *,
+    data_blocks: int = 1500,
+    location_count: int = 40,
+    seed: int = 11,
+    window: int = 3,
+) -> AdaptiveRun:
+    """Hot data cools into an archive: the plain lattice is punctured.
+
+    Starts on the paper's recommended ``ae-3-2-5`` with a hot read schedule
+    that decays to near zero.  Once the window is both cold and healthy the
+    policy demotes to ``ae-3-2-5-p75``, shedding a quarter of the parities.
+    """
+    policy = AdaptiveMaintenancePolicy(
+        "ae-3-2-5",
+        window=window,
+        cooldown=window,
+        hot_read_rate=1.0,
+        cold_read_rate=0.1,
+    )
+    steps = 4 * window + 2
+    events = _churn_timeline(steps, location_count)
+    hot_steps = 2 * window
+    read_rates = [2.0] * hot_steps + [0.02] * (steps - hot_steps)
+    return run_adaptive(
+        policy,
+        events,
+        read_rates,
+        data_blocks=data_blocks,
+        location_count=location_count,
+        seed=seed,
+    )
+
+
+def hot_data_promotion(
+    *,
+    data_blocks: int = 1500,
+    location_count: int = 40,
+    seed: int = 11,
+    window: int = 3,
+) -> AdaptiveRun:
+    """An archive turns hot again: the punctured lattice is restored.
+
+    Starts on ``ae-3-2-5-p75`` with a cold read schedule that ramps up past
+    the hot threshold; the policy promotes back to the plain ``ae-3-2-5``
+    and then holds (the lattice already sits at the alpha=3 ceiling).
+    """
+    policy = AdaptiveMaintenancePolicy(
+        "ae-3-2-5-p75",
+        window=window,
+        cooldown=window,
+        hot_read_rate=1.0,
+        cold_read_rate=0.1,
+    )
+    steps = 4 * window + 2
+    events = _churn_timeline(steps, location_count)
+    cold_steps = 2 * window
+    read_rates = [0.02] * cold_steps + [3.0] * (steps - cold_steps)
+    return run_adaptive(
+        policy,
+        events,
+        read_rates,
+        data_blocks=data_blocks,
+        location_count=location_count,
+        seed=seed,
+    )

@@ -48,6 +48,7 @@ from repro.storage.maintenance import MaintenanceBudget, MaintenancePolicy
 from repro.storage.topology import Topology
 
 if TYPE_CHECKING:
+    from repro.codes.entanglement import PuncturedEntanglementScheme
     from repro.schemes.base import RedundancyScheme
     from repro.simulation.traces import SessionTrace
 
@@ -62,6 +63,7 @@ __all__ = [
     "StripeSimulation",
     "build_simulation",
     "normalise_events",
+    "punctured_parity_mask",
     "sample_disaster_locations",
     "simulate_disasters",
     "vectorised_input_indices",
@@ -315,6 +317,7 @@ class LatticeSimulation(SimulatedPlacement):
         location_count: int = 100,
         seed: int = 0,
         scheme_id: Optional[str] = None,
+        punctured: Optional[np.ndarray] = None,
     ) -> None:
         if scheme_id is None:
             from repro.codes.entanglement import ae_scheme_id
@@ -329,6 +332,17 @@ class LatticeSimulation(SimulatedPlacement):
         self.parity_location = rng.integers(
             0, location_count, size=(data_blocks, alpha), dtype=np.int64
         )
+        #: (n, alpha) mask of punctured parities: never stored, so missing at
+        #: time zero -- but regenerable, so FULL maintenance may rebuild them.
+        if punctured is None:
+            self.punctured = np.zeros((data_blocks, alpha), dtype=bool)
+        else:
+            self.punctured = np.asarray(punctured, dtype=bool)
+            if self.punctured.shape != (data_blocks, alpha):
+                raise InvalidParametersError(
+                    f"punctured mask shape {self.punctured.shape} does not "
+                    f"match (data_blocks, alpha) = ({data_blocks}, {alpha})"
+                )
         #: Lattice wiring.
         self.input_creator = vectorised_input_indices(params, data_blocks)
         self.output_node = vectorised_output_indices(params, data_blocks)
@@ -342,7 +356,8 @@ class LatticeSimulation(SimulatedPlacement):
 
     @property
     def parity_blocks(self) -> int:
-        return self._n * self._params.alpha
+        """Parities actually stored (punctured ones are never written)."""
+        return self._n * self._params.alpha - int(self.punctured.sum())
 
     @property
     def redundancy_blocks(self) -> int:
@@ -351,7 +366,7 @@ class LatticeSimulation(SimulatedPlacement):
     def blocks_per_location(self) -> np.ndarray:
         counts = np.bincount(self.data_location, minlength=self._locations)
         counts = counts + np.bincount(
-            self.parity_location.ravel(), minlength=self._locations
+            self.parity_location[~self.punctured], minlength=self._locations
         )
         return counts
 
@@ -359,10 +374,16 @@ class LatticeSimulation(SimulatedPlacement):
     # Disaster + repair
     # ------------------------------------------------------------------
     def availability_after(self, failed_locations: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
-        """Initial availability arrays after the given locations fail."""
+        """Initial availability arrays after the given locations fail.
+
+        Punctured parities start out missing regardless of location health --
+        they were never stored.  The repair rounds may still regenerate them
+        (they are ordinary XOR parities), which mirrors how the storage layer
+        materialises punctured parities on demand during repair.
+        """
         failed_mask = self._failed_mask(failed_locations)
         data_available = ~failed_mask[self.data_location]
-        parity_available = ~failed_mask[self.parity_location]
+        parity_available = ~failed_mask[self.parity_location] & ~self.punctured
         return data_available, parity_available
 
     def _input_parity_available(self, parity_available: np.ndarray) -> np.ndarray:
@@ -793,6 +814,26 @@ class StripeSimulation(SimulatedPlacement):
 # ----------------------------------------------------------------------
 # Placement construction
 # ----------------------------------------------------------------------
+def punctured_parity_mask(
+    scheme: "PuncturedEntanglementScheme", data_blocks: int
+) -> np.ndarray:
+    """The (n, alpha) boolean mask of parities the scheme never stores.
+
+    Column ``c`` follows ``params.strand_classes`` order, matching the
+    parity-location columns of :class:`LatticeSimulation`.
+    """
+    from repro.core.blocks import ParityId
+
+    classes = scheme.params.strand_classes
+    mask = np.zeros((data_blocks, len(classes)), dtype=bool)
+    code = scheme.punctured_code
+    for column, strand_class in enumerate(classes):
+        for index in range(1, data_blocks + 1):
+            if code.is_punctured(ParityId(index, strand_class)):
+                mask[index - 1, column] = True
+    return mask
+
+
 def _parity_free_rs(scheme_id: str) -> Optional[StripeCode]:
     """The legacy ``RS(k, 0)`` edge case, which the registry cannot serve."""
     parts = scheme_id.split("-")
@@ -818,7 +859,7 @@ def build_simulation(
     :class:`~repro.codes.base.StripeCode`, an :class:`AEParameters` setting,
     or any legacy :data:`~repro.simulation.metrics.SchemeSpec`.
     """
-    from repro.codes.entanglement import EntanglementScheme
+    from repro.codes.entanglement import EntanglementScheme, PuncturedEntanglementScheme
     from repro.schemes.stripe import StripeScheme
 
     if isinstance(scheme, AEParameters):
@@ -835,6 +876,15 @@ def build_simulation(
                 parity_free, data_blocks, location_count, seed, scheme_id=scheme_id
             )
         scheme = schemes.get(scheme_id, block_size=block_size)
+    if isinstance(scheme, PuncturedEntanglementScheme):
+        return LatticeSimulation(
+            scheme.params,
+            data_blocks,
+            location_count,
+            seed,
+            scheme_id=scheme.scheme_id,
+            punctured=punctured_parity_mask(scheme, data_blocks),
+        )
     if isinstance(scheme, EntanglementScheme):
         return LatticeSimulation(
             scheme.params, data_blocks, location_count, seed, scheme_id=scheme.scheme_id

@@ -14,7 +14,11 @@
 * :mod:`repro.system.keys` -- deterministic block keys and location mapping;
 * :mod:`repro.system.sharding` -- :class:`ShardedStorageService`, the
   consistent-hash federation of many services with scatter-gather reads and
-  cross-shard rebalancing.
+  cross-shard rebalancing;
+* :mod:`repro.system.transitions` -- :class:`TransitionEngine` and the
+  durable :class:`TransitionPlan`: live, crash-resumable migrations between
+  redundancy schemes (alpha raises, puncturing changes, cross-family
+  re-encodes).
 """
 
 from repro.system.archive import ArchiveEntry, ArchiveStore
@@ -43,6 +47,12 @@ from repro.system.sharding import (
     RebalanceReport,
     ShardRing,
     ShardedStorageService,
+)
+from repro.system.transitions import (
+    TransitionEngine,
+    TransitionPlan,
+    TransitionReport,
+    classify,
 )
 from repro.system.backup import (
     BackupDocument,
@@ -84,6 +94,10 @@ __all__ = [
     "ShardedStorageService",
     "StorageConfig",
     "StorageService",
+    "TransitionEngine",
+    "TransitionPlan",
+    "TransitionReport",
+    "classify",
     "compare_schemes",
     "derive_stripe_count",
     "run_load",

@@ -50,6 +50,7 @@ from repro.system.service import (
     StorageService,
     StoredDocument,
 )
+from repro.system.transitions import TransitionReport
 
 T = TypeVar("T")
 
@@ -339,6 +340,29 @@ class ConcurrentStorageService:
     # ------------------------------------------------------------------
     # Maintenance (exclusive against mutations, never against reads)
     # ------------------------------------------------------------------
+    def transition_to(self, scheme: object) -> Optional["TransitionReport"]:
+        """Migrate the live service to another redundancy scheme.
+
+        Holds the maintenance gate's *write* side for the duration, so
+        mutations are quiesced (the writer-preferring gate drains them
+        first) while plain ``get``/``get_stream`` -- which never touch the
+        gate -- keep streaming mid-transition.  Each document is
+        additionally migrated under its name's stripe *write* lock, so a
+        reader can never land inside one document's copy-commit-delete
+        window: it either sees the source blocks (before) or the target
+        blocks (after), byte-exact either way.
+        """
+        if self._closed:
+            raise InvalidParametersError(
+                "this ConcurrentStorageService has been closed"
+            )
+
+        def doc_guard(name: str) -> "ReadWriteLock._WriteGuard":
+            return self._stripe_for(name).write_locked()
+
+        with self._maintenance.write_locked():
+            return self._service.transition_to(scheme, doc_guard=doc_guard)
+
     def repair(self) -> ServiceRepairReport:
         """Run a repair pass while mutations are quiesced; reads continue."""
         with self._maintenance.write_locked():

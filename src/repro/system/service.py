@@ -25,11 +25,13 @@ import json
 import os
 import threading
 from dataclasses import dataclass, field, replace
-from typing import Dict, Iterable, Iterator, List, Optional, Union
+from typing import Callable, ContextManager, Dict, Iterable, Iterator, List, Optional, Tuple, Union
 
 import repro.schemes as schemes
 from repro.core.blocks import join_blocks
+from repro.core.dynamic import EpochHistory, ParameterEpoch
 from repro.core.encoder import DEFAULT_BLOCK_SIZE
+from repro.core.parameters import AEParameters
 from repro.core.xor import Payload, payload_to_bytes
 from repro.exceptions import InvalidParametersError, UnknownBlockError
 from repro.schemes.base import RedundancyScheme, SchemeCapabilities
@@ -39,6 +41,11 @@ from repro.storage.cluster import StorageCluster
 from repro.storage.placement import PlacementPolicy
 from repro.storage.topology import Topology
 from repro.storage.wal import WAL_NAME, MetadataWAL, WalGroup
+from repro.system.transitions import (
+    TransitionEngine,
+    TransitionPlan,
+    TransitionReport,
+)
 
 #: Number of blocks encoded per batch by :meth:`StorageService.put_stream`.
 DEFAULT_BATCH_BLOCKS = 256
@@ -307,6 +314,21 @@ class StorageService:
         self._wal: Optional[MetadataWAL] = None
         self._wal_enabled = wal
         self._wal_checkpoint_bytes = int(wal_checkpoint_bytes)
+        # Live-transition state: while a cross-family migration is in
+        # flight, ``_transition.pending`` names the documents still encoded
+        # under ``_fallback`` (the retained source scheme); reads of those
+        # route through the fallback, everything else through ``_scheme``.
+        self._transition: Optional[TransitionPlan] = None
+        self._fallback: Optional[RedundancyScheme] = None
+        # AE services carry the parameter-epoch ledger of Sec. III-B: every
+        # live alpha raise appends an epoch, so tooling can answer "which
+        # parameters protect block i" across the scheme's whole history.
+        params = getattr(scheme, "params", None)
+        self._epochs: Optional[EpochHistory] = (
+            EpochHistory.starting_with(params)
+            if isinstance(params, AEParameters)
+            else None
+        )
 
     @classmethod
     def open(
@@ -330,13 +352,29 @@ class StorageService:
             )
         scheme = config.resolve_scheme()
         manifest = cls._load_manifest(config.data_dir)
+        plan: Optional[TransitionPlan] = None
+        if manifest is not None and config.data_dir is not None:
+            plan = TransitionPlan.load(config.data_dir)
         if manifest is not None:
             stored_scheme = manifest.get("scheme")
             if stored_scheme != scheme.scheme_id:
-                raise InvalidParametersError(
-                    f"data_dir {config.data_dir!r} holds a {stored_scheme!r} "
-                    f"service, not {scheme.scheme_id!r}"
+                in_flight = (
+                    plan is not None
+                    and stored_scheme in (plan.source, plan.target)
+                    and scheme.scheme_id in (plan.source, plan.target)
                 )
+                if in_flight:
+                    # A crash mid-transition: the manifest names the scheme
+                    # that owns the catalogue right now; open under it, then
+                    # resume the interrupted switch below.
+                    scheme = schemes.get(
+                        str(stored_scheme), block_size=scheme.block_size
+                    )
+                else:
+                    raise InvalidParametersError(
+                        f"data_dir {config.data_dir!r} holds a {stored_scheme!r} "
+                        f"service, not {scheme.scheme_id!r}"
+                    )
             # Compare against the resolved scheme's block size: a config may
             # carry a scheme *instance* whose block size differs from the
             # config field (which the instance path never reads).
@@ -457,6 +495,7 @@ class StorageService:
                 os.path.join(config.data_dir, WAL_NAME), fsync=config.fsync
             )
             wal_groups = service._wal.recovered_groups()
+        service._transition = plan
         scheme_state: Optional[Dict[str, object]] = None
         if manifest is not None:
             for name, entry in manifest.get("documents", {}).items():
@@ -466,6 +505,14 @@ class StorageService:
                     length=int(entry["length"]),
                 )
             scheme_state = manifest.get("scheme_state", {})
+            stored_epochs = manifest.get("epochs")
+            if stored_epochs is not None and service._epochs is not None:
+                service._epochs = EpochHistory(
+                    [
+                        ParameterEpoch(int(first), AEParameters(int(a), int(s), int(p)))
+                        for first, a, s, p in stored_epochs
+                    ]
+                )
         if wal_groups:
             # Reopen = last checkpoint + committed WAL tail (a crash may have
             # happened any time after the last checkpoint; the log holds the
@@ -473,6 +520,10 @@ class StorageService:
             scheme_state = service._replay_wal(wal_groups, scheme_state)
         if scheme_state is not None:
             scheme.restore_state(scheme_state, cluster.try_get_block)
+        if service._transition is not None:
+            # Finish what the crash interrupted before serving anything: the
+            # plan plus the replayed WAL name exactly the remaining work.
+            service._resume_transition()
         if config.data_dir is not None:
             # Collapse the replayed tail into a fresh checkpoint so the next
             # crash window starts from an empty log.
@@ -544,6 +595,11 @@ class StorageService:
             manifest["topology"] = self._cluster.topology.to_dict()
         if self._placement_spec is not None:
             manifest["placement_spec"] = self._placement_spec
+        if self._epochs is not None:
+            manifest["epochs"] = [
+                [epoch.first_index, epoch.params.alpha, epoch.params.s, epoch.params.p]
+                for epoch in self._epochs
+            ]
         write_json(
             os.path.join(self._data_dir, MANIFEST_NAME), manifest, fsync=self._fsync
         )
@@ -563,6 +619,12 @@ class StorageService:
         """
         state = scheme_state
         state_seq = -1
+        # Which scheme the current WAL epoch was written under.  Normally it
+        # always matches ``_scheme``; across a crash-interrupted transition
+        # the tail may start with records bound to the other side of the
+        # switch, whose scheme-state snapshots must not be restored into the
+        # primary scheme.
+        binding_scheme: Optional[str] = None
         for group in groups:
             for op in group.ops:
                 kind = op.get("op")
@@ -573,15 +635,39 @@ class StorageService:
                         data_ids=_decode_id_runs(list(op["data_ids"])),  # type: ignore[arg-type]
                         length=int(op["length"]),  # type: ignore[arg-type]
                     )
+                    if self._transition is not None:
+                        self._transition.pending.discard(name)
                 elif kind == "delete_doc":
                     self._documents.pop(str(op["name"]), None)
+                    if self._transition is not None:
+                        self._transition.pending.discard(str(op["name"]))
+                elif kind == "transition_doc":
+                    # A document re-encoded under the transition target: the
+                    # catalogue now points at target-scheme blocks and the
+                    # plan no longer owes the document a migration.
+                    name = str(op["name"])
+                    self._documents[name] = StoredDocument(
+                        name=name,
+                        data_ids=_decode_id_runs(list(op["data_ids"])),  # type: ignore[arg-type]
+                        length=int(op["length"]),  # type: ignore[arg-type]
+                    )
+                    if self._transition is not None:
+                        self._transition.pending.discard(name)
+                    seq = int(op.get("seq", 0))  # type: ignore[arg-type]
+                    if seq >= state_seq:
+                        state = op.get("state", {})  # type: ignore[assignment]
+                        state_seq = seq
                 elif kind == "scheme_state":
+                    if binding_scheme not in (None, self._scheme.scheme_id):
+                        continue  # a snapshot of the transition's other side
                     seq = int(op.get("seq", 0))  # type: ignore[arg-type]
                     if seq >= state_seq:
                         state = op.get("state", {})  # type: ignore[assignment]
                         state_seq = seq
                 elif kind == "placement":
                     self._check_wal_binding(op)
+                    if "scheme" in op:
+                        binding_scheme = str(op["scheme"])
                 else:
                     raise InvalidParametersError(
                         f"unknown WAL record type {kind!r} in "
@@ -597,8 +683,15 @@ class StorageService:
         stored_scheme = op.get("scheme")
         stored_block_size = int(op.get("block_size", self._scheme.block_size))  # type: ignore[arg-type]
         stored_backend = op.get("backend", self._cluster.backend_spec)
+        allowed_schemes = {self._scheme.scheme_id}
+        if self._transition is not None:
+            # Mid-transition, the log tail may straddle the scheme switch:
+            # epochs bound to either side of the recorded plan are ours.
+            allowed_schemes.update(
+                (self._transition.source, self._transition.target)
+            )
         if (
-            stored_scheme != self._scheme.scheme_id
+            stored_scheme not in allowed_schemes
             or stored_block_size != self._scheme.block_size
             or stored_backend != self._cluster.backend_spec
         ):
@@ -681,6 +774,10 @@ class StorageService:
         with self._checkpoint_lock:
             with self._state_lock:
                 self._sync_manifest()
+                if self._transition is not None:
+                    # The plan must be at least as new as the manifest before
+                    # the WAL (which names the migrated documents) resets.
+                    self._save_transition_plan()
                 if self._wal is not None:
                     self._wal.reset()
 
@@ -754,6 +851,23 @@ class StorageService:
         with self._state_lock:
             return dict(self._documents)
 
+    @property
+    def transition(self) -> Optional[TransitionPlan]:
+        """The in-flight transition plan, ``None`` when settled."""
+        return self._transition
+
+    @property
+    def epoch_history(self) -> Optional[EpochHistory]:
+        """Parameter epochs of an AE service (``None`` for stripe codes).
+
+        Every live alpha raise appends an epoch at the lattice head:
+        ``params_at(i)`` answers which setting position ``i`` was
+        *entangled* under.  (The raise also back-fills the new strand
+        classes over earlier epochs, so the newest epoch's parameters
+        protect the whole lattice.)
+        """
+        return self._epochs
+
     def status(self) -> ServiceStatus:
         stats = self._cluster.stats()
         unavailable = self._cluster.unavailable_blocks()
@@ -795,7 +909,12 @@ class StorageService:
                 name=name, data_ids=part.data_ids, length=len(data)
             )
             previous = self._documents.get(name)
+            previous_scheme = self._scheme_for(name)
             self._documents[name] = document
+            if self._transition is not None:
+                # An overwrite supersedes any owed migration: the new
+                # version is already target-encoded.
+                self._transition.pending.discard(name)
             ops = self._document_ops(document)
         # The metadata commit runs outside the lock: that is where
         # concurrent mutators pile up and the WAL batches their fsyncs
@@ -804,14 +923,26 @@ class StorageService:
         # Catalogue the new version before deleting the old one: a crash in
         # between leaks the old version's blocks as orphans, but never loses
         # a committed document.
-        self._reclaim(previous)
+        if previous_scheme is self._scheme:
+            self._reclaim(previous)
+        else:
+            self._reclaim(previous, previous_scheme)
         return document
 
-    def _reclaim(self, previous: Optional[StoredDocument]) -> None:
-        """Delete the blocks of a document version that was just replaced."""
-        if previous is None or not self._scheme.capabilities().erasable:
+    def _reclaim(
+        self,
+        previous: Optional[StoredDocument],
+        scheme: Optional[RedundancyScheme] = None,
+    ) -> None:
+        """Delete the blocks of a document version that was just replaced.
+
+        ``scheme`` is the scheme the previous version was encoded under --
+        during a transition that may be the fallback, not ``_scheme``.
+        """
+        scheme = scheme if scheme is not None else self._scheme
+        if previous is None or not scheme.capabilities().erasable:
             return
-        self._cluster.delete_blocks(self._scheme.document_blocks(previous.data_ids))
+        self._cluster.delete_blocks(scheme.document_blocks(previous.data_ids))
 
     def put_stream(self, name: str, chunks: Iterable[bytes]) -> StoredDocument:
         """Encode and store a document from an iterable of byte chunks.
@@ -843,10 +974,16 @@ class StorageService:
         with self._state_lock:
             document = StoredDocument(name=name, data_ids=data_ids, length=length)
             previous = self._documents.get(name)
+            previous_scheme = self._scheme_for(name)
             self._documents[name] = document
+            if self._transition is not None:
+                self._transition.pending.discard(name)
             ops = self._document_ops(document)
         self._commit_meta(ops)
-        self._reclaim(previous)
+        if previous_scheme is self._scheme:
+            self._reclaim(previous)
+        else:
+            self._reclaim(previous, previous_scheme)
         return document
 
     def _ingest_batch(self, payload: bytearray, data_ids: List[object]) -> None:
@@ -864,7 +1001,9 @@ class StorageService:
         with self._state_lock:
             return self._scheme.read_block(block_id, self._cluster.try_get_block)
 
-    def _read_payloads(self, data_ids: List[object]) -> List[Payload]:
+    def _read_payloads(
+        self, data_ids: List[object], scheme: Optional[RedundancyScheme] = None
+    ) -> List[Payload]:
         """Bulk-read payloads, repairing unreachable blocks in one batch.
 
         Healthy blocks arrive through the cluster's grouped
@@ -875,8 +1014,12 @@ class StorageService:
         is :meth:`repair`'s job).  Blocks the batched pass cannot reach fall
         back to the recursive per-block read, which can chain through
         repairs of the redundancy blocks themselves.
+
+        ``scheme`` selects the scheme that encoded the blocks; mid-
+        transition reads of not-yet-migrated documents pass the fallback.
         """
         self._ensure_open()
+        scheme = scheme if scheme is not None else self._scheme
         payloads = self._cluster.try_get_many(data_ids)
         missing = [
             data_id
@@ -888,24 +1031,47 @@ class StorageService:
             # they serialise against concurrent encodes; healthy reads (the
             # branch above) never touch the scheme and stay lock-free.
             with self._state_lock:
-                outcome = self._scheme.repair(
-                    set(missing), self._cluster.block_source()
-                )
+                outcome = scheme.repair(set(missing), self._cluster.block_source())
                 for position, payload in enumerate(payloads):
                     if payload is None:
                         payloads[position] = outcome.recovered.get(data_ids[position])
                 return [
                     payload
                     if payload is not None
-                    else self._scheme.read_block(data_id, self._cluster.try_get_block)
+                    else scheme.read_block(data_id, self._cluster.try_get_block)
                     for data_id, payload in zip(data_ids, payloads)
                 ]
         return payloads
 
+    def _scheme_for(self, name: str) -> RedundancyScheme:
+        """The scheme that currently encodes document ``name``.
+
+        Outside a transition this is always ``_scheme``.  During a cross-
+        family migration, documents still listed in the plan's pending set
+        are encoded under the retained source scheme -- the fallback read
+        path that keeps every document byte-exact mid-transition.
+        """
+        plan = self._transition
+        if (
+            plan is not None
+            and self._fallback is not None
+            and name in plan.pending
+        ):
+            return self._fallback
+        return self._scheme
+
     def get(self, name: str) -> bytes:
         """Read a full document back, repairing blocks as needed."""
+        # Scheme first, catalogue second: if a transition migrates the
+        # document between the two reads we pair the *new* block ids with
+        # the old scheme -- harmless, since healthy reads never consult the
+        # scheme.  (The concurrent front-end additionally excludes readers
+        # from a document's migration window via its stripe locks.)
+        scheme = self._scheme_for(name)
         document = self._document(name)
-        return join_blocks(self._read_payloads(document.data_ids), document.length)
+        return join_blocks(
+            self._read_payloads(document.data_ids, scheme=scheme), document.length
+        )
 
     #: Back-compat alias of :meth:`get`.
     read = get
@@ -920,6 +1086,7 @@ class StorageService:
         degraded-read path and yielded one at a time, so at most one batch of
         payloads is buffered in memory.
         """
+        scheme = self._scheme_for(name)
         document = self._document(name)
 
         def blocks() -> Iterator[bytes]:
@@ -927,7 +1094,7 @@ class StorageService:
             data_ids = document.data_ids
             for start in range(0, len(data_ids), self._batch_blocks):
                 batch = data_ids[start : start + self._batch_blocks]
-                for payload in self._read_payloads(batch):
+                for payload in self._read_payloads(batch, scheme=scheme):
                     take = min(remaining, self.block_size)
                     yield payload_to_bytes(payload, take)
                     remaining -= take
@@ -964,7 +1131,10 @@ class StorageService:
         self._ensure_open()
         with self._state_lock:
             document = self._document(name)
+            scheme = self._scheme_for(name)
             del self._documents[name]
+            if self._transition is not None:
+                self._transition.pending.discard(name)
             seq = self._next_mutation()
             ops: List[Dict[str, object]] = [
                 {"op": "delete_doc", "name": name, "seq": seq}
@@ -973,15 +1143,184 @@ class StorageService:
         # a crash mid-delete leaves orphan blocks, never a catalogued
         # document whose payloads are already gone.
         self._commit_meta(ops)
-        if not self._scheme.capabilities().erasable:
+        if not scheme.capabilities().erasable:
             return []
         removed: List[object] = []
         with self._state_lock:
-            for block_id in self._scheme.document_blocks(document.data_ids):
+            for block_id in scheme.document_blocks(document.data_ids):
                 if self._cluster.knows(block_id):
                     self._cluster.delete_block(block_id)
                     removed.append(block_id)
         return removed
+
+    # ------------------------------------------------------------------
+    # Scheme transitions
+    # ------------------------------------------------------------------
+    def transition_to(
+        self,
+        scheme: Union[str, RedundancyScheme],
+        doc_guard: Optional[Callable[[str], ContextManager[object]]] = None,
+    ) -> Optional[TransitionReport]:
+        """Migrate this live service to another redundancy scheme.
+
+        Runs a :class:`~repro.system.transitions.TransitionEngine` to
+        completion: an AE alpha raise recomputes only the new strand-class
+        parities (zero data blocks rewritten), a puncturing change
+        regenerates-then-deletes parities, and any cross-family pair
+        streams documents through a re-encode with new blocks committed
+        before old blocks are deleted.  Reads stay byte-exact throughout --
+        documents not yet migrated are served by the retained source
+        scheme.  On a durable service the plan is persisted as
+        ``transition.json``; a crash at any point resumes automatically on
+        the next :meth:`open`.  Returns ``None`` when already on the target.
+
+        ``doc_guard`` (used by the concurrent front-end) yields a context
+        manager excluding readers of one document for the instant of its
+        copy-commit-delete window.  The bare service assumes the
+        single-mutator discipline documented for :meth:`put`.
+        """
+        self._ensure_open()
+        if self._transition is not None:
+            raise InvalidParametersError(
+                f"a {self._transition.kind} transition to "
+                f"{self._transition.target!r} is already in flight; it must "
+                "finish (or be resumed via open()) first"
+            )
+        target = (
+            scheme
+            if isinstance(scheme, RedundancyScheme)
+            else schemes.get(str(scheme), block_size=self.block_size)
+        )
+        engine = TransitionEngine(self, target, doc_guard=doc_guard)
+        return engine.run()
+
+    def _begin_transition(
+        self, plan: TransitionPlan, target: RedundancyScheme
+    ) -> None:
+        """Flip to the target scheme, retaining the source as the fallback
+        read path (call with the state lock held)."""
+        self._fallback = self._scheme
+        self._scheme = target
+        self._transition = plan
+        params = getattr(target, "params", None)
+        if isinstance(params, AEParameters):
+            # A cross-family move *into* AE starts a fresh lattice, and with
+            # it a fresh epoch ledger.
+            self._epochs = EpochHistory.starting_with(params)
+        else:
+            self._epochs = None
+
+    def _save_transition_plan(self) -> None:
+        if self._data_dir is not None and self._transition is not None:
+            self._transition.save(self._data_dir, fsync=self._fsync)
+
+    def _record_epoch(self, params: AEParameters) -> None:
+        """Append a parameter epoch at the current lattice head (call with
+        the state lock held)."""
+        if self._epochs is None:
+            self._epochs = EpochHistory.starting_with(params)
+            return
+        position = self._scheme.entangler.blocks_encoded + 1  # type: ignore[attr-defined]
+        epochs = self._epochs.epochs
+        if epochs and epochs[-1].first_index >= position:
+            # The previous setting never encoded a block at this position;
+            # the new parameters simply take over its slot.
+            epochs[-1] = ParameterEpoch(epochs[-1].first_index, params)
+        else:
+            self._epochs.change(position, params)
+
+    def _migrate_document(self, name: str) -> Optional[Tuple[int, int, int]]:
+        """Re-encode one pending document under the target scheme.
+
+        The core of the reencode transition: read the bytes through the
+        source (fallback) scheme, encode them under the target, commit the
+        re-pointed catalogue entry to the WAL (a ``transition_doc``
+        record), and only then delete the source blocks.  A crash before
+        the commit leaves the document pending and source-served; after
+        it, migrated and target-served -- either way byte-exact.  Returns
+        ``(blocks_written, blocks_deleted, data_blocks_rewritten)``, or
+        ``None`` if the document no longer needs migrating.
+        """
+        with self._state_lock:
+            plan = self._transition
+            if plan is None or name not in plan.pending:
+                return None
+            document = self._documents.get(name)
+            if document is None:
+                plan.pending.discard(name)
+                return None
+            source = self._fallback if self._fallback is not None else self._scheme
+            payloads = self._read_payloads(document.data_ids, scheme=source)
+            data = join_blocks(payloads, document.length)
+            part = self._scheme.encode(data)
+            self._cluster.put_many(part.blocks)
+            migrated = StoredDocument(
+                name=name, data_ids=part.data_ids, length=document.length
+            )
+            self._documents[name] = migrated
+            plan.pending.discard(name)
+            seq = self._next_mutation()
+            ops: List[Dict[str, object]] = [
+                {
+                    "op": "transition_doc",
+                    "name": name,
+                    "data_ids": _encode_id_runs(part.data_ids),
+                    "length": migrated.length,
+                    "state": self._scheme.state(),
+                    "seq": seq,
+                }
+            ]
+        # Commit outside the lock (group-commit discipline), and only then
+        # reclaim: the new version must be durable before the old blocks go.
+        self._commit_meta(ops)
+        deleted = 0
+        if source.capabilities().erasable:
+            with self._state_lock:
+                deleted = self._cluster.delete_blocks(
+                    source.document_blocks(document.data_ids)
+                )
+        data_blocks = sum(
+            1 for block_id, _ in part.blocks if self._scheme.is_data_block(block_id)
+        )
+        return (len(part.blocks), deleted, data_blocks)
+
+    def _finish_transition(self) -> None:
+        """Settle the completed transition and drop the durable plan."""
+        with self._state_lock:
+            plan = self._transition
+            if plan is None:
+                return
+            # Persist the settled plan (empty pending) first: if the crash
+            # hits before the file is removed, the resume sees nothing left
+            # to migrate instead of a stale pending list.
+            self._save_transition_plan()
+            self._transition = None
+            self._fallback = None
+        self._checkpoint()
+        if self._data_dir is not None:
+            TransitionPlan.remove(self._data_dir)
+
+    def _resume_transition(self) -> Optional[TransitionReport]:
+        """Finish a crash-interrupted transition during :meth:`open`."""
+        plan = self._transition
+        if plan is None:
+            return None
+        target = schemes.get(plan.target, block_size=self.block_size)
+        if self._scheme.scheme_id == plan.source:
+            # The crash hit before the start checkpoint landed: nothing
+            # moved yet, so simply restart the transition from scratch.
+            self._transition = None
+            self._fallback = None
+        elif plan.kind == "reencode" and plan.pending:
+            # Mid-migration: rebuild the source scheme from its frozen
+            # state so pending documents keep their fallback read path.
+            fallback = schemes.get(plan.source, block_size=self.block_size)
+            fallback.restore_state(
+                dict(plan.source_state), self._cluster.try_get_block
+            )
+            self._fallback = fallback
+        engine = TransitionEngine(self, target)
+        return engine.run()
 
     # ------------------------------------------------------------------
     # Failures and repair

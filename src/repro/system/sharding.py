@@ -45,8 +45,10 @@ from concurrent.futures import Future
 from dataclasses import dataclass, field, replace
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
 
+import repro.schemes as schemes_registry
 from repro.exceptions import InvalidParametersError, PlacementError, ReproError, UnknownBlockError
 from repro.schemes.base import RedundancyScheme, SchemeCapabilities
+from repro.system.transitions import TransitionReport
 from repro.storage.backends import write_json
 from repro.storage.placement import PlacementPolicy
 from repro.system.frontend import DEFAULT_WORKERS, ConcurrentStorageService
@@ -351,6 +353,9 @@ class ShardedStorageService:
         self._workers = workers
         self._queue_depth = queue_depth
         self._leaving: set[int] = set(leaving)
+        # Scheme id of an in-flight federation-wide transition; persisted in
+        # the manifest so a crash resumes the remaining shards' switches.
+        self._transitioning_to: Optional[str] = None
         self._lock = threading.RLock()
         self._closed = False
 
@@ -393,13 +398,21 @@ class ShardedStorageService:
         shard_ids: List[int]
         leaving: List[int] = []
         manifest = cls._load_federation(config.data_dir)
+        transitioning: Optional[str] = None
         if manifest is not None:
             stored_scheme = manifest.get("scheme")
-            if stored_scheme != scheme_id:
+            raw_transitioning = manifest.get("transitioning_to")
+            if raw_transitioning is not None:
+                transitioning = str(raw_transitioning)
+            if stored_scheme != scheme_id and scheme_id != transitioning:
                 raise InvalidParametersError(
                     f"data_dir {config.data_dir!r} holds a {stored_scheme!r} "
                     f"federation, not {scheme_id!r}"
                 )
+            # Mid-transition, shards are opened under the manifest scheme
+            # (with a per-shard fallback probe below); the switch to the
+            # target finishes before open() returns.
+            scheme_id = str(stored_scheme)
             stored_backend = manifest.get("backend", config.backend)
             if stored_backend != config.backend:
                 raise InvalidParametersError(
@@ -419,18 +432,29 @@ class ShardedStorageService:
             if shard_count < 1:
                 raise InvalidParametersError("shards must be at least 1")
             shard_ids = list(range(shard_count))
-        shard_config = replace(config, shards=None, data_dir=None)
+        shard_config = replace(config, shards=None, data_dir=None, scheme=scheme_id)
         shards: Dict[int, ConcurrentStorageService] = {}
         opened_all = False
         try:
             for shard_id in shard_ids:
-                shards[shard_id] = ConcurrentStorageService.open(
-                    cls._shard_storage_config(
-                        shard_config, config.data_dir, shard_id
-                    ),
-                    workers=workers,
-                    queue_depth=queue_depth,
+                shard_storage = cls._shard_storage_config(
+                    shard_config, config.data_dir, shard_id
                 )
+                try:
+                    shards[shard_id] = ConcurrentStorageService.open(
+                        shard_storage, workers=workers, queue_depth=queue_depth
+                    )
+                except InvalidParametersError:
+                    if transitioning is None:
+                        raise
+                    # A shard whose switch already completed holds a
+                    # target-scheme manifest (and no transition plan), so
+                    # the source-scheme open is rejected: probe the target.
+                    shards[shard_id] = ConcurrentStorageService.open(
+                        replace(shard_storage, scheme=transitioning),
+                        workers=workers,
+                        queue_depth=queue_depth,
+                    )
             opened_all = True
         finally:
             if not opened_all:  # close the half-built federation, then re-raise
@@ -449,10 +473,14 @@ class ShardedStorageService:
             queue_depth=queue_depth,
             leaving=leaving,
         )
+        federation._transitioning_to = transitioning
         if config.data_dir is not None:
             federation._write_federation()
-            # Resume whatever a crash interrupted: re-home misplaced
+            # Resume whatever a crash interrupted: finish the scheme
+            # switch on the shards that still owe it, re-home misplaced
             # documents, then finish any half-completed shard removal.
+            if transitioning is not None:
+                federation._resume_scheme_transition()
             if federation._misplaced() or leaving:
                 federation.rebalance(reason="resume")
                 for shard_id in list(leaving):
@@ -518,6 +546,11 @@ class ShardedStorageService:
                 "vnodes": self._ring.vnodes,
                 "shard_ids": sorted(self._shards),
                 "leaving": sorted(self._leaving),
+                **(
+                    {"transitioning_to": self._transitioning_to}
+                    if self._transitioning_to is not None
+                    else {}
+                ),
             },
             fsync=shard_config.fsync,
         )
@@ -820,6 +853,62 @@ class ShardedStorageService:
             except ReproError as exc:
                 report.errors[shard_id] = str(exc)
         return report
+
+    # ------------------------------------------------------------------
+    # Scheme transitions (federation-wide, shard by shard)
+    # ------------------------------------------------------------------
+    def transition_to(self, scheme_id: str) -> Dict[int, Optional[TransitionReport]]:
+        """Migrate every shard to another redundancy scheme, one at a time.
+
+        The federation manifest records ``transitioning_to`` *before* the
+        first shard moves, so a crash at any point -- between shards or
+        inside one shard's own durable transition -- reopens into an
+        automatic resume: finished shards are probed open under the target,
+        unfinished ones complete their switch.  Because shards transition
+        independently (each behind its own maintenance gate), reads keep
+        flowing federation-wide throughout; at most one shard's mutations
+        are quiesced at a time.
+        """
+        self._ensure_open()
+        with self._lock:
+            target = str(scheme_id).strip().lower()
+            current = str((self._shard_config or StorageConfig()).scheme)
+            if target == current:
+                return {}
+            if self._transitioning_to is not None:
+                raise InvalidParametersError(
+                    f"a federation transition to {self._transitioning_to!r} "
+                    "is already in flight"
+                )
+            # Resolve once up front: an unknown or malformed id must fail
+            # before any durable intent is written.
+            schemes_registry.get(target, block_size=self.block_size)
+            self._transitioning_to = target
+            self._write_federation()
+            reports: Dict[int, Optional[TransitionReport]] = {}
+            for shard_id in sorted(self._shards):
+                reports[shard_id] = self._shards[shard_id].transition_to(target)
+            self._settle_transition(target)
+            return reports
+
+    def _resume_scheme_transition(self) -> None:
+        """Finish a crash-interrupted federation transition on open."""
+        target = self._transitioning_to
+        assert target is not None
+        with self._lock:
+            for shard_id in sorted(self._shards):
+                shard = self._shards[shard_id]
+                if shard.service.scheme.scheme_id != target:
+                    shard.transition_to(target)
+            self._settle_transition(target)
+
+    def _settle_transition(self, target: str) -> None:
+        """Re-bind the federation to the target scheme (lock held)."""
+        self._shard_config = replace(
+            self._shard_config or StorageConfig(), scheme=target
+        )
+        self._transitioning_to = None
+        self._write_federation()
 
     # ------------------------------------------------------------------
     # Membership and rebalancing

@@ -1,0 +1,528 @@
+"""Live redundancy-scheme transitions for a running storage service.
+
+The paper's headline flexibility (Sec. I and III-B) is that redundancy can
+*evolve in place*: alpha can be raised without touching stored data,
+parities can be punctured for intermediate code rates, and an archive can
+outgrow one code family into another.  This module makes that operational
+for the live system: a :class:`TransitionEngine` migrates an open
+:class:`~repro.system.service.StorageService` between any two registered
+schemes while reads keep flowing, and a durable :class:`TransitionPlan`
+(``transition.json`` next to the service manifest) makes every step
+crash-resumable.
+
+Three transition kinds, picked by :func:`classify`:
+
+``alpha-raise``
+    AE -> AE with the same ``(s, p)`` geometry and a higher ``alpha``.
+    The engine re-walks the stored data blocks once with
+    :class:`~repro.core.dynamic.AlphaUpgrader`, computing only the new
+    strand-class parities -- **zero data blocks are rewritten** -- then
+    swaps in a scheme instance over the widened lattice and records the
+    change in the service's :class:`~repro.core.dynamic.EpochHistory`.
+
+``repuncture``
+    AE -> AE with identical parameters but a different puncturing rate
+    (including plain <-> punctured).  Parities the target stores but the
+    source dropped are regenerated through the decoder and written
+    *before* the scheme flips; parities the target punctures are deleted
+    only *after* the flip is durable -- the copy-commit-before-delete
+    ordering of the shard rebalancer, applied to parities.
+
+``reencode``
+    Everything else (replication -> AE, AE -> Reed-Solomon, RS -> LRC,
+    ...).  Documents stream one at a time through a read-under-the-old /
+    encode-under-the-new pass; each document's new blocks are committed to
+    the metadata WAL (a ``transition_doc`` record) before its old blocks
+    are deleted, and reads of not-yet-migrated documents fall back to the
+    retained source scheme, so every document is byte-exact at every
+    instant.  AE -> AE geometry changes are rejected: both settings share
+    the ``d-<n>`` block namespace, so a live re-encode cannot keep both
+    generations readable.
+
+This module is on the repro-lint RPR001 engine path: no wall-clock, no
+entropy -- a resumed transition replays to the same result.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from contextlib import nullcontext
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, ContextManager, Dict, List, Optional, Set
+
+import repro.schemes as schemes
+from repro.codes.entanglement import EntanglementScheme, PuncturedEntanglementScheme
+from repro.core.blocks import DataId, ParityId
+from repro.core.dynamic import AlphaUpgrader, plan_alpha_upgrade
+from repro.core.xor import Payload
+from repro.exceptions import InvalidParametersError
+from repro.schemes.base import RedundancyScheme
+from repro.schemes.stripe import StripeScheme
+from repro.storage.backends import write_json
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (service imports us)
+    from repro.system.service import StorageService
+
+__all__ = [
+    "KIND_ALPHA_RAISE",
+    "KIND_REENCODE",
+    "KIND_REPUNCTURE",
+    "STAGE_CLEANUP",
+    "STAGE_MIGRATE",
+    "TRANSITION_FORMAT",
+    "TRANSITION_NAME",
+    "TransitionEngine",
+    "TransitionPlan",
+    "TransitionReport",
+    "classify",
+]
+
+#: Name of the durable transition manifest inside a service ``data_dir``.
+TRANSITION_NAME = "transition.json"
+
+#: Transition manifest format version.
+TRANSITION_FORMAT = 1
+
+KIND_ALPHA_RAISE = "alpha-raise"
+KIND_REPUNCTURE = "repuncture"
+KIND_REENCODE = "reencode"
+
+#: Stage while documents (or parities) are still being rewritten.
+STAGE_MIGRATE = "migrate"
+#: Stage once every document is on the target and only old-scheme block
+#: reclamation remains.
+STAGE_CLEANUP = "cleanup"
+
+#: Blocks buffered per bulk cluster write during a parity walk.
+FLUSH_BLOCKS = 256
+
+#: Guards one document against concurrent readers while it migrates (the
+#: front-end passes its stripe write lock; a bare service needs none).
+DocumentGuard = Callable[[str], ContextManager[object]]
+
+
+def classify(source: RedundancyScheme, target: RedundancyScheme) -> str:
+    """The transition kind between two schemes, or raise if unsupported.
+
+    AE -> AE pairs must either share all parameters (a ``repuncture``) or
+    differ *only* by a higher target alpha with neither side punctured (an
+    ``alpha-raise``); anything else -- geometry changes, alpha lowering,
+    raising a punctured lattice -- is rejected with the supported path
+    spelled out.  Every cross-family pair is a ``reencode``.
+    """
+    source_ae = isinstance(source, EntanglementScheme)
+    target_ae = isinstance(target, EntanglementScheme)
+    if not (source_ae and target_ae):
+        return KIND_REENCODE
+    if source.params == target.params:
+        return KIND_REPUNCTURE
+    source_plain = not isinstance(source, PuncturedEntanglementScheme)
+    target_plain = not isinstance(target, PuncturedEntanglementScheme)
+    same_geometry = (
+        not source.params.is_single
+        and not target.params.is_single
+        and source.params.s == target.params.s
+        and source.params.p == target.params.p
+    )
+    if same_geometry and source_plain and target_plain:
+        new_classes = set(target.params.strand_classes) - set(
+            source.params.strand_classes
+        )
+        if target.params.alpha > source.params.alpha and not new_classes:
+            # The lattice has three strand classes (H, RH, LH); past
+            # alpha=3 a "raise" adds no class and therefore no protection.
+            raise InvalidParametersError(
+                f"raising {source.scheme_id} to {target.scheme_id} adds no "
+                "strand class (the helical lattice tops out at alpha=3); "
+                "nothing would be gained"
+            )
+        if target.params.alpha > source.params.alpha:
+            return KIND_ALPHA_RAISE
+        raise InvalidParametersError(
+            f"cannot lower alpha live ({source.scheme_id} -> "
+            f"{target.scheme_id}); puncture instead "
+            f"({source.scheme_id}-p<keep%> trades parities for rate without "
+            "rewiring the lattice)"
+        )
+    if same_geometry and target.params.alpha > source.params.alpha:
+        raise InvalidParametersError(
+            f"cannot raise alpha on a punctured lattice ({source.scheme_id} "
+            f"-> {target.scheme_id}); transition to the unpunctured setting "
+            "first, then raise alpha"
+        )
+    raise InvalidParametersError(
+        f"cannot re-wire AE geometry live ({source.scheme_id} -> "
+        f"{target.scheme_id}): both settings share the d-<n> block "
+        "namespace, so a live re-encode cannot keep the old generation "
+        "readable; supported AE transitions are alpha raises and puncturing "
+        "changes"
+    )
+
+
+@dataclass
+class TransitionPlan:
+    """The durable state machine of one scheme transition.
+
+    Persisted atomically as ``transition.json``; together with the metadata
+    WAL it makes the transition resumable from any crash point.  ``pending``
+    is the set of documents still encoded under the source scheme (reads of
+    those fall back to the source); the WAL's ``transition_doc`` records
+    shrink it between checkpoints.  ``source_state`` is the source scheme's
+    state frozen at the start, so a reopen can rebuild the fallback
+    read path.
+    """
+
+    source: str
+    target: str
+    kind: str
+    stage: str = STAGE_MIGRATE
+    pending: Set[str] = field(default_factory=set)
+    stripe_base: int = 0
+    upgrade_position: int = 0
+    source_state: Dict[str, object] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "format": TRANSITION_FORMAT,
+            "source": self.source,
+            "target": self.target,
+            "kind": self.kind,
+            "stage": self.stage,
+            "pending": sorted(self.pending),
+            "stripe_base": self.stripe_base,
+            "upgrade_position": self.upgrade_position,
+            "source_state": self.source_state,
+        }
+
+    @classmethod
+    def from_dict(cls, raw: Dict[str, object]) -> "TransitionPlan":
+        if int(raw.get("format", 0)) != TRANSITION_FORMAT:
+            raise InvalidParametersError(
+                f"unsupported transition manifest format: {raw.get('format')!r}"
+            )
+        return cls(
+            source=str(raw["source"]),
+            target=str(raw["target"]),
+            kind=str(raw["kind"]),
+            stage=str(raw.get("stage", STAGE_MIGRATE)),
+            pending=set(str(name) for name in raw.get("pending", [])),  # type: ignore[union-attr]
+            stripe_base=int(raw.get("stripe_base", 0)),  # type: ignore[arg-type]
+            upgrade_position=int(raw.get("upgrade_position", 0)),  # type: ignore[arg-type]
+            source_state=dict(raw.get("source_state", {})),  # type: ignore[arg-type]
+        )
+
+    def save(self, data_dir: str, fsync: bool = False) -> None:
+        """Atomically persist the plan next to the service manifest."""
+        write_json(
+            os.path.join(data_dir, TRANSITION_NAME), self.to_dict(), fsync=fsync
+        )
+
+    @staticmethod
+    def load(data_dir: str) -> Optional["TransitionPlan"]:
+        path = os.path.join(data_dir, TRANSITION_NAME)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                raw = json.load(handle)
+        except FileNotFoundError:
+            return None
+        except json.JSONDecodeError as exc:
+            raise InvalidParametersError(
+                f"corrupt transition manifest {path!r}: {exc}; the service "
+                "manifest and block data are intact -- restore or delete the "
+                "transition manifest before reopening"
+            ) from exc
+        return TransitionPlan.from_dict(raw)
+
+    @staticmethod
+    def remove(data_dir: str) -> None:
+        try:
+            os.remove(os.path.join(data_dir, TRANSITION_NAME))
+        except FileNotFoundError:
+            pass
+
+
+@dataclass
+class TransitionReport:
+    """Outcome of one completed transition (or resumed remainder)."""
+
+    source: str
+    target: str
+    kind: str
+    documents_migrated: int = 0
+    blocks_written: int = 0
+    blocks_deleted: int = 0
+    parities_written: int = 0
+    data_blocks_rewritten: int = 0
+    resumed: bool = False
+
+    def summary(self) -> str:
+        text = (
+            f"[{self.kind}] {self.source} -> {self.target}: "
+            f"{self.documents_migrated} documents migrated, "
+            f"{self.blocks_written} blocks written "
+            f"({self.data_blocks_rewritten} data), "
+            f"{self.blocks_deleted} deleted"
+        )
+        if self.resumed:
+            text += " (resumed)"
+        return text
+
+
+class TransitionEngine:
+    """Drives one scheme transition over a live storage service.
+
+    The engine orchestrates; the durable per-document commit protocol lives
+    in :meth:`StorageService._migrate_document` so it shares the service's
+    lock and WAL discipline.  ``doc_guard`` (when the front-end supplies
+    one) excludes readers of exactly the document being migrated for the
+    instant of its copy-commit-delete window; all other reads proceed
+    untouched.
+    """
+
+    def __init__(
+        self,
+        service: "StorageService",
+        target: RedundancyScheme,
+        doc_guard: Optional[DocumentGuard] = None,
+    ) -> None:
+        self._service = service
+        self._target = target
+        self._doc_guard: DocumentGuard = doc_guard or (lambda _name: nullcontext())
+
+    def run(self) -> Optional[TransitionReport]:
+        """Execute (or resume) the transition to completion.
+
+        Returns ``None`` when the service is already on the target scheme
+        and nothing was in flight.
+        """
+        service = self._service
+        plan = service._transition
+        resumed = plan is not None
+        if plan is None:
+            plan = self._start()
+            if plan is None:
+                return None
+        report = TransitionReport(
+            source=plan.source, target=plan.target, kind=plan.kind, resumed=resumed
+        )
+        if plan.kind == KIND_ALPHA_RAISE:
+            self._run_alpha_raise(plan, report)
+        elif plan.kind == KIND_REPUNCTURE:
+            self._run_repuncture(plan, report)
+        elif plan.kind == KIND_REENCODE:
+            self._run_reencode(plan, report)
+        else:
+            raise InvalidParametersError(
+                f"unknown transition kind {plan.kind!r} in "
+                f"{service.data_dir!r}; the transition manifest was written "
+                "by an incompatible version"
+            )
+        service._finish_transition()
+        return report
+
+    # ------------------------------------------------------------------
+    # Start: freeze the plan, make the intent durable
+    # ------------------------------------------------------------------
+    def _start(self) -> Optional[TransitionPlan]:
+        service = self._service
+        target = self._target
+        with service._state_lock:
+            source = service._scheme
+            if source.scheme_id == target.scheme_id:
+                return None
+            if source.block_size != target.block_size:
+                raise InvalidParametersError(
+                    f"cannot transition across block sizes "
+                    f"({source.block_size} -> {target.block_size}); blocks "
+                    "would need re-chunking, which changes every document's "
+                    "block ids"
+                )
+            kind = classify(source, target)
+            plan = TransitionPlan(
+                source=source.scheme_id,
+                target=target.scheme_id,
+                kind=kind,
+                source_state=dict(source.state()),
+            )
+            if kind == KIND_REENCODE:
+                plan.pending = set(service._documents)
+                if isinstance(source, StripeScheme) and isinstance(
+                    target, StripeScheme
+                ):
+                    # Both families use StripeBlockId: the target starts
+                    # numbering past the source so the namespaces stay
+                    # disjoint until the old stripes are reclaimed.
+                    plan.stripe_base = source.stripes_written
+                    target.restore_state(
+                        {"next_stripe": plan.stripe_base},
+                        service._cluster.try_get_block,
+                    )
+                # Flip now: new writes land on the target, reads of pending
+                # documents fall back to the retained source instance.
+                service._begin_transition(plan, target)
+            else:
+                # AE-internal kinds keep the source serving until their
+                # parity walk completes; the flip is inside the run.
+                service._transition = plan
+                service._fallback = None
+        service._save_transition_plan()
+        # The start checkpoint makes the intent durable: manifest + fresh
+        # WAL epoch on one side of the crash window, the plan on the other.
+        service._checkpoint()
+        return plan
+
+    # ------------------------------------------------------------------
+    # alpha-raise: new strand-class parities only, zero data rewritten
+    # ------------------------------------------------------------------
+    def _run_alpha_raise(self, plan: TransitionPlan, report: TransitionReport) -> None:
+        service = self._service
+        if service._scheme.scheme_id == plan.target:
+            return  # resumed past the flip checkpoint; only cleanup remained
+        with service._state_lock:
+            source = service._scheme
+            assert isinstance(source, EntanglementScheme)
+            upgrade = plan_alpha_upgrade(
+                source.params,
+                self._target.params.alpha,  # type: ignore[attr-defined]
+                source.entangler.blocks_encoded,
+            )
+            upgrader = AlphaUpgrader(upgrade, source.block_size)
+            fetch = self._data_fetch(source)
+            batch: List[object] = []
+            for block in upgrader.run(fetch):
+                batch.append((block.block_id, block.payload))
+                if len(batch) >= FLUSH_BLOCKS:
+                    service._cluster.put_many(batch)  # type: ignore[arg-type]
+                    report.parities_written += len(batch)
+                    plan.upgrade_position = int(batch[-1][0].index)  # type: ignore[attr-defined,index]
+                    batch.clear()
+            if batch:
+                service._cluster.put_many(batch)  # type: ignore[arg-type]
+                report.parities_written += len(batch)
+            plan.upgrade_position = upgrade.lattice_size
+            report.blocks_written += report.parities_written
+            # Swap in a scheme over the widened lattice.  restore_state
+            # re-fetches the strand heads -- including the classes the walk
+            # just wrote -- so the next encode chains correctly.
+            raised = EntanglementScheme(
+                upgrade.new_params,
+                block_size=source.block_size,
+                scheme_id=plan.target,
+            )
+            raised.restore_state(source.state(), service._cluster.try_get_block)
+            service._scheme = raised
+            service._record_epoch(upgrade.new_params)
+        plan.stage = STAGE_CLEANUP
+        service._checkpoint()
+
+    def _data_fetch(
+        self, source: EntanglementScheme
+    ) -> Callable[[DataId], Optional[Payload]]:
+        """Data-block fetch for the upgrade walk, with degraded fallback."""
+        service = self._service
+
+        def fetch(data_id: DataId) -> Optional[Payload]:
+            payload = service._cluster.try_get_block(data_id)
+            if payload is None:
+                # An unavailable data block is rebuilt through the source's
+                # existing parities before its new parities are derived.
+                payload = source.read_block(data_id, service._cluster.try_get_block)
+            return payload
+
+        return fetch
+
+    # ------------------------------------------------------------------
+    # repuncture: regenerate-then-flip-then-delete
+    # ------------------------------------------------------------------
+    def _run_repuncture(self, plan: TransitionPlan, report: TransitionReport) -> None:
+        service = self._service
+        if service._scheme.scheme_id != plan.target:
+            # Additions pass: parities the target keeps but the source never
+            # stored are regenerated through the decoder and written first.
+            with service._state_lock:
+                source = service._scheme
+                assert isinstance(source, EntanglementScheme)
+                target_code = getattr(self._target, "punctured_code", None)
+                batch = []
+                for parity in self._source_only_parities(source, target_code):
+                    if service._cluster.knows(parity):
+                        continue  # idempotent resume: already regenerated
+                    payload = source.read_block(parity, service._cluster.try_get_block)
+                    batch.append((parity, payload))
+                    if len(batch) >= FLUSH_BLOCKS:
+                        service._cluster.put_many(batch)
+                        report.parities_written += len(batch)
+                        batch.clear()
+                if batch:
+                    service._cluster.put_many(batch)
+                    report.parities_written += len(batch)
+                report.blocks_written += report.parities_written
+                # Flip: the target re-reads the strand heads (regenerating
+                # any the new rate punctures).
+                self._target.restore_state(
+                    source.state(), service._cluster.try_get_block
+                )
+                service._scheme = self._target
+            plan.stage = STAGE_CLEANUP
+            # The flip must be durable before any parity disappears.
+            service._checkpoint()
+        # Deletion pass: parities the (now current) target punctures.  The
+        # deterministic policy is monotone in the keep fraction, so the
+        # target's punctured set covers everything any source rate stored.
+        with service._state_lock:
+            current = service._scheme
+            if isinstance(current, PuncturedEntanglementScheme):
+                doomed = [
+                    parity
+                    for parity in current.punctured_parities()
+                    if service._cluster.knows(parity)
+                ]
+                report.blocks_deleted += service._cluster.delete_blocks(doomed)
+
+    @staticmethod
+    def _source_only_parities(
+        source: EntanglementScheme, target_code: Optional[object]
+    ) -> List[ParityId]:
+        """Parities punctured by the source but stored by the target."""
+        source_code = getattr(source, "punctured_code", None)
+        if source_code is None:
+            return []  # a plain source stored everything
+        wanted: List[ParityId] = []
+        for index in range(1, source.entangler.blocks_encoded + 1):
+            for strand_class in source.params.strand_classes:
+                parity = ParityId(index, strand_class)
+                if not source_code.is_punctured(parity):
+                    continue
+                if target_code is not None and target_code.is_punctured(parity):  # type: ignore[attr-defined]
+                    continue
+                wanted.append(parity)
+        return wanted
+
+    # ------------------------------------------------------------------
+    # reencode: stream documents through the new scheme
+    # ------------------------------------------------------------------
+    def _run_reencode(self, plan: TransitionPlan, report: TransitionReport) -> None:
+        service = self._service
+        for name in sorted(plan.pending):
+            with self._doc_guard(name):
+                moved = service._migrate_document(name)
+            if moved is not None:
+                written, deleted, data_blocks = moved
+                report.documents_migrated += 1
+                report.blocks_written += written
+                report.blocks_deleted += deleted
+                report.data_blocks_rewritten += data_blocks
+        plan.stage = STAGE_CLEANUP
+        # A non-erasable source (entanglement) reclaims nothing per
+        # document; once every document lives on the target, the whole
+        # retired lattice -- data and parities -- is deleted in one sweep.
+        source_scheme = schemes.get(plan.source, block_size=service.block_size)
+        if not source_scheme.capabilities().erasable:
+            with service._state_lock:
+                doomed = [
+                    block_id
+                    for block_id in service._cluster.block_ids()
+                    if isinstance(block_id, (DataId, ParityId))
+                ]
+                report.blocks_deleted += service._cluster.delete_blocks(doomed)

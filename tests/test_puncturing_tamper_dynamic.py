@@ -77,6 +77,41 @@ class TestPuncturing:
         survivors = parity_survivors(code, [1, 2, 3])
         assert len(survivors) == 6  # 2 of 3 classes survive for 3 nodes
 
+    def test_effective_overhead_matches_exact_enumeration(self):
+        """The estimate is an exact count over the sampled prefix, not a guess."""
+        params = AEParameters.triple(2, 5)
+        code = puncture_rate(params, keep_fraction=0.75)
+        sample = 600
+        dropped = sum(
+            1
+            for index in range(1, sample + 1)
+            for strand_class in params.strand_classes
+            if code.is_punctured(ParityId(index, strand_class))
+        )
+        total = sample * len(params.strand_classes)
+        exact = params.alpha * (1.0 - dropped / total)
+        assert code.effective_overhead(sample_size=sample) == pytest.approx(exact, abs=1e-12)
+
+    def test_effective_overhead_on_empty_sample_is_alpha(self):
+        code = no_puncturing(AEParameters.triple(2, 5))
+        assert code.effective_overhead(sample_size=0) == pytest.approx(3.0)
+
+    def test_rate_puncturing_is_monotone_in_keep_fraction(self):
+        """Tightening the keep fraction only ever punctures *more* parities.
+
+        The repuncture deletion pass of the transition engine relies on
+        this: the target policy's punctured set covers every source set
+        with a higher keep fraction, so one pass deletes everything.
+        """
+        params = AEParameters.triple(2, 5)
+        loose = puncture_rate(params, keep_fraction=0.75)
+        tight = puncture_rate(params, keep_fraction=0.5)
+        for index in range(1, 301):
+            for strand_class in params.strand_classes:
+                parity = ParityId(index, strand_class)
+                if loose.is_punctured(parity):
+                    assert tight.is_punctured(parity)
+
 
 class TestAntiTampering:
     def test_tampered_parities_follow_strands_to_the_end(self):
@@ -158,3 +193,18 @@ class TestDynamicUpgrade:
         with pytest.raises(InvalidParametersError):
             history.change(50, AEParameters.triple(2, 5))
         assert len(list(history)) == 2
+
+    def test_params_at_epoch_boundaries(self):
+        history = EpochHistory.starting_with(AEParameters.double(2, 5))
+        history.change(101, AEParameters.triple(2, 5))
+        assert history.params_at(1) == AEParameters.double(2, 5)  # first covered
+        assert history.params_at(100).alpha == 2  # last index of the old epoch
+        assert history.params_at(101).alpha == 3  # exactly at the switch
+        with pytest.raises(InvalidParametersError):
+            history.params_at(0)  # below the first epoch's start
+
+    def test_params_at_on_empty_history_raises(self):
+        with pytest.raises(InvalidParametersError):
+            EpochHistory([]).params_at(1)
+        with pytest.raises(InvalidParametersError):
+            EpochHistory().params_at(1)

@@ -57,3 +57,31 @@ class TestSchemeFamilyRegistry:
     def test_default_scheme_resolves(self):
         assert schemes.DEFAULT_SCHEME in ("ae-3-2-5",)
         assert schemes.get(schemes.DEFAULT_SCHEME) is not None
+
+
+class TestPuncturedSchemeIds:
+    """Punctured lattices are first-class registry ids: ``ae-3-2-5-p75``."""
+
+    @pytest.mark.parametrize("scheme_id,keep", [("ae-3-2-5-p75", 0.75), ("ae-2-2-5-p50", 0.5)])
+    def test_punctured_ids_resolve(self, scheme_id, keep):
+        from repro.codes.entanglement import PuncturedEntanglementScheme
+
+        scheme = schemes.get(scheme_id)
+        assert isinstance(scheme, PuncturedEntanglementScheme)
+        assert scheme.scheme_id == scheme_id
+        assert scheme.keep_fraction == pytest.approx(keep)
+
+    def test_punctured_id_round_trips_through_the_helper(self):
+        from repro.codes.entanglement import punctured_scheme_id
+        from repro.core.parameters import AEParameters
+
+        scheme_id = punctured_scheme_id(AEParameters(3, 2, 5), 0.75)
+        assert scheme_id == "ae-3-2-5-p75"
+        assert schemes.get(scheme_id).scheme_id == scheme_id
+
+    @pytest.mark.parametrize("bad", ["ae-3-2-5-p0", "ae-3-2-5-p101", "ae-3-2-5-px"])
+    def test_invalid_puncture_rates_are_rejected(self, bad):
+        from repro.exceptions import InvalidParametersError
+
+        with pytest.raises(InvalidParametersError):
+            schemes.get(bad)

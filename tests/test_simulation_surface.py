@@ -29,6 +29,7 @@ class TestSimulationImportSurface:
         assert not missing, f"__all__ entries not importable via *: {sorted(missing)}"
 
     def test_public_submodule_definitions_are_exported(self):
+        import repro.simulation.adaptive
         import repro.simulation.churn
         import repro.simulation.engine
         import repro.simulation.experiments
@@ -40,6 +41,7 @@ class TestSimulationImportSurface:
         import repro.simulation.workload
 
         submodules = [
+            repro.simulation.adaptive,
             repro.simulation.churn,
             repro.simulation.engine,
             repro.simulation.experiments,

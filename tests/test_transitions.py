@@ -1,0 +1,445 @@
+"""Live scheme transitions: classification, migration, crash resume, sharding.
+
+Acceptance tests of the dynamic-redundancy subsystem
+(:mod:`repro.system.transitions`): a live service migrates
+``rep-3 -> ae-3-2-5 -> rs-10-4`` end to end with byte-exact reads at every
+stage, an alpha raise rewrites zero data blocks, puncturing round-trips,
+and a crash image taken at any document or stage boundary resumes to
+completion on reopen -- under either endpoint's scheme id.
+"""
+
+from __future__ import annotations
+
+import random
+import shutil
+import threading
+
+import pytest
+
+import repro.schemes as schemes
+from repro.core.blocks import DataId, ParityId
+from repro.exceptions import InvalidParametersError, ReproError
+from repro.system.frontend import ConcurrentStorageService
+from repro.system.service import StorageConfig, StorageService
+from repro.system.transitions import (
+    KIND_ALPHA_RAISE,
+    KIND_REENCODE,
+    KIND_REPUNCTURE,
+    TRANSITION_NAME,
+    TransitionPlan,
+    classify,
+)
+
+BLOCK_SIZE = 512
+
+
+def mem_config(scheme, **overrides):
+    base = dict(scheme=scheme, location_count=24, block_size=BLOCK_SIZE, seed=5)
+    base.update(overrides)
+    return StorageConfig(**base)
+
+
+def disk_config(scheme, root, **overrides):
+    return mem_config(scheme, backend="disk", data_dir=str(root), **overrides)
+
+
+def make_docs(count=5, size=3000, seed=3):
+    rng = random.Random(seed)
+    return {f"doc-{index:02d}": rng.randbytes(size) for index in range(count)}
+
+
+def fill(service, payloads):
+    for name, payload in payloads.items():
+        service.put(name, payload)
+
+
+def assert_byte_exact(service, payloads):
+    for name, payload in payloads.items():
+        assert service.get(name) == payload, f"{name} corrupted"
+
+
+def resolve(scheme_id):
+    return schemes.get(scheme_id, block_size=BLOCK_SIZE)
+
+
+class TestClassify:
+    @pytest.mark.parametrize(
+        "source,target,kind",
+        [
+            ("rep-3", "ae-3-2-5", KIND_REENCODE),
+            ("ae-3-2-5", "rs-10-4", KIND_REENCODE),
+            ("rep-3", "rs-10-4", KIND_REENCODE),
+            ("ae-2-2-5", "ae-3-2-5", KIND_ALPHA_RAISE),
+            ("ae-2-3-7", "ae-3-3-7", KIND_ALPHA_RAISE),
+            ("ae-3-2-5", "ae-3-2-5-p75", KIND_REPUNCTURE),
+            ("ae-3-2-5-p75", "ae-3-2-5", KIND_REPUNCTURE),
+            ("ae-3-2-5-p75", "ae-3-2-5-p50", KIND_REPUNCTURE),
+        ],
+    )
+    def test_kinds(self, source, target, kind):
+        assert classify(resolve(source), resolve(target)) == kind
+
+    def test_raising_past_alpha_three_is_rejected(self):
+        """AE(4,2,5) duplicates a strand class: no new protection, so no raise."""
+        with pytest.raises(InvalidParametersError, match="alpha=3"):
+            classify(resolve("ae-3-2-5"), resolve("ae-4-2-5"))
+
+    def test_lowering_alpha_points_at_puncturing(self):
+        with pytest.raises(InvalidParametersError, match="punctur"):
+            classify(resolve("ae-3-2-5"), resolve("ae-2-2-5"))
+
+    def test_geometry_changes_are_rejected(self):
+        with pytest.raises(InvalidParametersError):
+            classify(resolve("ae-3-2-5"), resolve("ae-3-3-7"))
+
+    def test_raising_a_punctured_lattice_is_rejected(self):
+        with pytest.raises(InvalidParametersError, match="unpunctured"):
+            classify(resolve("ae-2-2-5-p75"), resolve("ae-3-2-5-p75"))
+
+
+class TestLiveChain:
+    def test_rep_to_ae_to_rs_end_to_end(self):
+        payloads = make_docs()
+        service = StorageService.open(mem_config("rep-3"))
+        fill(service, payloads)
+
+        report = service.transition_to("ae-3-2-5")
+        assert report.kind == KIND_REENCODE
+        assert report.documents_migrated == len(payloads)
+        assert service.scheme.scheme_id == "ae-3-2-5"
+        assert service.transition is None
+        assert service.epoch_history is not None
+        assert_byte_exact(service, payloads)
+
+        report = service.transition_to("rs-10-4")
+        assert report.kind == KIND_REENCODE
+        assert service.scheme.scheme_id == "rs-10-4"
+        assert_byte_exact(service, payloads)
+
+        # The shared AE namespace must be fully reclaimed after leaving AE.
+        leftover = [
+            block_id
+            for block_id in service.cluster.block_ids()
+            if isinstance(block_id, (DataId, ParityId))
+        ]
+        assert leftover == []
+
+    def test_alpha_raise_rewrites_zero_data_blocks(self):
+        payloads = make_docs()
+        service = StorageService.open(mem_config("ae-2-2-5"))
+        fill(service, payloads)
+        data_ids_before = {
+            data_id for doc in service.documents.values() for data_id in doc.data_ids
+        }
+
+        report = service.transition_to("ae-3-2-5")
+        assert report.kind == KIND_ALPHA_RAISE
+        assert report.data_blocks_rewritten == 0
+        assert report.documents_migrated == 0
+        assert report.parities_written > 0
+        data_ids_after = {
+            data_id for doc in service.documents.values() for data_id in doc.data_ids
+        }
+        assert data_ids_after == data_ids_before
+        assert_byte_exact(service, payloads)
+
+        history = service.epoch_history
+        assert history is not None
+        assert [epoch.params.alpha for epoch in history.epochs] == [2, 3]
+        assert history.params_at(1).alpha == 2
+
+    def test_puncture_round_trip(self):
+        payloads = make_docs()
+        service = StorageService.open(mem_config("ae-3-2-5"))
+        fill(service, payloads)
+
+        demoted = service.transition_to("ae-3-2-5-p75")
+        assert demoted.kind == KIND_REPUNCTURE
+        assert demoted.blocks_deleted > 0
+        assert service.scheme.scheme_id == "ae-3-2-5-p75"
+        assert_byte_exact(service, payloads)
+
+        restored = service.transition_to("ae-3-2-5")
+        assert restored.kind == KIND_REPUNCTURE
+        assert restored.parities_written == demoted.blocks_deleted
+        assert_byte_exact(service, payloads)
+
+    def test_no_op_transition_returns_none(self):
+        service = StorageService.open(mem_config("ae-3-2-5"))
+        fill(service, make_docs(count=1))
+        assert service.transition_to("ae-3-2-5") is None
+
+    def test_block_size_mismatch_is_rejected(self):
+        service = StorageService.open(mem_config("ae-3-2-5"))
+        with pytest.raises(InvalidParametersError, match="block size"):
+            service.transition_to(schemes.get("rs-10-4", block_size=BLOCK_SIZE * 2))
+
+    def test_raise_past_three_is_rejected_live(self):
+        service = StorageService.open(mem_config("ae-3-2-5"))
+        fill(service, make_docs(count=1))
+        with pytest.raises(InvalidParametersError, match="alpha=3"):
+            service.transition_to("ae-4-2-5")
+        assert service.transition is None
+        assert service.scheme.scheme_id == "ae-3-2-5"
+
+
+class _CrashGuard:
+    """Doc guard that raises once ``allow`` documents have been migrated."""
+
+    def __init__(self, allow):
+        self.allow = allow
+        self.entered = 0
+
+    def __call__(self, name):
+        if self.entered >= self.allow:
+            raise RuntimeError("injected crash")
+        self.entered += 1
+        return _NullContext()
+
+
+class _NullContext:
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        return False
+
+
+def crash_image(root, tmp_path, tag):
+    image = tmp_path / f"image-{tag}"
+    shutil.copytree(root, image)
+    return image
+
+
+class TestDurableCrashResume:
+    """Crash images at every document/stage boundary resume to completion."""
+
+    @pytest.mark.parametrize("crash_after", range(0, 4))
+    @pytest.mark.parametrize("reopen_as", ["source", "target"])
+    def test_reencode_crash_sweep(self, crash_after, reopen_as, tmp_path):
+        payloads = make_docs(count=4, size=2000)
+        root = tmp_path / "live"
+        service = StorageService.open(disk_config("rep-3", root))
+        fill(service, payloads)
+
+        guard = _CrashGuard(crash_after)
+        with pytest.raises(RuntimeError, match="injected crash"):
+            service.transition_to("ae-3-2-5", doc_guard=guard)
+        assert service.transition is not None
+        del service  # crash: no close(), no checkpoint
+
+        image = crash_image(root, tmp_path, f"{crash_after}-{reopen_as}")
+        scheme_id = "rep-3" if reopen_as == "source" else "ae-3-2-5"
+        reopened = StorageService.open(disk_config(scheme_id, image))
+        assert reopened.transition is None
+        assert reopened.scheme.scheme_id == "ae-3-2-5"
+        assert not (image / TRANSITION_NAME).exists()
+        assert_byte_exact(reopened, payloads)
+        reopened.close()
+
+        # Resume is idempotent: a second reopen finds a settled service.
+        again = StorageService.open(disk_config("ae-3-2-5", image))
+        assert again.transition is None
+        assert_byte_exact(again, payloads)
+        again.close()
+
+    def test_crash_before_any_migration_restarts_from_scratch(self, tmp_path):
+        """Plan file saved, manifest untouched: the durable-intent window."""
+        payloads = make_docs(count=3, size=2000)
+        root = tmp_path / "live"
+        service = StorageService.open(disk_config("rep-3", root))
+        fill(service, payloads)
+        service.close()
+
+        source = schemes.get("rep-3", block_size=BLOCK_SIZE)
+        target = schemes.get("ae-3-2-5", block_size=BLOCK_SIZE)
+        plan = TransitionPlan(
+            source=source.scheme_id,
+            target=target.scheme_id,
+            kind=classify(source, target),
+            pending=set(payloads),
+        )
+        plan.save(str(root))
+
+        reopened = StorageService.open(disk_config("rep-3", root))
+        assert reopened.scheme.scheme_id == "ae-3-2-5"
+        assert reopened.transition is None
+        assert not (root / TRANSITION_NAME).exists()
+        assert_byte_exact(reopened, payloads)
+        reopened.close()
+
+    def test_crash_after_cleanup_before_plan_removal(self, tmp_path, monkeypatch):
+        """The last window: everything migrated, only transition.json left."""
+        payloads = make_docs(count=3, size=2000)
+        root = tmp_path / "live"
+        service = StorageService.open(disk_config("rep-3", root))
+        fill(service, payloads)
+
+        def refuse_remove(data_dir):
+            raise RuntimeError("injected crash before plan removal")
+
+        monkeypatch.setattr(TransitionPlan, "remove", staticmethod(refuse_remove))
+        with pytest.raises(RuntimeError, match="plan removal"):
+            service.transition_to("ae-3-2-5")
+        monkeypatch.undo()
+        del service
+        assert (root / TRANSITION_NAME).exists()
+
+        reopened = StorageService.open(disk_config("ae-3-2-5", root))
+        assert reopened.transition is None
+        assert not (root / TRANSITION_NAME).exists()
+        assert_byte_exact(reopened, payloads)
+        reopened.close()
+
+    @pytest.mark.parametrize("reopen_as", ["source", "target"])
+    def test_alpha_raise_crash_before_walk_resumes(
+        self, reopen_as, tmp_path, monkeypatch
+    ):
+        """Crash after the plan is durable but before any parity is written."""
+        from repro.system.transitions import TransitionEngine
+
+        payloads = make_docs(count=3, size=2000)
+        root = tmp_path / "live"
+        service = StorageService.open(disk_config("ae-2-2-5", root))
+        fill(service, payloads)
+
+        def refuse_walk(self, plan, report):
+            raise RuntimeError("injected crash before the parity walk")
+
+        monkeypatch.setattr(TransitionEngine, "_run_alpha_raise", refuse_walk)
+        with pytest.raises(RuntimeError, match="parity walk"):
+            service.transition_to("ae-3-2-5")
+        monkeypatch.undo()
+        del service
+
+        scheme_id = "ae-2-2-5" if reopen_as == "source" else "ae-3-2-5"
+        reopened = StorageService.open(disk_config(scheme_id, root))
+        assert reopened.scheme.scheme_id == "ae-3-2-5"
+        assert reopened.transition is None
+        assert_byte_exact(reopened, payloads)
+        history = reopened.epoch_history
+        assert history is not None
+        assert history.epochs[-1].params.alpha == 3
+        reopened.close()
+
+    def test_repuncture_crash_resumes(self, tmp_path, monkeypatch):
+        """Crash between the plan save and the additions pass of a repuncture."""
+        from repro.system.transitions import TransitionEngine
+
+        payloads = make_docs(count=3, size=2000)
+        root = tmp_path / "live"
+        service = StorageService.open(disk_config("ae-3-2-5", root))
+        fill(service, payloads)
+
+        def refuse_repuncture(self, plan, report):
+            raise RuntimeError("injected crash before repuncture")
+
+        monkeypatch.setattr(TransitionEngine, "_run_repuncture", refuse_repuncture)
+        with pytest.raises(RuntimeError, match="before repuncture"):
+            service.transition_to("ae-3-2-5-p75")
+        monkeypatch.undo()
+        del service
+
+        reopened = StorageService.open(disk_config("ae-3-2-5-p75", root))
+        assert reopened.scheme.scheme_id == "ae-3-2-5-p75"
+        assert reopened.transition is None
+        assert_byte_exact(reopened, payloads)
+        reopened.close()
+
+
+class TestConcurrentFrontend:
+    def test_reads_keep_streaming_through_a_transition_chain(self):
+        payloads = make_docs(count=6, size=2500)
+        frontend = ConcurrentStorageService.open(mem_config("rep-3"), workers=3)
+        for name, payload in payloads.items():
+            frontend.put(name, payload)
+
+        errors = []
+        mismatches = []
+        stop = threading.Event()
+
+        def reader():
+            names = sorted(payloads)
+            position = 0
+            while not stop.is_set():
+                name = names[position % len(names)]
+                position += 1
+                try:
+                    if frontend.get(name) != payloads[name]:
+                        mismatches.append(name)
+                except (ReproError, ValueError, KeyError, OSError) as exc:
+                    errors.append(exc)
+
+        threads = [threading.Thread(target=reader) for _ in range(3)]
+        for thread in threads:
+            thread.start()
+        try:
+            for target in ("ae-3-2-5", "rs-10-4"):
+                report = frontend.transition_to(target)
+                assert report is not None and report.target == target
+        finally:
+            stop.set()
+            for thread in threads:
+                thread.join()
+
+        assert errors == []
+        assert mismatches == []
+        for name, payload in payloads.items():
+            assert frontend.get(name) == payload
+        # The service keeps accepting writes after the chain.
+        frontend.put("after", b"x" * 2048)
+        assert frontend.get("after") == b"x" * 2048
+        frontend.close()
+
+
+class TestShardedTransitions:
+    def test_federation_migrates_every_shard(self, tmp_path):
+        from repro.system.sharding import ShardedStorageService
+
+        payloads = make_docs(count=6, size=2000)
+        root = tmp_path / "fed"
+        config = disk_config("rep-3", root, shards=2)
+        federation = ShardedStorageService.open(config)
+        fill(federation, payloads)
+
+        reports = federation.transition_to("ae-3-2-5")
+        assert set(reports) == set(federation.shard_ids)
+        migrated = sum(r.documents_migrated for r in reports.values() if r)
+        assert migrated == len(payloads)
+        assert_byte_exact(federation, payloads)
+        federation.close()
+
+        reopened = ShardedStorageService.open(disk_config("ae-3-2-5", root, shards=2))
+        assert_byte_exact(reopened, payloads)
+        reopened.close()
+
+    def test_crash_between_shards_resumes_on_reopen(self, tmp_path, monkeypatch):
+        from repro.system.sharding import ShardedStorageService
+
+        payloads = make_docs(count=6, size=2000)
+        root = tmp_path / "fed"
+        federation = ShardedStorageService.open(disk_config("rep-3", root, shards=2))
+        fill(federation, payloads)
+
+        original = ConcurrentStorageService.transition_to
+        calls = {"count": 0}
+
+        def crash_on_second(self, scheme):
+            calls["count"] += 1
+            if calls["count"] >= 2:
+                raise RuntimeError("injected crash between shards")
+            return original(self, scheme)
+
+        monkeypatch.setattr(ConcurrentStorageService, "transition_to", crash_on_second)
+        with pytest.raises(RuntimeError, match="between shards"):
+            federation.transition_to("ae-3-2-5")
+        monkeypatch.undo()
+        del federation  # crash: no close()
+
+        reopened = ShardedStorageService.open(disk_config("rep-3", root, shards=2))
+        assert_byte_exact(reopened, payloads)
+        for shard_id in reopened.shard_ids:
+            assert reopened.shard(shard_id).service.scheme.scheme_id == "ae-3-2-5"
+        status_scheme = reopened.transition_to("ae-3-2-5")
+        assert status_scheme == {}  # already settled on the target
+        reopened.close()

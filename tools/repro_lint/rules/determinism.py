@@ -21,6 +21,7 @@ ENGINE_PATHS = (
     "repro/storage/failures.py",
     "repro/system/compare.py",
     "repro/system/frontend.py",
+    "repro/system/transitions.py",
 )
 
 #: Dotted calls that read the wall clock or process entropy.
